@@ -1,0 +1,51 @@
+"""Ablation: PC-Refine's operation ranking — benefit-cost ratio vs raw
+benefit.
+
+Section 5.2 argues for ranking candidate operations by b*(o)/c(o) rather
+than by b*(o) alone: an operation with a big estimated benefit may need
+many unknown pairs crowdsourced just to *verify* it.  This ablation runs
+full ACD both ways on the Paper dataset and reports F1 and total pair cost.
+The expected shape: comparable F1, with the ratio ranking no more expensive
+(typically cheaper) in crowdsourced pairs.
+"""
+
+import pytest
+
+from repro.core.acd import run_acd
+from repro.eval.metrics import f1_score
+from repro.experiments.tables import format_table
+
+from common import REPETITIONS, emit, instance
+
+
+def run_both():
+    inst = instance("paper", "3w")
+    out = {}
+    for ranking in ("ratio", "benefit"):
+        f1 = 0.0
+        pairs = 0.0
+        for repetition in range(REPETITIONS):
+            result = run_acd(
+                inst.record_ids, inst.candidates, inst.answers,
+                ranking=ranking, seed=100 + repetition,
+                pairs_per_hit=inst.setting.pairs_per_hit,
+            )
+            f1 += f1_score(result.clustering, inst.dataset.gold)
+            pairs += result.stats.pairs_issued
+        out[ranking] = (f1 / REPETITIONS, pairs / REPETITIONS)
+    return out
+
+
+def test_ablation_selection_ranking(benchmark):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit("ablation_selection_paper", format_table(
+        ["ranking", "F1", "total pairs"],
+        [[name, f"{f1:.3f}", f"{pairs:.0f}"]
+         for name, (f1, pairs) in results.items()],
+    ))
+    ratio_f1, ratio_pairs = results["ratio"]
+    benefit_f1, benefit_pairs = results["benefit"]
+    # Equal-quality clustering either way...
+    assert abs(ratio_f1 - benefit_f1) < 0.08
+    # ...but the cost-aware ranking must not be meaningfully more expensive.
+    assert ratio_pairs <= benefit_pairs * 1.1

@@ -1,0 +1,56 @@
+"""Extension experiment: how ACD's costs scale with dataset size.
+
+Not a paper figure, but the natural systems question a reproduction should
+answer: as the record count grows (0.25x, 0.5x, 1x of the Paper dataset),
+how do ACD's crowdsourced pairs, crowd iterations, and accuracy move?
+
+Expected shape: pairs grow roughly with the candidate-set size (which the
+sqrt-scaled generators keep near-linear in records), crowd iterations grow
+slowly (batching absorbs scale), and F1 stays in the same band.
+"""
+
+import pytest
+
+from repro.experiments.runner import prepare_instance, run_method
+from repro.experiments.tables import format_table
+
+from common import REPETITIONS, SEED, emit
+
+SCALES = (0.25, 0.5, 1.0)
+
+
+def run_scaling():
+    rows = []
+    for scale in SCALES:
+        inst = prepare_instance("paper", "3w", scale=scale, seed=SEED)
+        f1 = 0.0
+        pairs = 0.0
+        iterations = 0.0
+        for repetition in range(REPETITIONS):
+            result = run_method("ACD", inst, seed=400 + repetition)
+            f1 += result.f1
+            pairs += result.pairs_issued
+            iterations += result.iterations
+        rows.append((
+            scale, len(inst.dataset), len(inst.candidates),
+            pairs / REPETITIONS, iterations / REPETITIONS, f1 / REPETITIONS,
+        ))
+    return rows
+
+
+def test_ext_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    emit("ext_scaling_paper", format_table(
+        ["scale", "records", "|S|", "ACD pairs", "iterations", "F1"],
+        [[f"{s:.2f}", f"{n}", f"{cand}", f"{p:.0f}", f"{i:.1f}", f"{f:.3f}"]
+         for s, n, cand, p, i, f in rows],
+    ))
+    # Pairs grow with the candidate set...
+    assert rows[-1][3] > rows[0][3]
+    # ...but iterations grow sublinearly in records (batching absorbs scale).
+    records_ratio = rows[-1][1] / rows[0][1]
+    iterations_ratio = rows[-1][4] / max(1.0, rows[0][4])
+    assert iterations_ratio < records_ratio
+    # Accuracy stays in one band across scales.
+    f1_values = [row[5] for row in rows]
+    assert max(f1_values) - min(f1_values) < 0.12

@@ -1,0 +1,43 @@
+"""Figure 5: the effect of ε on PC-Pivot (cluster generation phase only).
+
+Paper reference (3-worker setting):
+  5(a-c) crowd iterations vs ε per dataset — PC-Pivot needs far fewer
+         iterations than Crowd-Pivot (20x fewer on Restaurant already at
+         ε = 0.1); iterations keep falling as ε grows, steepest from
+         0 -> 0.1.
+  5(d)   crowdsourced pairs vs ε — a larger waste budget costs more pairs.
+
+Shapes that must hold: every ε point beats Crowd-Pivot on iterations;
+iterations are non-increasing in ε; pairs are non-decreasing in ε (up to
+randomization noise); Crowd-Pivot's pair count lower-bounds all ε points.
+"""
+
+import pytest
+
+from repro.experiments.tables import format_epsilon_sweep
+
+from common import DATASETS, emit, eps_sweep
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5(benchmark, dataset):
+    sweep = benchmark.pedantic(lambda: eps_sweep(dataset),
+                               rounds=1, iterations=1)
+    emit(f"fig5_epsilon_{dataset}", format_epsilon_sweep(sweep))
+
+    iterations = [point.iterations for point in sweep.points]
+    pairs = [point.pairs_issued for point in sweep.points]
+
+    # PC-Pivot always beats sequential Crowd-Pivot on crowd iterations.
+    for value in iterations:
+        assert value < sweep.crowd_pivot_iterations
+    # Iterations fall (weakly) as epsilon grows.
+    for left, right in zip(iterations, iterations[1:]):
+        assert right <= left * 1.05 + 1.0  # allow small randomization noise
+    # The 0 -> 0.1 drop is the steepest part of the curve.
+    assert iterations[0] - iterations[1] >= (iterations[1] - iterations[-1]) / 4
+    # Pair cost grows with epsilon, and is never below the waste-free
+    # sequential cost.
+    assert pairs[-1] >= pairs[0] - 1e-9
+    for value in pairs:
+        assert value >= sweep.crowd_pivot_pairs - 1e-9

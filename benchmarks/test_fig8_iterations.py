@@ -1,0 +1,41 @@
+"""Figure 8: crowdsourcing efficiency — number of crowd iterations.
+
+Paper reference: CrowdER+ needs exactly one iteration (everything in one
+batch); the remaining batched methods (ACD, PC-Pivot, GCER, TransM) are
+roughly comparable to each other; TransNode has no batching at all and is
+omitted from the paper's figure (every question is its own round).
+"""
+
+import pytest
+
+from repro.experiments.tables import format_table
+
+from common import DATASETS, SETTINGS, comparison, emit
+
+BATCHED_METHODS = ("ACD", "PC-Pivot", "CrowdER+", "GCER", "TransM")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("setting", SETTINGS)
+def test_fig8(benchmark, dataset, setting):
+    results = benchmark.pedantic(lambda: comparison(dataset, setting),
+                                 rounds=1, iterations=1)
+    text = format_table(
+        ["method", "crowd iterations"],
+        [
+            [method, f"{results[method].iterations:.1f}"]
+            for method in BATCHED_METHODS  # TransNode omitted, as in the paper
+        ],
+    )
+    emit(f"fig8_iterations_{dataset}_{setting}", text)
+
+    iterations = {method: results[method].iterations
+                  for method in BATCHED_METHODS}
+    assert iterations["CrowdER+"] == 1.0
+    # The batched methods stay within the same regime: a few dozen rounds,
+    # not one round per pair.
+    pairs = {m: results[m].pairs_issued for m in BATCHED_METHODS}
+    for method in ("ACD", "PC-Pivot", "GCER", "TransM"):
+        assert iterations[method] < pairs[method] / 5
+    # TransNode is sequential: iterations == pairs issued.
+    assert results["TransNode"].iterations == results["TransNode"].pairs_issued

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Analyzing the crowd: confidence spread, calibration, difficult pairs.
+
+Before trusting a crowd (real or simulated), look at its answers: how often
+do workers disagree, how does the machine score map to crowd confidence
+(the curve ACD's histogram estimator learns), and which pairs sit in the
+contested middle?  This example runs that analysis on the Paper dataset —
+the one whose 23 % error rate drives the whole refinement story.
+
+Run:  python examples/crowd_calibration.py
+"""
+
+from repro import prepare_instance
+from repro.crowd import CrowdOracle
+from repro.eval import (
+    bar_chart,
+    calibration_curve,
+    confidence_histogram,
+    disagreement_pairs,
+    sparkline,
+    unanimity_rate,
+)
+
+
+def main() -> None:
+    instance = prepare_instance("paper", "3w", scale=0.25, seed=2)
+    oracle = CrowdOracle(instance.answers)
+    answered = oracle.ask_batch(instance.candidates.pairs)
+    print(f"{len(answered)} candidate pairs answered by a "
+          f"{instance.setting.num_workers}-worker crowd\n")
+
+    # 1. How unanimous is the crowd?
+    histogram = confidence_histogram(answered.values(),
+                                     num_workers=instance.setting.num_workers)
+    print("vote distribution (fraction of workers saying 'duplicate'):")
+    print(bar_chart(
+        {f"{level:.2f}": float(count) for level, count in histogram.items()},
+        width=34, value_format="{:.0f}",
+    ))
+    print(f"\nunanimous pairs: {unanimity_rate(answered.values()):.0%}")
+
+    # 2. The machine-score -> crowd-confidence calibration curve.
+    bands = calibration_curve(
+        answered, instance.candidates.machine_scores,
+        gold=instance.dataset.gold, num_bands=8,
+    )
+    print("\ncalibration: machine score band -> mean crowd confidence "
+          "(and majority error):")
+    for band in bands:
+        print(f"  f ∈ [{band.lower:.2f}, {band.upper:.2f})  "
+              f"mean f_c = {band.mean_confidence:.2f}  "
+              f"error = {band.error_rate:.0%}  (n={band.count})")
+    print("confidence curve:",
+          sparkline([band.mean_confidence for band in bands]))
+
+    # 3. The contested pairs — where the future-work escalation would go.
+    contested = disagreement_pairs(answered)
+    print(f"\ncontested pairs (confidence in [0.3, 0.7]): {len(contested)}")
+    for a, b in contested[:3]:
+        print(f"  f_c={answered[(a, b)]:.2f}  "
+              f"{instance.dataset.record(a).text[:40]!r} vs "
+              f"{instance.dataset.record(b).text[:40]!r}")
+
+
+if __name__ == "__main__":
+    main()

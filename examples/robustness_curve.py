@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The robustness curve: what happens as the crowd gets worse.
+
+Sweeps the simulated per-worker error rate and charts each method's F1 —
+making the paper's central claim (ACD degrades gracefully, transitivity
+amplifies errors) visible as a curve rather than two data points.
+
+Run:  python examples/robustness_curve.py
+"""
+
+from repro import prepare_instance
+from repro.eval.ascii import sparkline
+from repro.experiments.robustness import degradation, error_sweep
+
+METHODS = ("ACD", "TransM", "CrowdER+")
+
+
+def main() -> None:
+    instance = prepare_instance("product", "3w", scale=0.3, seed=4)
+    print(f"{len(instance.dataset)} records, "
+          f"{len(instance.candidates)} candidate pairs")
+    print("sweeping per-worker error rate 0% -> 40% ...\n")
+
+    points = error_sweep(
+        instance.dataset, instance.candidates,
+        easy_errors=(0.0, 0.1, 0.2, 0.3, 0.4),
+        methods=METHODS, repetitions=2,
+    )
+
+    header = "worker err  majority err  " + "  ".join(
+        f"{m:>9s}" for m in METHODS
+    )
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        row = f"{point.easy_error:>9.0%}  {point.measured_error:>11.1%}  "
+        row += "  ".join(f"{point.f1_by_method[m]:>9.3f}" for m in METHODS)
+        print(row)
+
+    print("\nF1 curves (left = clean crowd, right = noisy crowd):")
+    for method in METHODS:
+        series = [point.f1_by_method[method] for point in points]
+        lost = degradation(points, method)
+        print(f"  {method:9s} {sparkline(series)}   total F1 lost: {lost:+.3f}")
+
+    print(
+        "\nreading: TransM's transitive closure turns each wrong answer into"
+        "\na cascades of wrong merges; ACD's correlation clustering weighs"
+        "\ncontradicting evidence and tracks the much costlier CrowdER+."
+    )
+
+
+if __name__ == "__main__":
+    main()

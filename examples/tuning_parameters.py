@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Tune ACD's two knobs: PC-Pivot's ε and PC-Refine's budget T.
+
+Reproduces miniature versions of the paper's Figure 5 (ε controls the
+parallelism/cost trade-off of cluster generation) and Figure 10 (the
+per-round refinement budget T = N_m / x), explaining what to look for.
+
+Run:  python examples/tuning_parameters.py
+"""
+
+from repro import epsilon_sweep, prepare_instance, threshold_sweep
+from repro.experiments.tables import (
+    format_epsilon_sweep,
+    format_threshold_sweep,
+)
+
+
+def main() -> None:
+    instance = prepare_instance("paper", "3w", scale=0.25, seed=3)
+    print(f"instance: {len(instance.dataset)} records, "
+          f"{len(instance.candidates)} candidate pairs\n")
+
+    print("--- epsilon (PC-Pivot wasted-pair budget, Figure 5) ---")
+    sweep = epsilon_sweep(instance, epsilons=(0.0, 0.1, 0.2, 0.4, 0.8),
+                          repetitions=3)
+    print(format_epsilon_sweep(sweep))
+    print(
+        "\nreading: iterations fall as ε grows (more pivots per round) while"
+        "\npairs rise (wasted questions); the paper picks ε = 0.1 where the"
+        "\niteration curve has already flattened but waste is still small.\n"
+    )
+
+    print("--- T = N_m / x (PC-Refine per-round budget, Figure 10) ---")
+    points = threshold_sweep(instance, divisors=(2.0, 4.0, 8.0, 16.0),
+                             repetitions=3)
+    print(format_threshold_sweep(points))
+    print(
+        "\nreading: F1 is insensitive to T (the stopping rule decides"
+        "\nquality); small T (large divisor) trims wasted refinement pairs"
+        "\nbut too small a T doubles the crowd rounds — the paper lands on"
+        "\nx = 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline environments lacking the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP-660
+editable installs; this shim lets pip fall back to the legacy
+``setup.py develop`` path (``pip install -e . --no-use-pep517``) when wheels
+are unavailable.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — a full reproduction of "Crowd-Based Deduplication: An Adaptive
+Approach" (Wang, Xiao, Lee; SIGMOD 2015).
+
+The package implements the ACD algorithm (pruning, PC-Pivot cluster
+generation, PC-Refine cluster refinement), the simulated crowdsourcing
+substrate it runs on, the baselines it is compared against (TransM,
+TransNode, CrowdER+, GCER), synthetic versions of the paper's three
+datasets, and the complete evaluation harness for every table and figure.
+
+Quickstart::
+
+    from repro import prepare_instance, run_method
+
+    instance = prepare_instance("restaurant", "3w", scale=0.2)
+    result = run_method("ACD", instance, seed=7)
+    print(result.f1, result.pairs_issued, result.iterations)
+"""
+
+from repro.core import (
+    ACDResult,
+    Clustering,
+    HistogramEstimator,
+    Permutation,
+    crowd_pivot,
+    crowd_refine,
+    lambda_objective,
+    pc_pivot,
+    pc_refine,
+    run_acd,
+)
+from repro.crowd import (
+    AnswerFile,
+    CrowdOracle,
+    CrowdStats,
+    DifficultyModel,
+    WorkerPool,
+)
+from repro.datasets import Dataset, GoldStandard, Record, generate
+from repro.eval import f1_score, pairwise_scores
+from repro.experiments import (
+    Instance,
+    MethodResult,
+    epsilon_sweep,
+    prepare_instance,
+    run_comparison,
+    run_method,
+    table3_row,
+    threshold_sweep,
+)
+from repro.pruning import CandidateSet, build_candidate_set
+from repro.similarity import SimilarityFunction, jaccard_similarity_function
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACDResult",
+    "AnswerFile",
+    "CandidateSet",
+    "Clustering",
+    "CrowdOracle",
+    "CrowdStats",
+    "Dataset",
+    "DifficultyModel",
+    "GoldStandard",
+    "HistogramEstimator",
+    "Instance",
+    "MethodResult",
+    "Permutation",
+    "Record",
+    "SimilarityFunction",
+    "WorkerPool",
+    "__version__",
+    "build_candidate_set",
+    "crowd_pivot",
+    "crowd_refine",
+    "epsilon_sweep",
+    "f1_score",
+    "generate",
+    "jaccard_similarity_function",
+    "lambda_objective",
+    "pairwise_scores",
+    "pc_pivot",
+    "pc_refine",
+    "prepare_instance",
+    "run_acd",
+    "run_comparison",
+    "run_method",
+    "table3_row",
+    "threshold_sweep",
+]

@@ -1,0 +1,26 @@
+"""State-of-the-art baselines reimplemented for the paper's comparison:
+TransM, TransNode, CrowdER+, GCER, plus machine-only algorithms (Pivot,
+BOEM, greedy VOTE, hierarchical agglomerative)."""
+
+from repro.baselines.agglomerative import (
+    agglomerative_clustering,
+    vote_clustering,
+)
+from repro.baselines.crowder import crowder_plus
+from repro.baselines.gcer import gcer
+from repro.baselines.machine import boem, machine_pivot
+from repro.baselines.transm import transm
+from repro.baselines.transnode import transnode
+from repro.baselines.unionfind import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "agglomerative_clustering",
+    "boem",
+    "crowder_plus",
+    "gcer",
+    "machine_pivot",
+    "transm",
+    "transnode",
+    "vote_clustering",
+]

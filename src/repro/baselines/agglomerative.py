@@ -1,0 +1,157 @@
+"""Machine-based agglomerative clustering algorithms for deduplication.
+
+The paper's related work surveys a line of machine-based correlation
+clustering and merging heuristics [5, 14, 22, 27, 36, 41].  Two classic
+families are implemented here as additional no-crowd reference points:
+
+- :func:`vote_clustering` — Elsner-Schudy style greedy VOTE: consider
+  records one at a time, joining the existing cluster with the best net
+  score (or starting a new one).  A strong, cheap correlation-clustering
+  heuristic.
+- :func:`agglomerative_clustering` — hierarchical agglomerative merging of
+  the closest cluster pair under single/complete/average linkage until no
+  linkage exceeds the threshold; the sorted-neighborhood-merge idiom of
+  classic dedup pipelines.
+
+Both consume the machine scores of a :class:`CandidateSet` only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.clustering import Clustering
+from repro.pruning.candidate import CandidateSet
+
+Pair = Tuple[int, int]
+
+LINKAGES = ("single", "complete", "average")
+
+
+def vote_clustering(
+    record_ids,
+    candidates: CandidateSet,
+    order: Optional[List[int]] = None,
+) -> Clustering:
+    """Greedy VOTE correlation clustering on machine scores.
+
+    Each record (in the given order, default: ascending id) either joins
+    the existing cluster maximizing the net score
+    ``sum(2 f(r, m) - 1 for members m)`` — when positive — or founds a new
+    cluster.  Pairs outside the candidate set score 0 (i.e. a -1 vote).
+
+    Args:
+        record_ids: The record set ``R``.
+        candidates: Machine-scored candidate set.
+        order: Optional explicit insertion order.
+    """
+    ids = list(record_ids)
+    sequence = list(order) if order is not None else sorted(ids)
+    if set(sequence) != set(ids):
+        raise ValueError("order must be a permutation of record_ids")
+
+    clusters: List[Set[int]] = []
+    # Adjacency from record to scored neighbors, for O(deg) vote updates.
+    neighbors: Dict[int, Dict[int, float]] = {r: {} for r in ids}
+    for (a, b), score in candidates.machine_scores.items():
+        neighbors[a][b] = score
+        neighbors[b][a] = score
+
+    cluster_of: Dict[int, int] = {}
+    for record in sequence:
+        votes: Dict[int, float] = {}
+        for other, score in neighbors[record].items():
+            index = cluster_of.get(other)
+            if index is not None:
+                votes[index] = votes.get(index, 0.0) + (2.0 * score - 1.0)
+        best_index = None
+        best_net = 0.0
+        for index, positive_part in votes.items():
+            # Members without a candidate edge contribute -1 each.
+            unscored = len(clusters[index]) - sum(
+                1 for other in neighbors[record] if cluster_of.get(other) == index
+            )
+            net = positive_part - unscored
+            if net > best_net:
+                best_net = net
+                best_index = index
+        if best_index is None:
+            cluster_of[record] = len(clusters)
+            clusters.append({record})
+        else:
+            cluster_of[record] = best_index
+            clusters[best_index].add(record)
+
+    return Clustering(clusters)
+
+
+def _linkage_value(scores: List[float], pending_zeroes: int,
+                   linkage: str) -> float:
+    """Aggregate cross-cluster scores under a linkage; ``pending_zeroes``
+    counts cross pairs outside the candidate set (score 0)."""
+    if linkage == "single":
+        return max(scores) if scores else 0.0
+    if linkage == "complete":
+        if pending_zeroes > 0 or not scores:
+            return 0.0
+        return min(scores)
+    # average
+    total_pairs = len(scores) + pending_zeroes
+    if total_pairs == 0:
+        return 0.0
+    return sum(scores) / total_pairs
+
+
+def agglomerative_clustering(
+    record_ids,
+    candidates: CandidateSet,
+    threshold: float = 0.5,
+    linkage: str = "average",
+) -> Clustering:
+    """Hierarchical agglomerative clustering on machine scores.
+
+    Repeatedly merges the candidate-connected cluster pair with the highest
+    linkage value until none exceeds ``threshold``.
+
+    Args:
+        record_ids: The record set ``R``.
+        candidates: Machine-scored candidate set.
+        threshold: Minimum linkage required to merge.
+        linkage: 'single', 'complete', or 'average'.
+    """
+    if linkage not in LINKAGES:
+        raise ValueError(f"linkage must be one of {LINKAGES}, got {linkage!r}")
+    clustering = Clustering.singletons(record_ids)
+
+    def linkage_between(cluster_a: int, cluster_b: int) -> float:
+        scores: List[float] = []
+        zero_pairs = 0
+        for x in clustering.members(cluster_a):
+            for y in clustering.members(cluster_b):
+                pair = (x, y) if x < y else (y, x)
+                if pair in candidates:
+                    scores.append(candidates.machine_scores[pair])
+                else:
+                    zero_pairs += 1
+        return _linkage_value(scores, zero_pairs, linkage)
+
+    while True:
+        # Candidate-connected cluster pairs only (others can never exceed a
+        # positive threshold under any linkage).
+        seen: Set[Tuple[int, int]] = set()
+        best: Optional[Tuple[float, int, int]] = None
+        for a, b in candidates.pairs:
+            cluster_a = clustering.cluster_of(a)
+            cluster_b = clustering.cluster_of(b)
+            if cluster_a == cluster_b:
+                continue
+            key = (min(cluster_a, cluster_b), max(cluster_a, cluster_b))
+            if key in seen:
+                continue
+            seen.add(key)
+            value = linkage_between(*key)
+            if value > threshold and (best is None or value > best[0]):
+                best = (value, key[0], key[1])
+        if best is None:
+            return clustering
+        clustering.merge(best[1], best[2])

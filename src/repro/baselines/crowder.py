@@ -1,0 +1,65 @@
+"""CrowdER+ (Wang et al., VLDB 2012 [46] + the clustering step of [48]).
+
+CrowdER crowdsources *every* candidate pair (in one giant batch — which is
+why it needs exactly one crowd iteration and tops the cost charts), but does
+not itself specify how to turn pairwise answers into clusters.  Following the
+ACD paper's experimental setup, the clustering step sorts the crowd-confirmed
+pairs into a neighborhood ordering by descending confidence and greedily
+merges clusters whose merge strictly reduces the correlation-clustering
+objective Λ' — i.e. only when the total crowd evidence between the two
+clusters is net-positive (Equation 6).  With complete pairwise evidence this
+is both high-precision and robust, matching CrowdER+'s top accuracy in
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.clustering import Clustering
+from repro.core.objective import merge_benefit
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+
+Pair = Tuple[int, int]
+
+
+def crowder_plus(record_ids, candidates: CandidateSet,
+                 oracle: CrowdOracle) -> Clustering:
+    """Run CrowdER+.
+
+    Args:
+        record_ids: The record set ``R`` (ids).
+        candidates: The candidate set ``S`` — all of it is crowdsourced.
+        oracle: Crowd access; a single batch containing every pair in ``S``.
+
+    Returns:
+        The greedy net-positive-merge clustering of the crowd answers.
+    """
+    ids = list(record_ids)
+    answers = oracle.ask_batch(candidates.pairs)
+
+    clustering = Clustering.singletons(ids)
+    # Sorted neighborhood over the evidence: strongest confirmations first.
+    positive_pairs: List[Tuple[float, Pair]] = sorted(
+        ((confidence, pair) for pair, confidence in answers.items()
+         if confidence > 0.5),
+        key=lambda item: (-item[0], item[1]),
+    )
+
+    for _, (a, b) in positive_pairs:
+        cluster_a = clustering.cluster_of(a)
+        cluster_b = clustering.cluster_of(b)
+        if cluster_a == cluster_b:
+            continue
+        # Merge only if the full crowd evidence between the clusters is
+        # net-positive; absent pairs were pruned, i.e. f_c = 0.
+        confidences = [
+            answers.get((min(x, y), max(x, y)), 0.0)
+            for x in clustering.members(cluster_a)
+            for y in clustering.members(cluster_b)
+        ]
+        if merge_benefit(confidences) > 0.0:
+            clustering.merge(cluster_a, cluster_b)
+
+    return clustering

@@ -1,0 +1,113 @@
+"""TransM (Wang et al., SIGMOD 2013 [47]): transitivity-based deduplication.
+
+Candidate pairs are processed in descending machine-similarity order.  A
+pair's label is *inferred* when transitivity decides it — same cluster means
+duplicate; a known non-duplicate relation between the two clusters means
+non-duplicate — and crowdsourced otherwise.  Confirmed duplicates union
+clusters; confirmed non-duplicates record a cluster-level negative edge.
+
+Because every positive answer propagates through unions, a single crowd
+mistake can glue two large clusters together (Figure 1 of the ACD paper) —
+this implementation deliberately reproduces that failure mode.
+
+Batching: following the original paper's parallel issue strategy, each crowd
+iteration sends a maximal prefix (in similarity order) of non-inferable pairs
+whose cluster pairs are mutually disjoint, so no answer inside a batch could
+have inferred another pair in the same batch.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.baselines.unionfind import UnionFind
+from repro.core.clustering import Clustering
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+
+Pair = Tuple[int, int]
+ClusterPair = FrozenSet[int]
+
+
+class _TransitiveState:
+    """Clusters plus cluster-level negative edges, with inference queries."""
+
+    def __init__(self, record_ids):
+        self.union_find = UnionFind(record_ids)
+        self._negative: Set[ClusterPair] = set()
+
+    def _cluster_pair(self, a: int, b: int) -> ClusterPair:
+        return frozenset((self.union_find.find(a), self.union_find.find(b)))
+
+    def infer(self, a: int, b: int) -> Optional[bool]:
+        """``True``/``False`` when transitivity decides the pair, else ``None``."""
+        if self.union_find.connected(a, b):
+            return True
+        if self._cluster_pair(a, b) in self._negative:
+            return False
+        return None
+
+    def mark_duplicate(self, a: int, b: int) -> None:
+        root_a, root_b = self.union_find.find(a), self.union_find.find(b)
+        if root_a == root_b:
+            return
+        survivor = self.union_find.union(root_a, root_b)
+        absorbed = root_b if survivor == root_a else root_a
+        # Rewrite negative edges of the absorbed cluster onto the survivor.
+        stale = [edge for edge in self._negative if absorbed in edge]
+        for edge in stale:
+            self._negative.discard(edge)
+            other = next(iter(edge - {absorbed}), None)
+            if other is not None and other != survivor:
+                self._negative.add(frozenset((self.union_find.find(other),
+                                              survivor)))
+
+    def mark_non_duplicate(self, a: int, b: int) -> None:
+        pair = self._cluster_pair(a, b)
+        if len(pair) == 2:
+            self._negative.add(pair)
+
+
+def transm(record_ids, candidates: CandidateSet,
+           oracle: CrowdOracle) -> Clustering:
+    """Run TransM.
+
+    Args:
+        record_ids: The record set ``R`` (ids).
+        candidates: The candidate set ``S`` (pairs issued in descending
+            machine-similarity order).
+        oracle: Crowd access (batched as described in the module docstring).
+
+    Returns:
+        The clustering implied by the final transitive closure.
+    """
+    ids = list(record_ids)
+    state = _TransitiveState(ids)
+    pending: List[Pair] = candidates.sorted_by_score(descending=True)
+
+    while pending:
+        batch: List[Pair] = []
+        batch_clusters: Set[int] = set()
+        deferred: List[Pair] = []
+        for pair in pending:
+            verdict = state.infer(*pair)
+            if verdict is not None:
+                continue  # inferred for free; drop it
+            root_a = state.union_find.find(pair[0])
+            root_b = state.union_find.find(pair[1])
+            if root_a in batch_clusters or root_b in batch_clusters:
+                deferred.append(pair)
+                continue
+            batch.append(pair)
+            batch_clusters.update((root_a, root_b))
+        if not batch:
+            break
+        answers = oracle.ask_batch(batch)
+        for pair in batch:
+            if answers[pair] > 0.5:
+                state.mark_duplicate(*pair)
+            else:
+                state.mark_non_duplicate(*pair)
+        pending = deferred
+
+    return Clustering(state.union_find.groups())

@@ -1,0 +1,236 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    repro datasets                       # Table 3 dataset characteristics
+    repro compare paper --setting 3w     # Figure 6/7/8 rows for one dataset
+    repro sweep-epsilon restaurant       # Figure 5 series
+    repro sweep-threshold paper          # Figure 10 series
+    repro run product --method ACD       # one method, one dataset
+
+Every command takes ``--scale`` (dataset size multiplier; 1.0 = Table 3
+sizes) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.runner import (
+    ALL_METHODS,
+    prepare_instance,
+    run_comparison,
+    run_method,
+)
+from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
+from repro.experiments.tables import (
+    format_comparison,
+    format_epsilon_sweep,
+    format_table,
+    format_threshold_sweep,
+    table3_row,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="dataset size multiplier (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="dataset/crowd seed")
+
+
+def _add_setting(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--setting", choices=("3w", "5w"), default="3w",
+                        help="crowd setting (workers per pair)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Crowd-Based Deduplication: "
+                    "An Adaptive Approach' (SIGMOD 2015)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datasets = commands.add_parser(
+        "datasets", help="Table 3: dataset characteristics and error rates"
+    )
+    _add_common(datasets)
+
+    compare = commands.add_parser(
+        "compare", help="Figure 6/7/8: compare all methods on one dataset"
+    )
+    compare.add_argument("dataset", choices=dataset_names())
+    compare.add_argument("--repetitions", type=int, default=3)
+    _add_setting(compare)
+    _add_common(compare)
+
+    sweep_eps = commands.add_parser(
+        "sweep-epsilon", help="Figure 5: PC-Pivot's ε trade-off"
+    )
+    sweep_eps.add_argument("dataset", choices=dataset_names())
+    sweep_eps.add_argument("--repetitions", type=int, default=3)
+    _add_setting(sweep_eps)
+    _add_common(sweep_eps)
+
+    sweep_t = commands.add_parser(
+        "sweep-threshold", help="Figure 10: PC-Refine's budget T"
+    )
+    sweep_t.add_argument("dataset", choices=dataset_names())
+    sweep_t.add_argument("--repetitions", type=int, default=3)
+    _add_setting(sweep_t)
+    _add_common(sweep_t)
+
+    run = commands.add_parser("run", help="run a single method")
+    run.add_argument("dataset", choices=dataset_names())
+    run.add_argument("--method", choices=ALL_METHODS, default="ACD")
+    run.add_argument("--method-seed", type=int, default=7)
+    _add_setting(run)
+    _add_common(run)
+
+    report = commands.add_parser(
+        "report", help="full markdown report for one dataset"
+    )
+    report.add_argument("dataset", choices=dataset_names())
+    report.add_argument("--repetitions", type=int, default=3)
+    report.add_argument("--no-sweeps", action="store_true",
+                        help="skip the ε and T sweeps (faster)")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    _add_setting(report)
+    _add_common(report)
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="run the paper's entire evaluation and emit one report",
+    )
+    replicate.add_argument("--repetitions", type=int, default=3)
+    replicate.add_argument("--no-sweeps", action="store_true")
+    replicate.add_argument("--output", default=None,
+                           help="write to a file instead of stdout")
+    _add_common(replicate)
+
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> None:
+    rows = []
+    for name in dataset_names():
+        row = table3_row(name, scale=args.scale, seed=args.seed)
+        rows.append([
+            name,
+            f"{row['records']:.0f}",
+            f"{row['entities']:.0f}",
+            f"{row['candidate_pairs']:.0f}",
+            f"{row['error_3w']:.1%}",
+            f"{row['error_5w']:.1%}",
+        ])
+    print(format_table(
+        ["dataset", "records", "entities", "candidate pairs",
+         "error 3w", "error 5w"],
+        rows,
+    ))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    instance = prepare_instance(args.dataset, args.setting,
+                                scale=args.scale, seed=args.seed)
+    results = run_comparison(instance, repetitions=args.repetitions)
+    print(format_comparison(results))
+
+
+def _cmd_sweep_epsilon(args: argparse.Namespace) -> None:
+    instance = prepare_instance(args.dataset, args.setting,
+                                scale=args.scale, seed=args.seed)
+    print(format_epsilon_sweep(
+        epsilon_sweep(instance, repetitions=args.repetitions)
+    ))
+
+
+def _cmd_sweep_threshold(args: argparse.Namespace) -> None:
+    instance = prepare_instance(args.dataset, args.setting,
+                                scale=args.scale, seed=args.seed)
+    print(format_threshold_sweep(
+        threshold_sweep(instance, repetitions=args.repetitions)
+    ))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    instance = prepare_instance(args.dataset, args.setting,
+                                scale=args.scale, seed=args.seed)
+    gcer_budget = None
+    if args.method == "GCER":
+        acd = run_method("ACD", instance, seed=args.method_seed)
+        gcer_budget = int(acd.pairs_issued)
+    result = run_method(args.method, instance, seed=args.method_seed,
+                        gcer_budget=gcer_budget)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["method", result.method],
+            ["F1", f"{result.f1:.3f}"],
+            ["precision", f"{result.precision:.3f}"],
+            ["recall", f"{result.recall:.3f}"],
+            ["pairs crowdsourced", f"{result.pairs_issued:.0f}"],
+            ["crowd iterations", f"{result.iterations:.0f}"],
+            ["HITs", f"{result.hits:.0f}"],
+            ["clusters", f"{result.num_clusters:.0f}"],
+        ],
+    ))
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments.report import full_report_for_instance
+    instance = prepare_instance(args.dataset, args.setting,
+                                scale=args.scale, seed=args.seed)
+    text = full_report_for_instance(
+        instance, repetitions=args.repetitions,
+        include_sweeps=not args.no_sweeps,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+
+
+def _cmd_replicate(args: argparse.Namespace) -> None:
+    import sys as _sys
+    from repro.experiments.replication import replicate
+    text = replicate(
+        scale=args.scale, seed=args.seed, repetitions=args.repetitions,
+        include_sweeps=not args.no_sweeps,
+        progress=lambda line: print(f"  ... {line}", file=_sys.stderr),
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "compare": _cmd_compare,
+    "sweep-epsilon": _cmd_sweep_epsilon,
+    "sweep-threshold": _cmd_sweep_threshold,
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "replicate": _cmd_replicate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

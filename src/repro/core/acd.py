@@ -1,0 +1,148 @@
+"""The end-to-end ACD pipeline (Section 3).
+
+Wires the three phases together: pruning (phase 1, supplied as a
+:class:`~repro.pruning.candidate.CandidateSet`), PC-Pivot cluster generation
+(phase 2), and PC-Refine cluster refinement (phase 3).  Both crowd phases
+share one :class:`~repro.crowd.oracle.CrowdOracle`, so the refinement phase
+starts from the generation phase's answer set ``A`` and all costs accumulate
+into a single :class:`~repro.crowd.stats.CrowdStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.clustering import Clustering
+from repro.core.estimator import DEFAULT_NUM_BUCKETS
+from repro.core.pc_pivot import (
+    DEFAULT_EPSILON,
+    PCPivotDiagnostics,
+    pc_pivot,
+)
+from repro.core.pc_refine import (
+    DEFAULT_THRESHOLD_DIVISOR,
+    PCRefineDiagnostics,
+    pc_refine,
+)
+from repro.core.permutation import Permutation
+from repro.core.pivot import crowd_pivot
+from repro.core.refine import crowd_refine
+from repro.crowd.cache import AnswerFile
+from repro.crowd.oracle import CrowdOracle
+from repro.crowd.stats import CrowdStats
+from repro.pruning.candidate import CandidateSet
+
+
+@dataclass
+class ACDResult:
+    """Everything a run of ACD produces.
+
+    Attributes:
+        clustering: The final deduplication clustering.
+        stats: Whole-pipeline crowdsourcing costs.
+        generation_stats: Snapshot of the costs after phase 2 only.
+        refinement_stats: Phase-3 costs (total minus generation).
+        pivot_diagnostics: Per-round PC-Pivot measurements.
+        refine_diagnostics: Per-round PC-Refine measurements (``None`` when
+            refinement was skipped).
+    """
+
+    clustering: Clustering
+    stats: CrowdStats
+    generation_stats: Dict[str, float]
+    refinement_stats: Dict[str, float]
+    pivot_diagnostics: Optional[PCPivotDiagnostics]
+    refine_diagnostics: Optional[PCRefineDiagnostics]
+
+
+def run_acd(
+    record_ids: Iterable[int],
+    candidates: CandidateSet,
+    answers: AnswerFile,
+    epsilon: float = DEFAULT_EPSILON,
+    threshold_divisor: float = DEFAULT_THRESHOLD_DIVISOR,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    seed: Optional[int] = None,
+    permutation: Optional[Permutation] = None,
+    refine: bool = True,
+    parallel: bool = True,
+    pairs_per_hit: int = 20,
+    ranking: str = "ratio",
+    max_refinement_pairs: Optional[int] = None,
+) -> ACDResult:
+    """Run the full ACD pipeline on a pre-pruned instance.
+
+    Args:
+        record_ids: The record set ``R`` (ids).
+        candidates: Phase-1 output ``S`` with machine scores.
+        answers: The shared crowd answer file ``F``.
+        epsilon: PC-Pivot wasted-pair budget (paper: 0.1).
+        threshold_divisor: PC-Refine's ``x`` in ``T = N_m / x`` (paper: 8).
+        num_buckets: Histogram granularity (paper: 20).
+        seed: Seed for the pivot permutation (ACD is randomized).
+        permutation: Explicit permutation overriding ``seed``.
+        refine: Run phase 3?  ``False`` gives the paper's "PC-Pivot"
+            crippled baseline.
+        parallel: Use the batched PC-Pivot / PC-Refine (the paper's ACD);
+            ``False`` runs the sequential Crowd-Pivot / Crowd-Refine instead
+            (for the parallelization experiments).
+        pairs_per_hit: HIT packing for the cost model.
+        ranking: PC-Refine operation ranking ("ratio" per the paper, or
+            "benefit" for the cost-blind ablation).
+        max_refinement_pairs: Optional hard cap on the refinement phase's
+            crowdsourced pairs (parallel mode only) — the anytime/budgeted
+            variant.
+
+    Returns:
+        The :class:`ACDResult`.
+    """
+    ids = list(record_ids)
+    stats = CrowdStats(pairs_per_hit=pairs_per_hit,
+                       num_workers=answers.num_workers)
+    oracle = CrowdOracle(answers, stats=stats)
+
+    pivot_diagnostics: Optional[PCPivotDiagnostics] = None
+    if parallel:
+        pivot_diagnostics = PCPivotDiagnostics()
+        clustering = pc_pivot(
+            ids, candidates, oracle, epsilon=epsilon,
+            permutation=permutation, seed=seed,
+            diagnostics=pivot_diagnostics,
+        )
+    else:
+        clustering = crowd_pivot(
+            ids, candidates, oracle, permutation=permutation, seed=seed
+        )
+    generation_stats = stats.snapshot()
+
+    refine_diagnostics: Optional[PCRefineDiagnostics] = None
+    if refine:
+        if parallel:
+            refine_diagnostics = PCRefineDiagnostics()
+            clustering = pc_refine(
+                clustering, candidates, oracle,
+                num_records=len(ids),
+                threshold_divisor=threshold_divisor,
+                num_buckets=num_buckets,
+                diagnostics=refine_diagnostics,
+                ranking=ranking,
+                max_refinement_pairs=max_refinement_pairs,
+            )
+        else:
+            clustering = crowd_refine(
+                clustering, candidates, oracle, num_buckets=num_buckets
+            )
+
+    total = stats.snapshot()
+    refinement_stats = {
+        key: total[key] - generation_stats[key] for key in total
+    }
+    return ACDResult(
+        clustering=clustering,
+        stats=stats,
+        generation_stats=generation_stats,
+        refinement_stats=refinement_stats,
+        pivot_diagnostics=pivot_diagnostics,
+        refine_diagnostics=refine_diagnostics,
+    )

@@ -1,0 +1,94 @@
+"""Equi-depth histogram mapping machine scores to estimated crowd scores.
+
+Section 5.2: when an operation's benefit needs ``f_c`` values that have not
+been crowdsourced, ACD estimates them from the machine score ``f`` via an
+equi-depth histogram built over the already-crowdsourced pairs ``A``
+(following Whang et al. [48]; the paper uses m = 20 buckets).  Each bucket
+covers an equal number of observed pairs; a query score falls into one bucket
+and is estimated as that bucket's mean observed crowd score.  The histogram
+is rebuilt whenever new pairs are crowdsourced.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+DEFAULT_NUM_BUCKETS = 20
+
+Pair = Tuple[int, int]
+
+
+class HistogramEstimator:
+    """Equi-depth ``f -> f_c`` estimator over observed (f, f_c) samples."""
+
+    def __init__(self, num_buckets: int = DEFAULT_NUM_BUCKETS):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._samples: Dict[Pair, Tuple[float, float]] = {}
+        self._upper_bounds: List[float] = []
+        self._bucket_means: List[float] = []
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add_sample(self, pair: Pair, machine_score: float,
+                   crowd_score: float) -> None:
+        """Record one crowdsourced pair; marks the histogram for rebuild.
+
+        Re-adding the same pair overwrites its previous sample (idempotent
+        with respect to replayed answers).
+        """
+        self._samples[pair] = (machine_score, crowd_score)
+        self._dirty = True
+
+    def add_samples(self, samples: Dict[Pair, Tuple[float, float]]) -> None:
+        """Bulk :meth:`add_sample`."""
+        self._samples.update(samples)
+        self._dirty = True
+
+    def _rebuild(self) -> None:
+        observations = sorted(self._samples.values())
+        self._upper_bounds = []
+        self._bucket_means = []
+        if not observations:
+            self._dirty = False
+            return
+        buckets = min(self.num_buckets, len(observations))
+        size = len(observations) / buckets
+        start = 0
+        for index in range(buckets):
+            end = len(observations) if index == buckets - 1 else round((index + 1) * size)
+            chunk = observations[start:end]
+            if not chunk:
+                continue
+            self._upper_bounds.append(chunk[-1][0])
+            self._bucket_means.append(
+                sum(fc for _, fc in chunk) / len(chunk)
+            )
+            start = end
+        self._dirty = False
+
+    def estimate(self, machine_score: float) -> float:
+        """Estimated crowd score for a pair with the given machine score.
+
+        With no samples yet, falls back to the machine score itself (the
+        "straightforward solution" the paper improves upon); this only
+        happens before the generation phase has crowdsourced anything.
+        """
+        if self._dirty:
+            self._rebuild()
+        if not self._bucket_means:
+            return min(1.0, max(0.0, machine_score))
+        index = bisect.bisect_left(self._upper_bounds, machine_score)
+        if index >= len(self._bucket_means):
+            index = len(self._bucket_means) - 1
+        return self._bucket_means[index]
+
+    def bucket_table(self) -> List[Tuple[float, float]]:
+        """(upper_bound, mean_crowd_score) per bucket — for inspection."""
+        if self._dirty:
+            self._rebuild()
+        return list(zip(self._upper_bounds, self._bucket_means))

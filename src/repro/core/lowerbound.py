@@ -1,0 +1,121 @@
+"""LP-relaxation lower bound for the correlation-clustering objective.
+
+The paper's related work (Section 7) recalls that the best approximation
+factors for correlation clustering come from linear programming [5, 42].
+This module solves the standard LP relaxation of the Λ' minimization —
+distance variables ``x_ij ∈ [0, 1]`` (0 = same cluster) subject to the
+triangle inequalities — giving a *certified lower bound* on the optimum.
+Any clustering's Λ' can then be compared against the bound to report a true
+optimality gap, without enumerating partitions.
+
+Feasible for instances up to a few dozen records (the constraint count is
+O(n^3)); used by analysis tooling and tests, not by the crowd pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+Pair = Tuple[int, int]
+
+
+def lp_lower_bound(
+    record_ids: Sequence[int],
+    confidences: Mapping[Pair, float],
+    max_records: int = 40,
+) -> float:
+    """Solve the correlation-clustering LP relaxation.
+
+    Objective (Equation 2 in LP form): minimize
+    ``sum (1 - f_c) * (1 - x_ij) + f_c * x_ij`` over distances ``x`` with
+    triangle inequalities ``x_ik <= x_ij + x_jk``.  Pairs absent from
+    ``confidences`` have ``f_c = 0`` (the pruning convention).
+
+    Args:
+        record_ids: The records (order defines variable indexing).
+        confidences: Pair -> ``f_c``.
+        max_records: Safety cap; O(n^3) constraints get expensive fast.
+
+    Returns:
+        The LP optimum — a lower bound on ``min Λ'(R)``.
+
+    Raises:
+        ValueError: If the instance exceeds ``max_records`` or the solver
+            fails.
+    """
+    ids = list(record_ids)
+    n = len(ids)
+    if n > max_records:
+        raise ValueError(
+            f"{n} records exceed the max_records cap of {max_records}"
+        )
+    if n < 2:
+        return 0.0
+    index_of = {record: position for position, record in enumerate(ids)}
+
+    def confidence(a: int, b: int) -> float:
+        return confidences.get((min(a, b), max(a, b)), 0.0)
+
+    # Variable x_ij for i < j, flattened.
+    variables: Dict[Pair, int] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            variables[(i, j)] = len(variables)
+    num_variables = len(variables)
+
+    # Objective: sum fc*x + (1-fc)*(1-x) = const + sum (2fc - 1) x.
+    costs = np.zeros(num_variables)
+    constant = 0.0
+    for (i, j), column in variables.items():
+        fc = confidence(ids[i], ids[j])
+        costs[column] = 2.0 * fc - 1.0
+        constant += 1.0 - fc
+
+    # Triangle inequalities: x_ik - x_ij - x_jk <= 0 for each ordered
+    # middle vertex j of every unordered triple.
+    def var(i: int, j: int) -> int:
+        return variables[(i, j) if i < j else (j, i)]
+
+    rows = []
+    for i, j, k in itertools.combinations(range(n), 3):
+        for (a, b), (c, d), (e, f) in (
+            ((i, k), (i, j), (j, k)),
+            ((i, j), (i, k), (j, k)),
+            ((j, k), (i, j), (i, k)),
+        ):
+            row = np.zeros(num_variables)
+            row[var(a, b)] = 1.0
+            row[var(c, d)] = -1.0
+            row[var(e, f)] = -1.0
+            rows.append(row)
+
+    a_ub = np.array(rows) if rows else None
+    b_ub = np.zeros(len(rows)) if rows else None
+    result = linprog(
+        costs, A_ub=a_ub, b_ub=b_ub, bounds=[(0.0, 1.0)] * num_variables,
+        method="highs",
+    )
+    if not result.success:
+        raise ValueError(f"LP solver failed: {result.message}")
+    return float(constant + result.fun)
+
+
+def optimality_gap(
+    lambda_value: float,
+    record_ids: Sequence[int],
+    confidences: Mapping[Pair, float],
+) -> float:
+    """The multiplicative gap of a clustering's Λ' over the LP bound.
+
+    Returns ``lambda_value / bound`` (1.0 when the bound is met; defined as
+    1.0 when the bound is 0 and the value is 0, ``inf`` when only the bound
+    is 0).
+    """
+    bound = lp_lower_bound(record_ids, confidences)
+    if bound <= 1e-12:
+        return 1.0 if lambda_value <= 1e-12 else float("inf")
+    return lambda_value / bound

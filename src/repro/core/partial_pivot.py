@@ -1,0 +1,137 @@
+"""Partial-Pivot (Algorithm 2) and the wasted-pair bound (Equation 3).
+
+Partial-Pivot batches one crowd iteration: it takes the ``k`` un-clustered
+records with the smallest permutation ranks as simultaneous pivots, issues
+*all* their incident candidate edges in one batch, and then replays the
+sequential Crowd-Pivot cluster formation on the answered subgraph.  Lemma 2:
+given the same permutation and the same crowd answers, the clusters produced
+are identical to sequential Crowd-Pivot's — parallelism costs only *wasted
+pairs* (edges the sequential algorithm would never have asked), and Equation
+3 bounds those ahead of time, before any crowdsourcing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.permutation import Permutation
+from repro.crowd.oracle import CrowdOracle
+from repro.datasets.schema import canonical_pair
+from repro.pruning.graph import CandidateGraph
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PartialPivotResult:
+    """Output of one Partial-Pivot invocation.
+
+    Attributes:
+        clusters: The clusters formed this round, in pivot order.
+        issued_pairs: The candidate pairs sent to the crowd this round.
+        predicted_waste: The Equation-3 upper bound ``sum w_j`` computed
+            before crowdsourcing.
+    """
+
+    clusters: Tuple[FrozenSet[int], ...]
+    issued_pairs: Tuple[Pair, ...]
+    predicted_waste: int
+
+
+def waste_estimates(graph: CandidateGraph, pivots: List[int]) -> List[int]:
+    """Equation 3: the per-pivot wasted-pair bounds ``w_j``.
+
+    For pivot ``r_j``: if ``r_j`` is adjacent to an earlier pivot, every edge
+    from ``r_j`` to a non-pivot may be wasted (``r_j`` may get absorbed);
+    otherwise only edges to vertices that some earlier pivot can steal
+    (common neighbors) may be wasted.
+
+    Args:
+        graph: The current candidate graph ``G_i``.
+        pivots: The chosen pivots ``r_1 ... r_k`` in permutation order.
+
+    Returns:
+        ``[w_1, ..., w_k]`` (``w_1`` is always 0).
+    """
+    earlier_pivots: Set[int] = set()
+    pivot_neighborhood: Set[int] = set()  # union of N(r_x) over earlier pivots
+    estimates: List[int] = []
+    for pivot in pivots:
+        neighbors = graph.neighbors(pivot)
+        if pivot in pivot_neighborhood:
+            # r_j can be clustered by an earlier pivot; all its non-pivot
+            # edges are then wasted.
+            waste = sum(1 for n in neighbors if n not in earlier_pivots)
+        else:
+            # r_j survives as a pivot, but earlier pivots may steal its
+            # common neighbors.
+            waste = sum(1 for n in neighbors if n in pivot_neighborhood)
+        estimates.append(waste)
+        earlier_pivots.add(pivot)
+        pivot_neighborhood.update(neighbors)
+    return estimates
+
+
+def partial_pivot(
+    graph: CandidateGraph,
+    k: int,
+    permutation: Permutation,
+    oracle: CrowdOracle,
+) -> PartialPivotResult:
+    """Run one Partial-Pivot round, mutating ``graph`` in place.
+
+    Args:
+        graph: ``G_i``; clustered vertices are removed from it (it becomes
+            ``G_{i+1}`` on return).
+        k: Number of simultaneous pivots; clamped to the number of live
+            vertices.
+        permutation: The shared permutation ``M``.
+        oracle: Crowd access; all incident edges go out as one batch.
+
+    Returns:
+        The clusters formed and bookkeeping for the waste analysis.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    alive = graph.vertices
+    if not alive:
+        return PartialPivotResult(clusters=(), issued_pairs=(), predicted_waste=0)
+
+    pivots = permutation.ordered(alive)[:k]
+    predicted_waste = sum(waste_estimates(graph, pivots))
+
+    # All candidate edges incident to any pivot, one crowd batch.
+    issued: Set[Pair] = set()
+    for pivot in pivots:
+        for neighbor in graph.neighbors(pivot):
+            issued.add(canonical_pair(pivot, neighbor))
+    ordered_pairs = sorted(issued)
+    answers = oracle.ask_batch(ordered_pairs)
+
+    # H_i: all live vertices, edges restricted to crowd-confirmed duplicates.
+    confirmed: Dict[int, Set[int]] = {}
+    for pair, confidence in answers.items():
+        if confidence > 0.5:
+            a, b = pair
+            confirmed.setdefault(a, set()).add(b)
+            confirmed.setdefault(b, set()).add(a)
+
+    removed: Set[int] = set()
+    clusters: List[FrozenSet[int]] = []
+    for pivot in pivots:
+        if pivot in removed:
+            continue
+        cluster = {pivot}
+        for neighbor in confirmed.get(pivot, ()):
+            if neighbor not in removed:
+                cluster.add(neighbor)
+        clusters.append(frozenset(cluster))
+        removed.update(cluster)
+    graph.remove_vertices(removed)
+
+    return PartialPivotResult(
+        clusters=tuple(clusters),
+        issued_pairs=tuple(ordered_pairs),
+        predicted_waste=predicted_waste,
+    )

@@ -1,0 +1,123 @@
+"""PC-Pivot (Algorithm 3): the parallel cluster-generation phase of ACD.
+
+Each round, PC-Pivot picks the largest pivot count ``k`` whose predicted
+wasted pairs stay within an ``ε`` fraction of all pairs issued (Equation 4),
+then runs one Partial-Pivot round.  Lemma 4: the clustering equals sequential
+Crowd-Pivot's for the same permutation (hence the same expected
+5-approximation), and at most an ``ε`` fraction of issued pairs is wasted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.clustering import Clustering
+from repro.core.partial_pivot import partial_pivot, waste_estimates
+from repro.core.permutation import Permutation
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+from repro.pruning.graph import CandidateGraph
+
+DEFAULT_EPSILON = 0.1
+
+
+@dataclass
+class PCPivotDiagnostics:
+    """Per-run diagnostics of PC-Pivot (used by the ε experiments).
+
+    Attributes:
+        ks: The pivot count chosen in each round.
+        predicted_waste: Equation-3 waste bound summed per round.
+        issued_per_round: Number of candidate pairs issued per round.
+    """
+
+    ks: List[int] = field(default_factory=list)
+    predicted_waste: List[int] = field(default_factory=list)
+    issued_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.ks)
+
+    @property
+    def total_predicted_waste(self) -> int:
+        return sum(self.predicted_waste)
+
+
+def choose_k(graph: CandidateGraph, permutation: Permutation,
+             epsilon: float) -> int:
+    """The largest ``k`` satisfying Equation 4 on the current graph.
+
+    Scans live vertices in permutation order, accumulating the waste bound
+    ``sum w_j`` and the issued-edge count ``|P_j|``; returns the largest
+    prefix length where ``sum w_j <= epsilon * |P_k|``.  Always >= 1
+    (``w_1 = 0``).
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    ordered = permutation.ordered(graph.vertices)
+    if not ordered:
+        return 0
+    estimates = waste_estimates(graph, ordered)
+
+    best_k = 1
+    cumulative_waste = 0
+    issued_edges = 0
+    earlier_pivots = set()
+    for j, pivot in enumerate(ordered, start=1):
+        cumulative_waste += estimates[j - 1]
+        # Fresh edges contributed by r_j: all incident edges except those to
+        # earlier pivots (already counted from the other endpoint).
+        fresh = sum(1 for n in graph.neighbors(pivot) if n not in earlier_pivots)
+        issued_edges += fresh
+        earlier_pivots.add(pivot)
+        if cumulative_waste <= epsilon * issued_edges:
+            best_k = j
+    return best_k
+
+
+def pc_pivot(
+    record_ids,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    epsilon: float = DEFAULT_EPSILON,
+    permutation: Optional[Permutation] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    diagnostics: Optional[PCPivotDiagnostics] = None,
+) -> Clustering:
+    """Run PC-Pivot over the candidate graph.
+
+    Args:
+        record_ids: The record set ``R`` (ids).
+        candidates: The candidate set ``S``.
+        oracle: Crowd access (one batch per round).
+        epsilon: The wasted-pair budget ε of Equation 4 (paper default 0.1).
+        permutation: Explicit permutation ``M``; random when ``None``.
+        seed: Seed for the random permutation (ignored if ``permutation``).
+        rng: Alternative RNG for the permutation.
+        diagnostics: Optional sink for per-round measurements.
+
+    Returns:
+        The clustering ``C`` (identical in distribution — in fact identical
+        per-permutation — to Crowd-Pivot's).
+    """
+    ids = list(record_ids)
+    if permutation is None:
+        permutation = Permutation.random(ids, rng=rng, seed=seed)
+    graph = CandidateGraph(ids, candidates.pairs)
+    clustering = Clustering()
+
+    while not graph.is_empty():
+        k = choose_k(graph, permutation, epsilon)
+        result = partial_pivot(graph, k, permutation, oracle)
+        for cluster in result.clusters:
+            clustering.add_cluster(cluster)
+        if diagnostics is not None:
+            diagnostics.ks.append(k)
+            diagnostics.predicted_waste.append(result.predicted_waste)
+            diagnostics.issued_per_round.append(len(result.issued_pairs))
+
+    return clustering

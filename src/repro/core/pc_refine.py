@@ -1,0 +1,221 @@
+"""PC-Refine (Algorithm 5): parallel crowd-based cluster refinement.
+
+Like Crowd-Refine, but when no free (known positive benefit) operation
+exists, it packs a set ``O^i`` of mutually *independent* operations — chosen
+greedily by descending benefit-cost ratio, since maximizing the overall ratio
+Ψ is NP-hard (Lemma 5) — up to a total crowdsourcing budget ``T``, resolves
+all their unknown pairs in a single crowd batch, and applies every operation
+whose confirmed benefit is positive.  ``T = N_m / x`` where
+``N_m = min(|R|^2 / (2|C|), N_u)`` (Section 5.4; the paper picks x = 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.clustering import Clustering
+from repro.core.estimator import DEFAULT_NUM_BUCKETS
+from repro.core.operations import (
+    Operation,
+    OperationEvaluator,
+    apply_operation,
+    independent,
+)
+from repro.core.refine import (
+    BENEFIT_TOLERANCE,
+    apply_free_operations,
+    build_estimator,
+    enumerate_operations,
+)
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+
+DEFAULT_THRESHOLD_DIVISOR = 8.0
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class PCRefineDiagnostics:
+    """Per-run measurements for the T experiments (Figure 10).
+
+    Attributes:
+        batch_sizes: Fresh pairs crowdsourced in each parallel round.
+        operations_packed: Size of ``O^i`` per round.
+        operations_applied: Confirmed-positive operations applied per round.
+        free_operations_applied: Zero-cost operations applied in total.
+    """
+
+    batch_sizes: List[int] = field(default_factory=list)
+    operations_packed: List[int] = field(default_factory=list)
+    operations_applied: List[int] = field(default_factory=list)
+    free_operations_applied: int = 0
+
+    @property
+    def rounds(self) -> int:
+        return len(self.batch_sizes)
+
+
+def refinement_budget(
+    num_records: int,
+    num_clusters: int,
+    num_unknown_pairs: int,
+    threshold_divisor: float = DEFAULT_THRESHOLD_DIVISOR,
+) -> float:
+    """The per-round crowdsourcing budget ``T`` of Section 5.4.
+
+    ``|R|^2 / (2|C|)`` bounds the pairs needed to run all operations in one
+    batch; ``N_u`` bounds what is still askable.  ``T`` is the smaller of the
+    two divided by ``x`` (``threshold_divisor``).
+    """
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if threshold_divisor <= 0:
+        raise ValueError(
+            f"threshold_divisor must be > 0, got {threshold_divisor}"
+        )
+    one_batch_maximum = num_records * num_records / (2.0 * num_clusters)
+    return min(one_batch_maximum, float(num_unknown_pairs)) / threshold_divisor
+
+
+def _pack_independent_operations(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    evaluator: OperationEvaluator,
+    budget: float,
+    ranking: str = "ratio",
+    hard_budget: bool = False,
+) -> List[Operation]:
+    """Greedy O^i construction (Algorithm 5 lines 9-14): scan operations by
+    descending benefit-cost ratio; keep those with positive ratio that are
+    independent of everything already packed; stop once the packed cost
+    reaches the budget.
+
+    ``ranking="benefit"`` ranks by estimated benefit alone instead — the
+    cost-blind alternative the paper argues against (Section 5.2), kept as
+    an ablation knob.
+
+    ``hard_budget=True`` changes the stopping rule from Algorithm 5's
+    ``Σc ≥ T`` (which lets the last packed operation overshoot) to a strict
+    knapsack-style filter: an operation is only packed if its cost still
+    fits.  Used to honor an exact caller-imposed pair cap.
+    """
+    if ranking not in ("ratio", "benefit"):
+        raise ValueError(f"ranking must be 'ratio' or 'benefit', got {ranking!r}")
+    scored: List[Tuple[float, int, Operation]] = []
+    for operation in enumerate_operations(clustering, candidates):
+        cost = evaluator.cost(operation)
+        if cost == 0:
+            continue  # known benefit; handled by the free path
+        benefit = evaluator.estimated_benefit(operation)
+        key = benefit / cost if ranking == "ratio" else benefit
+        if key > 0.0:
+            scored.append((key, cost, operation))
+    # Deterministic order: ratio desc, then a stable textual tiebreak.
+    scored.sort(key=lambda item: (-item[0], repr(item[2])))
+
+    packed: List[Operation] = []
+    touched: Set[int] = set()
+    total_cost = 0
+    for ratio, cost, operation in scored:
+        if total_cost >= budget:
+            break
+        if hard_budget and total_cost + cost > budget:
+            continue
+        if set(operation.touched_clusters) & touched:
+            continue
+        packed.append(operation)
+        touched.update(operation.touched_clusters)
+        total_cost += cost
+    return packed
+
+
+def pc_refine(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_records: Optional[int] = None,
+    threshold_divisor: float = DEFAULT_THRESHOLD_DIVISOR,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    diagnostics: Optional[PCRefineDiagnostics] = None,
+    ranking: str = "ratio",
+    max_refinement_pairs: Optional[int] = None,
+) -> Clustering:
+    """Run PC-Refine; refines ``clustering`` in place and returns it.
+
+    Args:
+        clustering: Phase-2 output ``C`` (mutated).
+        candidates: The candidate set ``S`` with machine scores.
+        oracle: Crowd access carrying the phase-2 answer set ``A``.
+        num_records: ``|R|`` for the budget formula; defaults to the number
+            of records in the clustering.
+        threshold_divisor: The ``x`` in ``T = N_m / x`` (paper: 8).
+        num_buckets: Histogram granularity ``m`` (paper: 20).
+        diagnostics: Optional sink for per-round measurements.
+        ranking: Operation ranking — "ratio" (the paper's benefit-cost
+            ratio) or "benefit" (cost-blind ablation).
+        max_refinement_pairs: Optional hard cap on the pairs this phase may
+            crowdsource (beyond the paper: a practical total-budget knob).
+            With a cap in place the packer only admits operations whose
+            costs still fit; free operations keep applying after the cap
+            is exhausted.
+    """
+    if num_records is None:
+        num_records = clustering.num_records
+    if max_refinement_pairs is not None and max_refinement_pairs < 0:
+        raise ValueError(
+            f"max_refinement_pairs must be >= 0, got {max_refinement_pairs}"
+        )
+    pairs_at_start = oracle.stats.pairs_issued
+    estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+
+    while True:
+        freed = apply_free_operations(clustering, candidates, oracle, estimator)
+        if diagnostics is not None:
+            diagnostics.free_operations_applied += freed
+
+        spent = oracle.stats.pairs_issued - pairs_at_start
+        if max_refinement_pairs is not None and spent >= max_refinement_pairs:
+            return clustering
+
+        num_unknown = sum(
+            1 for pair in candidates.pairs if not oracle.knows(*pair)
+        )
+        budget = refinement_budget(
+            num_records, max(1, len(clustering)), num_unknown,
+            threshold_divisor=threshold_divisor,
+        )
+        if max_refinement_pairs is not None:
+            budget = min(budget, float(max_refinement_pairs - spent))
+        packed = _pack_independent_operations(
+            clustering, candidates, evaluator, budget, ranking=ranking,
+            hard_budget=max_refinement_pairs is not None,
+        )
+        if not packed:
+            return clustering
+
+        # One crowd batch resolves every packed operation's unknown pairs.
+        needed: Set[Pair] = set()
+        for operation in packed:
+            needed.update(evaluator.unknown_pairs(operation))
+        answers = oracle.ask_batch(sorted(needed))
+        for pair, crowd_score in answers.items():
+            if pair in candidates:
+                estimator.add_sample(
+                    pair, candidates.machine_scores[pair], crowd_score
+                )
+
+        applied = 0
+        for operation in packed:
+            benefit = evaluator.exact_benefit(operation)
+            if benefit is not None and benefit > BENEFIT_TOLERANCE:
+                apply_operation(clustering, operation)
+                applied += 1
+        if diagnostics is not None:
+            diagnostics.batch_sizes.append(len(needed))
+            diagnostics.operations_packed.append(len(packed))
+            diagnostics.operations_applied.append(applied)
+        if applied == 0:
+            return clustering

@@ -1,0 +1,62 @@
+"""Random permutations of records — the shared randomness of the pivot family.
+
+Crowd-Pivot picks pivots uniformly at random; equivalently (Section 4.2) it
+fixes a random permutation ``M`` up front and always picks the un-clustered
+record with the smallest *permutation rank*.  PC-Pivot relies on that view to
+stay exactly equivalent to the sequential algorithm (Lemma 2), so both
+algorithms share this explicit permutation object.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Permutation:
+    """A fixed total order over record ids with O(1) rank lookup."""
+
+    def __init__(self, order: Sequence[int]):
+        self._order: List[int] = list(order)
+        self._rank: Dict[int, int] = {
+            record_id: rank for rank, record_id in enumerate(self._order)
+        }
+        if len(self._rank) != len(self._order):
+            raise ValueError("permutation contains duplicate record ids")
+
+    @staticmethod
+    def random(record_ids: Iterable[int], rng: Optional[random.Random] = None,
+               seed: Optional[int] = None) -> "Permutation":
+        """A uniformly random permutation.
+
+        Exactly one of ``rng``/``seed`` may be given; with neither, module
+        randomness is used (non-reproducible — prefer passing a seed).
+        """
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = random.Random(seed)
+        order = sorted(record_ids)
+        rng.shuffle(order)
+        return Permutation(order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._rank
+
+    def rank(self, record_id: int) -> int:
+        """The permutation rank (0-based) of a record."""
+        return self._rank[record_id]
+
+    def first(self, candidates: Iterable[int]) -> int:
+        """The candidate with the smallest permutation rank."""
+        return min(candidates, key=self.rank)
+
+    def ordered(self, candidates: Iterable[int]) -> List[int]:
+        """Candidates sorted by ascending permutation rank."""
+        return sorted(candidates, key=self.rank)

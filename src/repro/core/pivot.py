@@ -1,0 +1,64 @@
+"""Crowd-Pivot (Algorithm 1): the sequential crowd-based Pivot algorithm.
+
+Per iteration: pick the un-clustered record with the smallest permutation
+rank as the pivot, crowdsource all candidate edges incident to it (one crowd
+iteration), and form a cluster of the pivot plus every neighbor the crowd
+marks duplicate (``f_c > 0.5``).  A 5-approximation of the Λ' minimum in
+expectation (Lemma 1, via Ailon et al.).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.clustering import Clustering
+from repro.core.permutation import Permutation
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+from repro.pruning.graph import CandidateGraph
+
+
+def crowd_pivot(
+    record_ids,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    permutation: Optional[Permutation] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Clustering:
+    """Run Crowd-Pivot over the candidate graph.
+
+    Args:
+        record_ids: The record set ``R`` (ids).
+        candidates: The candidate set ``S`` from the pruning phase.
+        oracle: Crowd access; each pivot's incident edges are issued as one
+            batch, so crowd iterations == number of pivots with >= 1 fresh
+            incident pair.
+        permutation: Explicit pivot order ``M``; when ``None``, a random one
+            is drawn (from ``rng``/``seed``).
+        seed: Seed for the random permutation (ignored if ``permutation``).
+        rng: Alternative RNG for the permutation.
+
+    Returns:
+        The clustering ``C``.
+    """
+    ids = list(record_ids)
+    if permutation is None:
+        permutation = Permutation.random(ids, rng=rng, seed=seed)
+    graph = CandidateGraph(ids, candidates.pairs)
+    clustering = Clustering()
+
+    while not graph.is_empty():
+        pivot = permutation.first(graph.vertices)
+        neighbors = graph.neighbors(pivot)
+        answers = oracle.ask_batch((pivot, n) for n in neighbors)
+        cluster = {pivot}
+        for neighbor in neighbors:
+            key = (pivot, neighbor) if pivot < neighbor else (neighbor, pivot)
+            if answers[key] > 0.5:
+                cluster.add(neighbor)
+        clustering.add_cluster(cluster)
+        graph.remove_vertices(cluster)
+
+    return clustering

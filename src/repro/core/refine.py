@@ -1,0 +1,258 @@
+"""Crowd-Refine (Algorithm 4): sequential crowd-based cluster refinement.
+
+The refinement phase post-processes the generation phase's clustering with
+split/merger operations.  Per iteration it either (a) applies the known
+positive-benefit operation with the largest benefit — free, no crowd — or
+(b) picks the operation with the best estimated benefit-cost ratio,
+crowdsources exactly the pairs needed to compute its true benefit, and
+applies it if the benefit is confirmed positive.  It stops when the best
+ratio is non-positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.clustering import Clustering
+from repro.core.estimator import DEFAULT_NUM_BUCKETS, HistogramEstimator
+from repro.core.operations import (
+    Merge,
+    Operation,
+    OperationEvaluator,
+    Split,
+    apply_operation,
+)
+from repro.crowd.oracle import CrowdOracle
+from repro.pruning.candidate import CandidateSet
+
+# Positivity tolerance: benefits are sums of f_c terms (multiples of
+# 1/num_workers), so any genuine improvement is far above float dust.
+BENEFIT_TOLERANCE = 1e-9
+
+
+def enumerate_operations(clustering: Clustering,
+                         candidates: CandidateSet) -> List[Operation]:
+    """All refinement operations worth considering on the current clustering.
+
+    Splits: every record in a cluster of size >= 2.  Mergers: every pair of
+    clusters connected by at least one candidate edge — a merger of two
+    clusters with *no* candidate edge has every cross ``f_c = 0`` (pruned),
+    hence a known benefit of ``-|C1||C2| < 0``; such operations can never be
+    applied by Algorithm 4/5, so skipping them changes nothing (and keeps the
+    scan linear in ``|S|`` instead of quadratic in the cluster count).
+    """
+    operations: List[Operation] = []
+    for cluster_id in clustering.cluster_ids:
+        if clustering.size(cluster_id) >= 2:
+            for record_id in sorted(clustering.members(cluster_id)):
+                operations.append(Split(record_id, cluster_id))
+    seen: Set[Tuple[int, int]] = set()
+    for a, b in candidates.pairs:
+        cluster_a = clustering.cluster_of(a)
+        cluster_b = clustering.cluster_of(b)
+        if cluster_a == cluster_b:
+            continue
+        key = (cluster_a, cluster_b) if cluster_a < cluster_b else (cluster_b, cluster_a)
+        if key not in seen:
+            seen.add(key)
+            operations.append(Merge(key[0], key[1]))
+    return operations
+
+
+def build_estimator(
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> HistogramEstimator:
+    """Algorithm 4 line 1: the histogram ``H`` from the answered pairs ``A``."""
+    estimator = HistogramEstimator(num_buckets=num_buckets)
+    for pair, crowd_score in oracle.known_pairs().items():
+        if pair in candidates:
+            estimator.add_sample(pair, candidates.machine_scores[pair], crowd_score)
+    return estimator
+
+
+def _operation_sort_key(operation: Operation) -> Tuple:
+    """Canonical tie-break among equal-benefit operations (deterministic and
+    shared by the reference and heap-based appliers)."""
+    if isinstance(operation, Split):
+        return (0, operation.record_id, operation.cluster_id)
+    return (1, operation.cluster_a, operation.cluster_b)
+
+
+def _apply_free_operations_reference(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    estimator: HistogramEstimator,
+) -> int:
+    """Reference implementation: full re-enumeration per applied operation.
+
+    Semantically identical to :func:`apply_free_operations` (which the
+    pipeline uses); kept for equivalence tests and readability — this is
+    the literal reading of Algorithm 4 lines 5-7.
+    """
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+    applied = 0
+    while True:
+        best_operation: Optional[Operation] = None
+        best_key: Optional[Tuple] = None
+        for operation in enumerate_operations(clustering, candidates):
+            benefit = evaluator.exact_benefit(operation)
+            if benefit is None or benefit <= BENEFIT_TOLERANCE:
+                continue
+            key = (-benefit, _operation_sort_key(operation))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_operation = operation
+        if best_operation is None:
+            return applied
+        apply_operation(clustering, best_operation)
+        applied += 1
+
+
+def apply_free_operations(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    estimator: HistogramEstimator,
+) -> int:
+    """Step 1 of Section 5.4 / lines 5-7 of Algorithm 4: repeatedly apply the
+    known-benefit operation with the largest positive benefit until none is
+    left.  Costs nothing.  Returns the number of operations applied.
+
+    Implementation: a lazy max-heap over known-positive operations.  An
+    operation's exact benefit depends only on its touched clusters'
+    membership (crowd answers don't change on the free path), so applying
+    one operation only invalidates and respawns operations touching the
+    changed clusters — everything else stays valid in the heap.  Equivalent
+    to :func:`_apply_free_operations_reference`, which re-enumerates
+    everything per step; both pick the maximum-benefit operation with the
+    same canonical tie-break.
+    """
+    import heapq
+
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+
+    # Candidate adjacency at the record level, for respawning merges.
+    neighbors: Dict[int, List[int]] = {}
+    for a, b in candidates.pairs:
+        neighbors.setdefault(a, []).append(b)
+        neighbors.setdefault(b, []).append(a)
+
+    versions: Dict[int, int] = {
+        cluster_id: 0 for cluster_id in clustering.cluster_ids
+    }
+    heap: List[Tuple[float, Tuple, Operation, Tuple[Tuple[int, int], ...]]] = []
+
+    def snapshot(operation: Operation) -> Tuple[Tuple[int, int], ...]:
+        return tuple(
+            (cluster, versions[cluster])
+            for cluster in operation.touched_clusters
+        )
+
+    def push_if_positive(operation: Operation) -> None:
+        benefit = evaluator.exact_benefit(operation)
+        if benefit is not None and benefit > BENEFIT_TOLERANCE:
+            heapq.heappush(heap, (
+                -benefit, _operation_sort_key(operation), operation,
+                snapshot(operation),
+            ))
+
+    def operations_touching(cluster_ids: Iterable[int]) -> List[Operation]:
+        """All candidate operations touching the given clusters."""
+        found: List[Operation] = []
+        seen_merges: Set[Tuple[int, int]] = set()
+        for cluster_id in cluster_ids:
+            members = clustering.members(cluster_id)
+            if len(members) >= 2:
+                for record_id in members:
+                    found.append(Split(record_id, cluster_id))
+            for record_id in members:
+                for neighbor in neighbors.get(record_id, ()):
+                    other = clustering.cluster_of(neighbor)
+                    if other == cluster_id:
+                        continue
+                    key = (min(cluster_id, other), max(cluster_id, other))
+                    if key not in seen_merges:
+                        seen_merges.add(key)
+                        found.append(Merge(key[0], key[1]))
+        return found
+
+    for operation in enumerate_operations(clustering, candidates):
+        push_if_positive(operation)
+
+    applied = 0
+    while heap:
+        negative_benefit, _, operation, snap = heapq.heappop(heap)
+        # Stale if any touched cluster changed or vanished.
+        if any(versions.get(cluster) != version for cluster, version in snap):
+            continue
+        before = set(clustering.cluster_ids)
+        apply_operation(clustering, operation)
+        applied += 1
+        after = set(clustering.cluster_ids)
+        changed = set(operation.touched_clusters) & after
+        created = after - before
+        for cluster_id in changed:
+            versions[cluster_id] += 1
+        for cluster_id in created:
+            versions[cluster_id] = 0
+        for dead in before - after:
+            versions.pop(dead, None)
+        for affected in operations_touching(changed | created):
+            push_if_positive(affected)
+    return applied
+
+
+def _record_answers(
+    answers,
+    candidates: CandidateSet,
+    estimator: HistogramEstimator,
+) -> None:
+    """Fold freshly crowdsourced pairs into the histogram (lines 15-16)."""
+    for pair, crowd_score in answers.items():
+        if pair in candidates:
+            estimator.add_sample(pair, candidates.machine_scores[pair], crowd_score)
+
+
+def crowd_refine(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> Clustering:
+    """Run Crowd-Refine; refines ``clustering`` in place and returns it.
+
+    Args:
+        clustering: Phase-2 output ``C`` (mutated).
+        candidates: The candidate set ``S`` with machine scores.
+        oracle: Crowd access whose known set is the phase-2 answer set ``A``.
+        num_buckets: Histogram granularity ``m`` (paper: 20).
+    """
+    estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+
+    while True:
+        applied = apply_free_operations(clustering, candidates, oracle, estimator)
+        del applied  # the count is only interesting to PC-Refine diagnostics
+
+        # Estimated path: best benefit-cost ratio among costly operations.
+        best_operation: Optional[Operation] = None
+        best_ratio = 0.0
+        for operation in enumerate_operations(clustering, candidates):
+            cost = evaluator.cost(operation)
+            if cost == 0:
+                continue  # exact benefit known; the free path already saw it
+            ratio = evaluator.estimated_benefit(operation) / cost
+            if best_operation is None or ratio > best_ratio:
+                best_ratio = ratio
+                best_operation = operation
+        if best_operation is None or best_ratio <= 0.0:
+            return clustering
+
+        answers = oracle.ask_batch(evaluator.unknown_pairs(best_operation))
+        _record_answers(answers, candidates, estimator)
+        benefit = evaluator.exact_benefit(best_operation)
+        if benefit is not None and benefit > BENEFIT_TOLERANCE:
+            apply_operation(clustering, best_operation)

@@ -1,0 +1,122 @@
+"""The crowd answer file ``F``.
+
+Section 6.1 of the paper: *"we post all record pairs in the candidate set S
+to AMT, and record the crowd's answers in a local file F. Then, during our
+experiments, whenever a method requests to crowdsource a record pair, we
+retrieve the answers for the pair from F ... This ensures that all methods
+utilize the same set of crowdsourced results."*
+
+:class:`AnswerFile` is the simulated equivalent: lazily generated, memoized
+per-pair crowd confidences backed by a :class:`~repro.crowd.worker.WorkerPool`
+and the gold standard.  One :class:`AnswerFile` is shared by all methods in a
+comparison so they see byte-identical answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.datasets.schema import GoldStandard, canonical_pair
+from repro.crowd.worker import WorkerPool
+
+Pair = Tuple[int, int]
+
+
+class AnswerFile:
+    """Replayable per-pair crowd answers, generated once and memoized."""
+
+    def __init__(self, gold: GoldStandard, workers: WorkerPool):
+        self._gold = gold
+        self._workers = workers
+        self._answers: Dict[Pair, float] = {}
+
+    @property
+    def num_workers(self) -> int:
+        return self._workers.num_workers
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        """The crowd confidence ``f_c`` for one pair (generated on first use)."""
+        pair = canonical_pair(record_a, record_b)
+        cached = self._answers.get(pair)
+        if cached is not None:
+            return cached
+        truth = self._gold.is_duplicate(*pair)
+        confidence = self._workers.confidence(pair[0], pair[1], truth)
+        self._answers[pair] = confidence
+        return confidence
+
+    def majority_duplicate(self, record_a: int, record_b: int) -> bool:
+        """Majority-vote verdict for a pair (``f_c > 0.5``)."""
+        return self.confidence(record_a, record_b) > 0.5
+
+    def prefetch(self, pairs: Iterable[Pair]) -> None:
+        """Materialize answers for many pairs (e.g. the whole candidate set)."""
+        for a, b in pairs:
+            self.confidence(a, b)
+
+    def majority_error_rate(self, pairs: Iterable[Pair]) -> float:
+        """Fraction of pairs whose majority vote disagrees with the gold truth.
+
+        This regenerates Table 3's "crowd error rate" column.
+        """
+        total = 0
+        wrong = 0
+        for a, b in pairs:
+            total += 1
+            verdict = self.majority_duplicate(a, b)
+            if verdict != self._gold.is_duplicate(a, b):
+                wrong += 1
+        if total == 0:
+            return 0.0
+        return wrong / total
+
+
+class ScriptedAnswers:
+    """Explicitly scripted crowd answers.
+
+    Implements the same interface as :class:`AnswerFile` but serves
+    hand-written per-pair confidences — the form the paper's worked examples
+    (Figures 2-4 and 9, Appendix B) come in.  Used by tests and pedagogic
+    examples where the exact ``f_c`` of every edge matters.
+    """
+
+    def __init__(self, confidences: Mapping[Pair, float],
+                 num_workers: int = 1,
+                 default: Optional[float] = None):
+        """Args:
+        confidences: Mapping from record pair to crowd confidence.
+        num_workers: Reported worker count (for cost accounting).
+        default: Confidence served for unscripted pairs; ``None`` makes
+            an unscripted query an error, which is usually what a test
+            wants.
+        """
+        self._confidences: Dict[Pair, float] = {}
+        for raw, confidence in confidences.items():
+            if not 0.0 <= confidence <= 1.0:
+                raise ValueError(
+                    f"confidence for {raw} must be in [0, 1], got {confidence}"
+                )
+            self._confidences[canonical_pair(*raw)] = confidence
+        self._default = default
+        self.num_workers = num_workers
+
+    def __len__(self) -> int:
+        return len(self._confidences)
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        pair = canonical_pair(record_a, record_b)
+        if pair in self._confidences:
+            return self._confidences[pair]
+        if self._default is None:
+            raise KeyError(f"no scripted answer for pair {pair}")
+        return self._default
+
+    def majority_duplicate(self, record_a: int, record_b: int) -> bool:
+        return self.confidence(record_a, record_b) > 0.5
+
+    def prefetch(self, pairs: Iterable[Pair]) -> None:
+        for a, b in pairs:
+            self.confidence(a, b)

@@ -1,0 +1,58 @@
+"""HIT packing utilities.
+
+On AMT, record pairs are packed into HITs (the paper uses 20 pairs per HIT in
+the 3-worker setting and 10 in the 5-worker setting, at 2 cents per HIT per
+worker).  :func:`pack_hits` reproduces that batching; it is used by the cost
+model and by examples that want to display a worker's-eye view of the tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One Human Intelligence Task: a page of record pairs shown to a worker."""
+
+    hit_id: int
+    pairs: Tuple[Pair, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def pack_hits(pairs: Sequence[Pair], pairs_per_hit: int = 20,
+              start_id: int = 0) -> List[Hit]:
+    """Greedily pack pairs into HITs of at most ``pairs_per_hit`` pairs.
+
+    >>> [len(h) for h in pack_hits([(0, 1), (1, 2), (2, 3)], pairs_per_hit=2)]
+    [2, 1]
+    """
+    if pairs_per_hit < 1:
+        raise ValueError(f"pairs_per_hit must be >= 1, got {pairs_per_hit}")
+    hits: List[Hit] = []
+    for offset, start in enumerate(range(0, len(pairs), pairs_per_hit)):
+        chunk = tuple(pairs[start:start + pairs_per_hit])
+        hits.append(Hit(hit_id=start_id + offset, pairs=chunk))
+    return hits
+
+
+def num_hits(num_pairs: int, pairs_per_hit: int = 20) -> int:
+    """Number of HITs needed for ``num_pairs`` pairs."""
+    if num_pairs < 0:
+        raise ValueError(f"num_pairs must be >= 0, got {num_pairs}")
+    if pairs_per_hit < 1:
+        raise ValueError(f"pairs_per_hit must be >= 1, got {pairs_per_hit}")
+    return math.ceil(num_pairs / pairs_per_hit)
+
+
+def monetary_cost_cents(num_pairs: int, pairs_per_hit: int = 20,
+                        num_workers: int = 3,
+                        reward_cents_per_hit: float = 2.0) -> float:
+    """Total payment for crowdsourcing ``num_pairs`` pairs."""
+    return num_hits(num_pairs, pairs_per_hit) * num_workers * reward_cents_per_hit

@@ -1,0 +1,104 @@
+"""The crowd oracle: the only interface algorithms use to reach the crowd.
+
+A :class:`CrowdOracle` wraps a shared :class:`~repro.crowd.cache.AnswerFile`
+(so every method replays identical answers) and a per-run
+:class:`~repro.crowd.stats.CrowdStats` (so each method's costs are accounted
+separately).  Batched queries model crowd iterations: one ``ask_batch`` call
+that issues at least one *new* pair counts as one crowd iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.crowd.cache import AnswerFile
+from repro.crowd.stats import CrowdStats
+from repro.datasets.schema import canonical_pair
+
+Pair = Tuple[int, int]
+
+
+class CrowdOracle:
+    """Per-run view onto the shared crowd answers, with cost accounting.
+
+    The oracle also exposes the set ``A`` of already-crowdsourced pairs and
+    their confidences, which the refinement phase needs (Algorithm 4 takes
+    ``A`` as input).
+    """
+
+    def __init__(self, answers: AnswerFile, stats: Optional[CrowdStats] = None):
+        self._answers = answers
+        self.stats = stats if stats is not None else CrowdStats(
+            num_workers=answers.num_workers
+        )
+        self._known: Dict[Pair, float] = {}
+
+    @property
+    def num_workers(self) -> int:
+        return self._answers.num_workers
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def ask(self, record_a: int, record_b: int) -> float:
+        """Crowdsource a single pair (its own one-pair batch if new).
+
+        Returns the crowd confidence ``f_c`` in [0, 1].
+        """
+        return self.ask_batch([(record_a, record_b)])[canonical_pair(record_a, record_b)]
+
+    def ask_batch(self, pairs: Iterable[Pair]) -> Dict[Pair, float]:
+        """Crowdsource a batch of pairs in one crowd iteration.
+
+        Pairs already answered in this run are served from ``A`` for free;
+        the batch costs one iteration iff it contains at least one new pair.
+
+        When the answer source implements ``confidence_batch(pairs)`` (a
+        live crowd client posting whole HIT batches at once), the fresh
+        pairs are delivered in a single call; otherwise each fresh pair is
+        resolved through ``confidence(a, b)``.
+
+        Returns:
+            Mapping from canonical pair to crowd confidence, covering every
+            requested pair (new and previously known).
+        """
+        requested: List[Pair] = [canonical_pair(a, b) for a, b in pairs]
+        fresh: Set[Pair] = {pair for pair in requested if pair not in self._known}
+        if fresh:
+            batch_resolver = getattr(self._answers, "confidence_batch", None)
+            if batch_resolver is not None:
+                resolved = batch_resolver(sorted(fresh))
+                for pair in fresh:
+                    self._known[pair] = resolved[pair]
+            else:
+                for pair in fresh:
+                    self._known[pair] = self._answers.confidence(*pair)
+        self.stats.record_batch(len(fresh))
+        return {pair: self._known[pair] for pair in requested}
+
+    # ------------------------------------------------------------------
+    # The known-answer set A
+    # ------------------------------------------------------------------
+
+    def knows(self, record_a: int, record_b: int) -> bool:
+        """True iff the pair has already been crowdsourced in this run."""
+        return canonical_pair(record_a, record_b) in self._known
+
+    def known_confidence(self, record_a: int, record_b: int) -> Optional[float]:
+        """The confidence for a pair if already crowdsourced, else ``None``.
+
+        Never triggers crowdsourcing — safe to call when only *checking*
+        whether a benefit is computable without cost.
+        """
+        return self._known.get(canonical_pair(record_a, record_b))
+
+    def known_pairs(self) -> Dict[Pair, float]:
+        """A copy of the answered-pair set ``A`` with confidences."""
+        return dict(self._known)
+
+    def seed_known(self, answers: Dict[Pair, float]) -> None:
+        """Pre-populate ``A`` without cost (hand-off between phases:
+        the refinement phase starts with the generation phase's answers)."""
+        for (a, b), confidence in answers.items():
+            self._known[canonical_pair(a, b)] = confidence

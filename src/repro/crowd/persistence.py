@@ -1,0 +1,72 @@
+"""Persistence for crowd answers — the paper's file ``F`` made literal.
+
+Section 6.1 records all AMT answers in a local file and replays them for
+every method.  These helpers serialize any answer source (simulated
+:class:`~repro.crowd.cache.AnswerFile`, :class:`AdaptiveAnswerFile`, or
+hand-scripted answers) to JSON and load it back as a
+:class:`~repro.crowd.cache.ScriptedAnswers`, so an expensive crowd run —
+real or simulated — can be archived and replayed across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Tuple, Union
+
+from repro.crowd.cache import ScriptedAnswers
+
+Pair = Tuple[int, int]
+
+_FORMAT_VERSION = 1
+
+
+def save_answers(answers, pairs: Iterable[Pair],
+                 path: Union[str, Path]) -> int:
+    """Materialize and save the answers for ``pairs`` to a JSON file.
+
+    Args:
+        answers: Any answer source with ``confidence(a, b)`` and
+            ``num_workers``.
+        pairs: The pairs to record (typically the whole candidate set).
+        path: Destination file.
+
+    Returns:
+        The number of pairs written.
+    """
+    records = []
+    seen = set()
+    for a, b in pairs:
+        key = (a, b) if a < b else (b, a)
+        if key in seen:
+            continue
+        seen.add(key)
+        records.append([key[0], key[1], answers.confidence(*key)])
+    records.sort()
+    payload = {
+        "version": _FORMAT_VERSION,
+        "num_workers": answers.num_workers,
+        "answers": records,
+    }
+    Path(path).write_text(json.dumps(payload))
+    return len(records)
+
+
+def load_answers(path: Union[str, Path]) -> ScriptedAnswers:
+    """Load a saved answer file as replayable :class:`ScriptedAnswers`.
+
+    Raises:
+        ValueError: On an unknown format version or malformed payload.
+    """
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: not a version-{_FORMAT_VERSION} answer file")
+    try:
+        num_workers = int(payload["num_workers"])
+        confidences = {
+            (int(a), int(b)): float(confidence)
+            for a, b, confidence in payload["answers"]
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"{path}: malformed answer file ({error})") from None
+    return ScriptedAnswers(confidences, num_workers=num_workers)

@@ -1,0 +1,324 @@
+"""A discrete-event crowdsourcing platform simulator.
+
+The other modules of this package model *aspects* of AMT — error rates
+(:mod:`worker`), named workers (:mod:`workforce`), packing (:mod:`hits`),
+timing (:mod:`latency`).  This module puts them together into one engine
+with the actual platform mechanics:
+
+- a batch of record pairs is packed into HITs, each requiring
+  ``assignments_per_hit`` distinct workers;
+- a finite pool of concurrent workers picks up available assignments
+  (never the same HIT twice — the AMT constraint), works through them with
+  per-worker speeds, and submits votes drawn from the worker's reliability
+  and the pair's difficulty;
+- the batch completes when its last assignment is submitted; the platform
+  keeps the full audit trail: per-pair attributed votes, per-worker
+  earnings, per-batch timeline.
+
+:class:`PlatformAnswerFile` adapts the platform to the answer-source
+interface (implementing ``confidence_batch``), so the entire algorithm
+stack runs on it unchanged while the platform accumulates vote-level data
+(ready for :func:`~repro.crowd.truth_inference.dawid_skene`), money, and
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crowd.seeding import stable_rng
+from repro.crowd.worker import DifficultyModel
+from repro.crowd.workforce import SimulatedWorker, Workforce
+from repro.datasets.schema import GoldStandard, canonical_pair
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One worker's completed pass over one HIT.
+
+    Attributes:
+        hit_index: HIT index within its batch.
+        worker_id: The worker who did it.
+        started_at: Simulation time the worker began (seconds).
+        submitted_at: Simulation time of submission.
+        votes: ``(pair, voted_duplicate)`` per pair in the HIT.
+    """
+
+    hit_index: int
+    worker_id: int
+    started_at: float
+    submitted_at: float
+    votes: Tuple[Tuple[Pair, bool], ...]
+
+
+@dataclass
+class BatchReceipt:
+    """Everything one posted batch produced.
+
+    Attributes:
+        batch_index: Sequential batch number on this platform.
+        pairs: The pairs posted (canonical, sorted).
+        confidences: Pair -> duplicate-vote fraction.
+        assignments: The full assignment audit trail.
+        posted_at: Simulation time the batch was posted.
+        completed_at: Simulation time the last assignment landed.
+        cost_cents: Worker payments for this batch.
+    """
+
+    batch_index: int
+    pairs: Tuple[Pair, ...]
+    confidences: Dict[Pair, float]
+    assignments: List[Assignment]
+    posted_at: float
+    completed_at: float
+    cost_cents: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.completed_at - self.posted_at
+
+
+class PlatformSimulator:
+    """The discrete-event engine.
+
+    Args:
+        workforce: The worker population; ``concurrent_workers`` of them
+            are active at any time (chosen per batch, deterministically).
+        gold: Ground truth (used only to synthesize votes).
+        difficulty: Shared pair-difficulty model.
+        pairs_per_hit: HIT packing factor.
+        assignments_per_hit: Distinct workers required per HIT.
+        concurrent_workers: Active worker pool size.
+        mean_seconds_per_hit: Mean assignment duration (lognormal, scaled
+            by a per-worker speed factor).
+        reward_cents_per_hit: Payment per assignment.
+        posting_overhead_seconds: Fixed time to post a batch and collect
+            its results.
+        seed: Engine seed (mixed with the workforce seed).
+    """
+
+    def __init__(
+        self,
+        workforce: Workforce,
+        gold: GoldStandard,
+        difficulty: DifficultyModel,
+        pairs_per_hit: int = 20,
+        assignments_per_hit: int = 3,
+        concurrent_workers: int = 10,
+        mean_seconds_per_hit: float = 90.0,
+        reward_cents_per_hit: float = 2.0,
+        posting_overhead_seconds: float = 120.0,
+        seed: int = 0,
+    ):
+        if assignments_per_hit < 1:
+            raise ValueError("assignments_per_hit must be >= 1")
+        if concurrent_workers < assignments_per_hit:
+            raise ValueError(
+                "need at least assignments_per_hit concurrent workers "
+                f"({concurrent_workers} < {assignments_per_hit})"
+            )
+        if concurrent_workers > len(workforce):
+            raise ValueError(
+                f"concurrent_workers {concurrent_workers} exceeds the "
+                f"workforce size {len(workforce)}"
+            )
+        if pairs_per_hit < 1:
+            raise ValueError("pairs_per_hit must be >= 1")
+        self._workforce = workforce
+        self._gold = gold
+        self._difficulty = difficulty
+        self.pairs_per_hit = pairs_per_hit
+        self.assignments_per_hit = assignments_per_hit
+        self.concurrent_workers = concurrent_workers
+        self.mean_seconds_per_hit = mean_seconds_per_hit
+        self.reward_cents_per_hit = reward_cents_per_hit
+        self.posting_overhead_seconds = posting_overhead_seconds
+        self.seed = seed
+
+        self.clock_seconds = 0.0
+        self.receipts: List[BatchReceipt] = []
+        self._earnings: Dict[int, float] = {}
+        self._worker_speed: Dict[int, float] = {}
+        speed_rng = stable_rng(seed, "speeds", workforce.seed)
+        for worker in workforce:
+            # Per-worker pace: faster and slower workers, lognormal-ish.
+            self._worker_speed[worker.worker_id] = speed_rng.uniform(0.6, 1.6)
+
+    # ------------------------------------------------------------------
+    # Posting
+    # ------------------------------------------------------------------
+
+    def post_batch(self, pairs: Iterable[Pair]) -> BatchReceipt:
+        """Post one batch and simulate it to completion.
+
+        Returns the batch receipt; the platform clock advances to the
+        batch's completion (plus posting overhead).
+        """
+        canonical = sorted({canonical_pair(*pair) for pair in pairs})
+        batch_index = len(self.receipts)
+        posted_at = self.clock_seconds
+        if not canonical:
+            receipt = BatchReceipt(
+                batch_index=batch_index, pairs=(), confidences={},
+                assignments=[], posted_at=posted_at, completed_at=posted_at,
+                cost_cents=0.0,
+            )
+            self.receipts.append(receipt)
+            return receipt
+
+        rng = stable_rng(self.seed, "batch", batch_index, len(canonical))
+        hits: List[List[Pair]] = [
+            canonical[start:start + self.pairs_per_hit]
+            for start in range(0, len(canonical), self.pairs_per_hit)
+        ]
+        remaining = {index: self.assignments_per_hit
+                     for index in range(len(hits))}
+        done_by: Dict[int, set] = {index: set() for index in range(len(hits))}
+
+        pool: List[SimulatedWorker] = rng.sample(
+            self._workforce.workers(), self.concurrent_workers
+        )
+        # Event queue: (free_at_time, tiebreak, worker).
+        queue: List[Tuple[float, int, SimulatedWorker]] = [
+            (posted_at, index, worker) for index, worker in enumerate(pool)
+        ]
+        heapq.heapify(queue)
+
+        mu = math.log(self.mean_seconds_per_hit) - 0.35 ** 2 / 2.0
+        assignments: List[Assignment] = []
+        completed_at = posted_at
+        while queue:
+            free_at, tiebreak, worker = heapq.heappop(queue)
+            # First HIT still needing assignments this worker hasn't done.
+            chosen: Optional[int] = None
+            for index in range(len(hits)):
+                if remaining[index] > 0 and worker.worker_id not in done_by[index]:
+                    chosen = index
+                    break
+            if chosen is None:
+                continue  # worker leaves; nothing left for them
+            duration = (rng.lognormvariate(mu, 0.35)
+                        * self._worker_speed[worker.worker_id])
+            submitted_at = free_at + duration
+            votes = []
+            for pair in hits[chosen]:
+                truth = self._gold.is_duplicate(*pair)
+                error = worker.error_probability(
+                    self._difficulty.error_probability(*pair)
+                )
+                wrong = rng.random() < error
+                votes.append((pair, truth != wrong))
+            assignments.append(Assignment(
+                hit_index=chosen, worker_id=worker.worker_id,
+                started_at=free_at, submitted_at=submitted_at,
+                votes=tuple(votes),
+            ))
+            remaining[chosen] -= 1
+            done_by[chosen].add(worker.worker_id)
+            self._earnings[worker.worker_id] = (
+                self._earnings.get(worker.worker_id, 0.0)
+                + self.reward_cents_per_hit
+            )
+            completed_at = max(completed_at, submitted_at)
+            heapq.heappush(queue, (submitted_at, tiebreak, worker))
+            if all(count == 0 for count in remaining.values()):
+                break
+
+        if any(count > 0 for count in remaining.values()):
+            raise RuntimeError(
+                "batch starved: not enough distinct workers for the "
+                "required assignments"
+            )
+
+        duplicate_votes: Dict[Pair, int] = {pair: 0 for pair in canonical}
+        for assignment in assignments:
+            for pair, vote in assignment.votes:
+                if vote:
+                    duplicate_votes[pair] += 1
+        confidences = {
+            pair: duplicate_votes[pair] / self.assignments_per_hit
+            for pair in canonical
+        }
+        cost = len(assignments) * self.reward_cents_per_hit
+        completed_at += self.posting_overhead_seconds
+        receipt = BatchReceipt(
+            batch_index=batch_index, pairs=tuple(canonical),
+            confidences=confidences, assignments=assignments,
+            posted_at=posted_at, completed_at=completed_at,
+            cost_cents=cost,
+        )
+        self.receipts.append(receipt)
+        self.clock_seconds = completed_at
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Audit queries
+    # ------------------------------------------------------------------
+
+    def total_cost_cents(self) -> float:
+        return sum(receipt.cost_cents for receipt in self.receipts)
+
+    def earnings(self) -> Dict[int, float]:
+        """Per-worker lifetime earnings in cents (a copy)."""
+        return dict(self._earnings)
+
+    def all_votes(self) -> Dict[Pair, List[Tuple[int, bool]]]:
+        """Every pair's attributed votes across all batches — ready for
+        :func:`~repro.crowd.truth_inference.dawid_skene`."""
+        votes: Dict[Pair, List[Tuple[int, bool]]] = {}
+        for receipt in self.receipts:
+            for assignment in receipt.assignments:
+                for pair, vote in assignment.votes:
+                    votes.setdefault(pair, []).append(
+                        (assignment.worker_id, vote)
+                    )
+        return votes
+
+
+class PlatformAnswerFile:
+    """Answer-source adapter over a :class:`PlatformSimulator`.
+
+    Implements ``confidence_batch``, so a
+    :class:`~repro.crowd.oracle.CrowdOracle` posts each fresh batch to the
+    platform as one batch of HITs; single-pair ``confidence`` calls become
+    one-pair batches.  Previously answered pairs are served from memory
+    (the platform is never asked twice).
+    """
+
+    def __init__(self, platform: PlatformSimulator):
+        self._platform = platform
+        self._answers: Dict[Pair, float] = {}
+
+    @property
+    def num_workers(self) -> int:
+        return self._platform.assignments_per_hit
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def confidence_batch(self, pairs: Sequence[Pair]) -> Dict[Pair, float]:
+        fresh = [canonical_pair(*pair) for pair in pairs
+                 if canonical_pair(*pair) not in self._answers]
+        if fresh:
+            receipt = self._platform.post_batch(fresh)
+            self._answers.update(receipt.confidences)
+        return {
+            canonical_pair(*pair): self._answers[canonical_pair(*pair)]
+            for pair in pairs
+        }
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        return self.confidence_batch([(record_a, record_b)])[
+            canonical_pair(record_a, record_b)
+        ]
+
+    def majority_duplicate(self, record_a: int, record_b: int) -> bool:
+        return self.confidence(record_a, record_b) > 0.5
+
+    def prefetch(self, pairs: Iterable[Pair]) -> None:
+        self.confidence_batch(list(pairs))

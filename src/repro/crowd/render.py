@@ -1,0 +1,100 @@
+"""HIT rendering: the worker-facing side of the crowdsourcing substrate.
+
+A deployable crowd dedup system must turn record pairs into the question
+forms workers actually see (the paper packs 20 pairs per HIT and asks
+"do r_i and r_j refer to the same entity?").  This module renders
+:class:`~repro.crowd.hits.Hit` objects to plain text or minimal HTML (the
+iFrame-embeddable form AMT uses) and parses worker form submissions back
+into votes.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Mapping, Tuple
+
+from repro.crowd.hits import Hit
+from repro.datasets.schema import Record
+
+Pair = Tuple[int, int]
+
+QUESTION = "Do these two records refer to the same real-world entity?"
+
+
+def render_hit_text(hit: Hit, records: Mapping[int, Record]) -> str:
+    """A plain-text HIT: numbered pair questions with yes/no prompts.
+
+    Useful for logs, previews, and terminal-based annotation.
+    """
+    lines = [f"HIT #{hit.hit_id} — {QUESTION}", ""]
+    for index, (a, b) in enumerate(hit.pairs, start=1):
+        lines.append(f"Q{index}:")
+        lines.append(f"  A: {records[a].text}")
+        lines.append(f"  B: {records[b].text}")
+        lines.append("  [ ] same entity   [ ] different entities")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_hit_html(hit: Hit, records: Mapping[int, Record]) -> str:
+    """A minimal self-contained HTML form for one HIT.
+
+    Each question is a radio group named ``q<pair_a>_<pair_b>`` with values
+    ``same`` / ``different`` — the format :func:`parse_submission` reads.
+    """
+    rows = []
+    for a, b in hit.pairs:
+        name = f"q{a}_{b}"
+        rows.append(
+            "<fieldset>"
+            f"<legend>{html.escape(QUESTION)}</legend>"
+            f"<p>A: {html.escape(records[a].text)}</p>"
+            f"<p>B: {html.escape(records[b].text)}</p>"
+            f'<label><input type="radio" name="{name}" value="same"> '
+            "Same entity</label> "
+            f'<label><input type="radio" name="{name}" value="different"> '
+            "Different entities</label>"
+            "</fieldset>"
+        )
+    body = "\n".join(rows)
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html><head><title>HIT {hit.hit_id}</title></head>\n"
+        f'<body><form method="post" id="hit{hit.hit_id}">\n'
+        f"{body}\n"
+        '<button type="submit">Submit</button>\n'
+        "</form></body></html>\n"
+    )
+
+
+def parse_submission(form: Mapping[str, str]) -> Dict[Pair, bool]:
+    """Parse a worker's form submission into per-pair duplicate votes.
+
+    Args:
+        form: Field name -> value, as produced by the HTML form
+            (``q<a>_<b>`` -> ``"same"`` or ``"different"``).  Non-question
+            fields are ignored.
+
+    Returns:
+        Mapping from canonical pair to ``True`` (same) / ``False``.
+
+    Raises:
+        ValueError: On a malformed question name or vote value.
+    """
+    votes: Dict[Pair, bool] = {}
+    for field_name, value in form.items():
+        if not field_name.startswith("q"):
+            continue
+        try:
+            a_text, b_text = field_name[1:].split("_", 1)
+            a, b = int(a_text), int(b_text)
+        except ValueError:
+            raise ValueError(f"malformed question field {field_name!r}") from None
+        if value not in ("same", "different"):
+            raise ValueError(
+                f"vote for {field_name!r} must be 'same' or 'different', "
+                f"got {value!r}"
+            )
+        pair = (a, b) if a < b else (b, a)
+        votes[pair] = value == "same"
+    return votes

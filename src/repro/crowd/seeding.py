@@ -1,0 +1,30 @@
+"""Stable, salt-free seeding helpers.
+
+Python's built-in ``hash`` is randomized per process, so all deterministic
+per-pair randomness in the crowd simulator is derived through BLAKE2 instead.
+A given ``(seed, *parts)`` tuple always produces the same stream, across
+processes and platforms — this is what makes the simulated "answer file"
+replayable exactly like the paper's recorded AMT answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+Part = Union[int, str]
+
+
+def stable_seed(*parts: Part) -> int:
+    """Derive a 64-bit seed from arbitrary ints/strings, deterministically."""
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(str(part).encode("utf-8"))
+        digest.update(b"\x1f")  # separator so ("ab","c") != ("a","bc")
+    return int.from_bytes(digest.digest(), "big")
+
+
+def stable_rng(*parts: Part) -> random.Random:
+    """A ``random.Random`` seeded stably from the given parts."""
+    return random.Random(stable_seed(*parts))

@@ -1,0 +1,77 @@
+"""Crowdsourcing cost accounting.
+
+The paper reports three costs per method: the number of record pairs
+crowdsourced (Figure 7), the number of crowd iterations, i.e. HIT batches
+(Figure 8), and implicitly the number of HITs (each HIT packs a fixed number
+of pairs and is paid a fixed reward).  :class:`CrowdStats` tracks all three.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CrowdStats:
+    """Mutable per-run crowdsourcing cost counters.
+
+    Attributes:
+        pairs_issued: Unique record pairs sent to the crowd in this run.
+        iterations: Crowd iterations (batches of HITs posted and awaited).
+        hits: HITs posted, assuming ``pairs_per_hit`` pairs per HIT.
+        votes: Total worker judgements collected.
+        pairs_per_hit: HIT packing factor (paper: 20 pairs in the 3-worker
+            setting, 10 in the 5-worker setting).
+        reward_cents_per_hit: Payment per HIT per worker (paper: 2 cents).
+    """
+
+    pairs_per_hit: int = 20
+    reward_cents_per_hit: float = 2.0
+    num_workers: int = 3
+    pairs_issued: int = 0
+    iterations: int = 0
+    hits: int = 0
+    votes: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+
+    def record_batch(self, new_pairs: int) -> None:
+        """Account for one crowd iteration issuing ``new_pairs`` fresh pairs.
+
+        A batch with zero new pairs costs nothing: every answer was already
+        known, so no HITs are posted and no round-trip to the crowd happens.
+        """
+        if new_pairs < 0:
+            raise ValueError(f"new_pairs must be >= 0, got {new_pairs}")
+        if new_pairs == 0:
+            return
+        self.pairs_issued += new_pairs
+        self.iterations += 1
+        self.hits += math.ceil(new_pairs / self.pairs_per_hit)
+        self.votes += new_pairs * self.num_workers
+        self.batch_sizes.append(new_pairs)
+
+    @property
+    def monetary_cost_cents(self) -> float:
+        """Total reward paid: HITs x workers x reward per HIT."""
+        return self.hits * self.num_workers * self.reward_cents_per_hit
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict view for reports and experiment records."""
+        return {
+            "pairs_issued": self.pairs_issued,
+            "iterations": self.iterations,
+            "hits": self.hits,
+            "votes": self.votes,
+            "cost_cents": self.monetary_cost_cents,
+        }
+
+    def merge(self, other: "CrowdStats") -> None:
+        """Fold another phase's counters into this one (e.g. generation +
+        refinement into a whole-pipeline total)."""
+        self.pairs_issued += other.pairs_issued
+        self.iterations += other.iterations
+        self.hits += other.hits
+        self.votes += other.votes
+        self.batch_sizes.extend(other.batch_sizes)

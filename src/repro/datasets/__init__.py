@@ -1,0 +1,42 @@
+"""Datasets: record model, gold standards, and synthetic generators that
+reproduce the shape of the paper's three benchmarks (Paper, Restaurant,
+Product — Table 3)."""
+
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.paper import generate_paper
+from repro.datasets.product import generate_product
+from repro.datasets.registry import dataset_names, generate
+from repro.datasets.restaurant import generate_restaurant
+from repro.datasets.schema import Dataset, GoldStandard, Record, canonical_pair
+from repro.datasets.synthetic import (
+    abbreviate,
+    abbreviate_words,
+    corrupt_words,
+    drop_words,
+    noisy_variant,
+    shuffle_some,
+    typo,
+    zipf_cluster_sizes,
+)
+
+__all__ = [
+    "Dataset",
+    "GoldStandard",
+    "Record",
+    "abbreviate",
+    "abbreviate_words",
+    "canonical_pair",
+    "corrupt_words",
+    "dataset_names",
+    "drop_words",
+    "generate",
+    "generate_paper",
+    "generate_product",
+    "generate_restaurant",
+    "load_dataset",
+    "noisy_variant",
+    "save_dataset",
+    "shuffle_some",
+    "typo",
+    "zipf_cluster_sizes",
+]

@@ -1,0 +1,97 @@
+"""CSV import/export for datasets.
+
+The synthetic generators cover the paper's experiments, but a downstream
+user's first question is "how do I run this on *my* records?".  The format
+is a plain CSV with a header::
+
+    record_id,entity_id,text[,field1,field2,...]
+
+``entity_id`` is the gold label (required for evaluation and for simulating
+a crowd; when deduplicating truly unlabelled data, run the algorithms
+directly against a live crowd client instead).  Extra columns become
+structured :class:`Record` fields.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.datasets.schema import Dataset, GoldStandard, Record
+
+REQUIRED_COLUMNS = ("record_id", "entity_id", "text")
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> int:
+    """Write a dataset to CSV; returns the number of records written.
+
+    All structured field names present on any record become columns.
+    """
+    field_names: List[str] = []
+    seen = set()
+    for record in dataset.records:
+        for name, _ in record.fields:
+            if name not in seen:
+                seen.add(name)
+                field_names.append(name)
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(REQUIRED_COLUMNS) + field_names)
+        for record in dataset.records:
+            row = [
+                record.record_id,
+                dataset.gold.entity(record.record_id),
+                record.text,
+            ]
+            row.extend(record.field(name) for name in field_names)
+            writer.writerow(row)
+    return len(dataset.records)
+
+
+def load_dataset(path: Union[str, Path], name: str = "") -> Dataset:
+    """Read a dataset from CSV.
+
+    Args:
+        path: Source file (format per the module docstring).
+        name: Dataset name; defaults to the file stem.
+
+    Raises:
+        ValueError: On missing required columns, duplicate record ids, or
+            unparsable ids.
+    """
+    path = Path(path)
+    records: List[Record] = []
+    entity_of: Dict[int, int] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        header = reader.fieldnames or []
+        missing = [col for col in REQUIRED_COLUMNS if col not in header]
+        if missing:
+            raise ValueError(f"{path}: missing required columns {missing}")
+        field_names = [col for col in header if col not in REQUIRED_COLUMNS]
+        for line, row in enumerate(reader, start=2):
+            try:
+                record_id = int(row["record_id"])
+                entity_id = int(row["entity_id"])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path}:{line}: record_id and entity_id must be integers"
+                ) from None
+            if record_id in entity_of:
+                raise ValueError(f"{path}:{line}: duplicate record_id {record_id}")
+            fields = {
+                column: row[column]
+                for column in field_names
+                if row.get(column)
+            }
+            records.append(Record.make(record_id, row["text"] or "", fields))
+            entity_of[record_id] = entity_id
+    if not records:
+        raise ValueError(f"{path}: no records")
+    return Dataset(
+        name=name or path.stem,
+        records=records,
+        gold=GoldStandard(entity_of),
+    )

@@ -1,0 +1,79 @@
+"""The *Paper* dataset generator (Cora-like bibliographic citations).
+
+Table 3 shape at scale 1.0: 997 records over 191 entities (≈5.2 citations
+per paper, heavily skewed) and a *dense* candidate graph (≈30k pairs) —
+citations of different papers share authors, venues, and topic words, so
+machine similarity confuses them badly and crowd workers also struggle
+(23 % majority-vote error at 3 workers).  The generator reproduces that by
+drawing titles from a deliberately narrow topic vocabulary, reusing a small
+author pool across papers, and rendering each citation with heavy token
+noise (drops, abbreviations, reordering, typos).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.datasets.schema import Dataset, GoldStandard, Record
+from repro.datasets.synthetic import noisy_variant, zipf_cluster_sizes
+from repro.datasets import wordpools
+
+BASE_ENTITIES = 191
+BASE_RECORDS = 997
+
+
+def _make_author(rng: random.Random) -> str:
+    return f"{rng.choice(wordpools.FIRST_INITIALS)} {rng.choice(wordpools.SURNAMES)}"
+
+
+def _make_paper_entity(rng: random.Random, topic_pool: List[str],
+                       author_pool: List[str], venue_pool: List[str]) -> str:
+    """A clean canonical citation: authors, title, venue, year."""
+    authors = rng.sample(author_pool, k=rng.randint(1, 3))
+    title_words = rng.sample(topic_pool, k=rng.randint(4, 6))
+    venue = rng.choice(venue_pool)
+    style = rng.choice(wordpools.VENUE_STYLES)
+    venue_text = style.format(venue=venue, ord=rng.choice(wordpools.ORDINALS))
+    year = rng.randint(1993, 1999)
+    return f"{' '.join(authors)} {' '.join(title_words)} {venue_text} {year}"
+
+
+def generate_paper(scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Generate the Paper dataset.
+
+    Args:
+        scale: Multiplies the entity and record counts (1.0 = Table 3 size).
+        seed: Generator seed; same seed, same dataset.
+
+    Returns:
+        A :class:`~repro.datasets.schema.Dataset` named ``"paper"``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    rng = random.Random(seed)
+    num_entities = max(2, round(BASE_ENTITIES * scale))
+    num_records = max(num_entities, round(BASE_RECORDS * scale))
+
+    # Narrow pools: this is what makes distinct papers look alike.
+    topic_pool = wordpools.TOPIC_WORDS[:14]
+    venue_pool = wordpools.VENUES[:5]
+    author_pool = sorted({_make_author(rng) for _ in range(22)})
+
+    sizes = zipf_cluster_sizes(num_records, num_entities, rng, skew=1.1)
+    records: List[Record] = []
+    entity_of: Dict[int, int] = {}
+    record_id = 0
+    for entity_id, size in enumerate(sizes):
+        canonical = _make_paper_entity(rng, topic_pool, author_pool, venue_pool)
+        for _ in range(size):
+            text = noisy_variant(
+                canonical, rng,
+                typo_rate=0.06, drop_rate=0.12,
+                abbreviate_rate=0.08, shuffle_probability=0.25,
+            )
+            records.append(Record(record_id=record_id, text=text))
+            entity_of[record_id] = entity_id
+            record_id += 1
+
+    return Dataset(name="paper", records=records, gold=GoldStandard(entity_of))

@@ -1,0 +1,66 @@
+"""Vocabulary pool expansion for size-scaled dataset generation.
+
+The candidate-graph density of a synthetic dataset is governed by how often
+unrelated records collide on tokens, which is a function of record count
+versus vocabulary size.  To keep density *constant* as a dataset scales
+(matching the real datasets' per-record candidate counts in Table 3),
+vocabulary pools must grow like the square root of the record count.  This
+module expands the hand-written base pools with pronounceable synthesized
+tokens when a generator needs more vocabulary than the base lists offer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+_ONSETS = ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z",
+           "br", "dr", "gr", "st", "tr", "sh"]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "or"]
+_CODAS = ["", "n", "r", "s", "l", "m", "x", "nd", "rt"]
+
+
+def synthesize_token(rng: random.Random, syllables: int = 2) -> str:
+    """One pronounceable made-up word, e.g. 'belmor' or 'traiko'."""
+    parts = []
+    for index in range(syllables):
+        parts.append(rng.choice(_ONSETS))
+        parts.append(rng.choice(_VOWELS))
+        if index == syllables - 1:
+            parts.append(rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def expand_pool(base: Sequence[str], size: int, rng: random.Random,
+                syllables: int = 2) -> List[str]:
+    """A pool of exactly ``size`` distinct tokens: the base list first,
+    synthesized tokens after it runs out.
+
+    Args:
+        base: Hand-written vocabulary to prefer.
+        size: Desired pool size (>= 1).
+        rng: Randomness for the synthesized tail (deterministic per rng
+            state).
+        syllables: Length of synthesized words.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    pool = list(base[:size])
+    seen = set(pool)
+    while len(pool) < size:
+        token = synthesize_token(rng, syllables=syllables)
+        if token not in seen:
+            seen.add(token)
+            pool.append(token)
+    return pool
+
+
+def scaled_size(base_size: int, scale: float, minimum: int = 4) -> int:
+    """Pool size growing with the square root of the dataset scale.
+
+    ``scale`` is the dataset's record-count multiplier; sqrt scaling keeps
+    the expected number of token collisions per record constant.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    return max(minimum, round(base_size * scale ** 0.5))

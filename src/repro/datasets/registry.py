@@ -1,0 +1,41 @@
+"""Dataset registry: generate any of the paper's three datasets by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.paper import generate_paper
+from repro.datasets.product import generate_product
+from repro.datasets.restaurant import generate_restaurant
+from repro.datasets.schema import Dataset
+
+_GENERATORS: Dict[str, Callable[..., Dataset]] = {
+    "paper": generate_paper,
+    "restaurant": generate_restaurant,
+    "product": generate_product,
+}
+
+
+def dataset_names() -> List[str]:
+    """The registered dataset names, in the paper's presentation order."""
+    return ["paper", "restaurant", "product"]
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Generate a dataset by name.
+
+    Args:
+        name: One of :func:`dataset_names`.
+        scale: Size multiplier (1.0 reproduces Table 3 counts).
+        seed: Generator seed.
+
+    Raises:
+        KeyError: For an unknown dataset name.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    return generator(scale=scale, seed=seed)

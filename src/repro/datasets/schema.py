@@ -1,0 +1,168 @@
+"""Record model and gold-standard entity mapping.
+
+The deduplication problem operates on a set of *records* ``R``; the gold
+standard is the (usually hidden) function ``g`` mapping each record to the
+real-world entity it represents (Section 2.1 of the paper).  This module
+provides both as small, explicit value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single record to be deduplicated.
+
+    Attributes:
+        record_id: Unique integer identifier within a dataset.
+        text: The textual representation shown to crowd workers and fed to
+            machine similarity functions.
+        fields: Optional structured fields (e.g. ``{"name": ..., "city": ...}``)
+            used by field-aware similarity metrics.
+    """
+
+    record_id: int
+    text: str
+    fields: Tuple[Tuple[str, str], ...] = ()
+
+    def field(self, name: str, default: str = "") -> str:
+        """Return a structured field value, or ``default`` if absent."""
+        for key, value in self.fields:
+            if key == name:
+                return value
+        return default
+
+    @staticmethod
+    def make(record_id: int, text: str, fields: Optional[Mapping[str, str]] = None) -> "Record":
+        """Build a record from a mapping of fields (convenience constructor)."""
+        items = tuple(sorted(fields.items())) if fields else ()
+        return Record(record_id=record_id, text=text, fields=items)
+
+
+def canonical_pair(a: int, b: int) -> Tuple[int, int]:
+    """Return the canonical (sorted) form of an unordered record-id pair.
+
+    All pair-keyed maps in the library (crowd answers, similarity caches,
+    candidate sets) use this canonical form so that ``(i, j)`` and ``(j, i)``
+    always refer to the same pair.
+    """
+    if a == b:
+        raise ValueError(f"a record pair needs two distinct records, got ({a}, {b})")
+    return (a, b) if a < b else (b, a)
+
+
+class GoldStandard:
+    """The ground-truth mapping ``g`` from records to entities.
+
+    Used (a) by the simulated crowd to decide whether a worker *should*
+    answer "duplicate", and (b) by the evaluation metrics.  The algorithms
+    under test never see this object directly.
+    """
+
+    def __init__(self, entity_of: Mapping[int, int]):
+        """Args:
+        entity_of: Maps each record id to an opaque entity id.
+        """
+        self._entity_of: Dict[int, int] = dict(entity_of)
+        clusters: Dict[int, Set[int]] = {}
+        for record_id, entity_id in self._entity_of.items():
+            clusters.setdefault(entity_id, set()).add(record_id)
+        self._clusters: Dict[int, FrozenSet[int]] = {
+            entity: frozenset(members) for entity, members in clusters.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._entity_of)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._entity_of
+
+    def entity(self, record_id: int) -> int:
+        """Return the entity id of a record."""
+        return self._entity_of[record_id]
+
+    def is_duplicate(self, a: int, b: int) -> bool:
+        """True iff records ``a`` and ``b`` represent the same entity."""
+        return self._entity_of[a] == self._entity_of[b]
+
+    @property
+    def record_ids(self) -> Iterable[int]:
+        return self._entity_of.keys()
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._clusters)
+
+    def entity_members(self, entity_id: int) -> FrozenSet[int]:
+        """Return the set of record ids belonging to one entity."""
+        return self._clusters[entity_id]
+
+    def clusters(self) -> List[FrozenSet[int]]:
+        """Return the gold clustering as a list of frozensets of record ids."""
+        return list(self._clusters.values())
+
+    def duplicate_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Yield every unordered pair of records that are true duplicates."""
+        for members in self._clusters.values():
+            ordered = sorted(members)
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1:]:
+                    yield (a, b)
+
+    def num_duplicate_pairs(self) -> int:
+        """Number of true duplicate pairs (sum of C(|cluster|, 2))."""
+        return sum(
+            len(members) * (len(members) - 1) // 2 for members in self._clusters.values()
+        )
+
+
+@dataclass
+class Dataset:
+    """A dataset bundle: records plus their gold standard.
+
+    Attributes:
+        name: Human-readable dataset name (e.g. ``"paper"``).
+        records: The records, indexed by position; ids are unique.
+        gold: Ground-truth entity mapping for all records.
+    """
+
+    name: str
+    records: List[Record]
+    gold: GoldStandard
+    _by_id: Dict[int, Record] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {record.record_id: record for record in self.records}
+        if len(self._by_id) != len(self.records):
+            raise ValueError(f"dataset {self.name!r} has duplicate record ids")
+        missing = [r.record_id for r in self.records if r.record_id not in self.gold]
+        if missing:
+            raise ValueError(
+                f"dataset {self.name!r}: {len(missing)} records missing from gold standard"
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, record_id: int) -> Record:
+        """Look up a record by id."""
+        return self._by_id[record_id]
+
+    @property
+    def record_ids(self) -> List[int]:
+        return [record.record_id for record in self.records]
+
+    @property
+    def num_entities(self) -> int:
+        return self.gold.num_entities
+
+    def summary(self) -> Dict[str, int]:
+        """Table-3-style summary: record and entity counts."""
+        return {
+            "records": len(self.records),
+            "entities": self.gold.num_entities,
+            "duplicate_pairs": self.gold.num_duplicate_pairs(),
+        }

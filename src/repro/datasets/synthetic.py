@@ -1,0 +1,135 @@
+"""Noise channels for synthetic dedup datasets.
+
+Real dedup benchmarks are messy in specific ways: character typos, dropped
+or abbreviated tokens, reordered fields, formatting variants.  The paper's
+three datasets are not redistributable here, so the generators in this
+package synthesize datasets with the same *shape* (record/entity counts,
+candidate-graph density, hardness) by composing these noise channels over
+clean entity descriptions.  All randomness flows through an explicit
+``random.Random`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Sequence
+
+_ALPHABET = string.ascii_lowercase
+
+
+def typo(word: str, rng: random.Random) -> str:
+    """Apply one random character-level edit (swap/delete/insert/replace)."""
+    if not word:
+        return word
+    kind = rng.choice(("swap", "delete", "insert", "replace"))
+    position = rng.randrange(len(word))
+    if kind == "swap" and len(word) >= 2:
+        position = min(position, len(word) - 2)
+        chars = list(word)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        return "".join(chars)
+    if kind == "delete" and len(word) >= 2:
+        return word[:position] + word[position + 1:]
+    if kind == "insert":
+        return word[:position] + rng.choice(_ALPHABET) + word[position:]
+    return word[:position] + rng.choice(_ALPHABET) + word[position + 1:]
+
+
+def corrupt_words(words: Sequence[str], rng: random.Random,
+                  typo_rate: float = 0.1) -> List[str]:
+    """Independently typo each word with probability ``typo_rate``."""
+    return [typo(word, rng) if rng.random() < typo_rate else word
+            for word in words]
+
+
+def drop_words(words: Sequence[str], rng: random.Random,
+               drop_rate: float = 0.1, keep_at_least: int = 1) -> List[str]:
+    """Drop words independently, keeping at least ``keep_at_least``."""
+    kept = [word for word in words if rng.random() >= drop_rate]
+    if len(kept) < keep_at_least:
+        kept = list(words[:keep_at_least])
+    return kept
+
+
+def abbreviate(word: str, rng: random.Random) -> str:
+    """Abbreviate a word: initial ('proceedings' -> 'p') or clipped prefix
+    ('international' -> 'intl'-style truncation)."""
+    if len(word) <= 3:
+        return word
+    if rng.random() < 0.5:
+        return word[0]
+    cut = rng.randint(3, max(3, len(word) - 1))
+    return word[:cut]
+
+
+def abbreviate_words(words: Sequence[str], rng: random.Random,
+                     rate: float = 0.1) -> List[str]:
+    """Abbreviate words independently with probability ``rate``."""
+    return [abbreviate(word, rng) if rng.random() < rate else word
+            for word in words]
+
+
+def shuffle_some(words: Sequence[str], rng: random.Random,
+                 probability: float = 0.2) -> List[str]:
+    """With the given probability, lightly permute the word order (one
+    random adjacent transposition), else keep order."""
+    result = list(words)
+    if len(result) >= 2 and rng.random() < probability:
+        position = rng.randrange(len(result) - 1)
+        result[position], result[position + 1] = (
+            result[position + 1], result[position]
+        )
+    return result
+
+
+def noisy_variant(
+    text: str,
+    rng: random.Random,
+    typo_rate: float = 0.08,
+    drop_rate: float = 0.08,
+    abbreviate_rate: float = 0.05,
+    shuffle_probability: float = 0.15,
+) -> str:
+    """A full noisy rendering of a clean description: drop, abbreviate,
+    typo, reorder — the composition used by all dataset generators."""
+    words = text.split()
+    words = drop_words(words, rng, drop_rate=drop_rate)
+    words = abbreviate_words(words, rng, rate=abbreviate_rate)
+    words = corrupt_words(words, rng, typo_rate=typo_rate)
+    words = shuffle_some(words, rng, probability=shuffle_probability)
+    return " ".join(words)
+
+
+def zipf_cluster_sizes(num_records: int, num_entities: int,
+                       rng: random.Random, skew: float = 1.2) -> List[int]:
+    """Partition ``num_records`` into ``num_entities`` positive cluster
+    sizes with a Zipf-like skew (a few big entities, many small ones).
+
+    The sizes sum exactly to ``num_records``.
+    """
+    if num_entities < 1:
+        raise ValueError(f"num_entities must be >= 1, got {num_entities}")
+    if num_records < num_entities:
+        raise ValueError(
+            f"need at least one record per entity: {num_records} records, "
+            f"{num_entities} entities"
+        )
+    weights = [1.0 / (rank ** skew) for rank in range(1, num_entities + 1)]
+    rng.shuffle(weights)
+    total_weight = sum(weights)
+    extra = num_records - num_entities
+    sizes = [1] * num_entities
+    # Apportion the extra records proportionally, then distribute remainders.
+    fractions = []
+    assigned = 0
+    for index, weight in enumerate(weights):
+        share = extra * weight / total_weight
+        whole = int(share)
+        sizes[index] += whole
+        assigned += whole
+        fractions.append((share - whole, index))
+    fractions.sort(reverse=True)
+    for _, index in fractions[: extra - assigned]:
+        sizes[index] += 1
+    return sizes

@@ -1,0 +1,93 @@
+"""Shared vocabulary pools for the synthetic dataset generators.
+
+The pools are intentionally small: reusing surnames, topic words, street
+names, and brand lines across entities is what creates the confusable
+cross-entity record pairs that make deduplication hard (the Chevrolet /
+Chevron effect the paper opens with).
+"""
+
+from __future__ import annotations
+
+SURNAMES = [
+    "smith", "johnson", "lee", "wang", "garcia", "kumar", "chen", "mueller",
+    "kim", "tanaka", "rossi", "novak", "silva", "haddad", "jones", "brown",
+    "davis", "miller", "wilson", "moore", "taylor", "anderson", "thomas",
+    "jackson", "white", "harris", "martin", "thompson", "martinez", "clark",
+]
+
+FIRST_INITIALS = list("abcdefghijklmnopqrstuvwy")
+
+TOPIC_WORDS = [
+    "learning", "databases", "clustering", "networks", "optimization",
+    "inference", "queries", "graphs", "streams", "indexing", "sampling",
+    "entity", "resolution", "integration", "crowdsourcing", "parallel",
+    "distributed", "approximate", "adaptive", "scalable", "efficient",
+    "probabilistic", "semantics", "mining", "retrieval", "systems",
+    "transactions", "storage", "privacy", "ranking",
+]
+
+VENUES = [
+    "sigmod", "vldb", "icde", "kdd", "www", "nips", "icml", "cikm",
+    "edbt", "pods", "sigir", "aaai",
+]
+
+VENUE_STYLES = [
+    "proceedings of the {ord} {venue} conference",
+    "proc {venue}",
+    "{venue}",
+    "in {venue} proceedings",
+    "{venue} conf",
+]
+
+ORDINALS = [
+    "first", "second", "third", "fourth", "fifth", "tenth", "twelfth",
+    "fifteenth", "twentieth", "annual", "international",
+]
+
+CUISINES = [
+    "italian", "french", "japanese", "mexican", "thai", "indian", "chinese",
+    "american", "seafood", "steakhouse", "vegetarian", "mediterranean",
+]
+
+RESTAURANT_HEADS = [
+    "cafe", "bistro", "grill", "kitchen", "house", "garden", "palace",
+    "corner", "table", "room", "tavern", "diner",
+]
+
+RESTAURANT_NAMES = [
+    "golden", "blue", "silver", "royal", "little", "grand", "old", "new",
+    "red", "green", "lucky", "happy", "sunset", "harbor", "spring", "union",
+    "liberty", "central", "pacific", "atlantic",
+]
+
+STREETS = [
+    "main st", "oak ave", "park blvd", "market st", "broadway", "elm st",
+    "sunset blvd", "lake dr", "hill rd", "river rd", "union sq", "5th ave",
+    "2nd st", "grand ave", "washington st", "mission st",
+]
+
+CITIES = [
+    "new york", "los angeles", "san francisco", "chicago", "atlanta",
+    "boston", "seattle", "austin", "denver", "miami", "portland", "dallas",
+]
+
+BRANDS = [
+    "sonic", "nova", "apex", "zenith", "orion", "vertex", "atlas", "lumen",
+    "pulse", "aero", "titan", "delta", "omega", "prime", "echo", "quanta",
+]
+
+PRODUCT_LINES = [
+    "speaker", "headphones", "monitor", "keyboard", "camera", "router",
+    "printer", "charger", "tablet", "drive", "projector", "microphone",
+    "soundbar", "webcam", "adapter", "dock",
+]
+
+PRODUCT_QUALIFIERS = [
+    "wireless", "bluetooth", "portable", "compact", "pro", "ultra", "mini",
+    "hd", "4k", "gaming", "studio", "travel", "slim", "premium",
+]
+
+PRODUCT_SPECS = [
+    "black", "white", "silver", "32gb", "64gb", "128gb", "1080p", "dual",
+    "rechargeable", "bundle", "kit", "refurbished", "edition",
+]

@@ -1,0 +1,49 @@
+"""Evaluation metrics: pairwise precision/recall/F1 (the paper's measure)
+plus the cluster-level battery of the dedup-evaluation literature (B-cubed,
+ARI, NMI, variation of information)."""
+
+from repro.eval.crowd_analysis import (
+    CalibrationBand,
+    calibration_curve,
+    confidence_histogram,
+    disagreement_pairs,
+    unanimity_rate,
+)
+from repro.eval.ascii import bar_chart, series_chart, sparkline
+from repro.eval.cluster_metrics import (
+    adjusted_rand_index,
+    bcubed_scores,
+    full_report,
+    normalized_mutual_information,
+    variation_of_information,
+)
+from repro.eval.metrics import (
+    PairwiseScores,
+    cluster_exact_match_rate,
+    cluster_size_histogram,
+    clustering_from_sets,
+    f1_score,
+    pairwise_scores,
+)
+
+__all__ = [
+    "CalibrationBand",
+    "PairwiseScores",
+    "adjusted_rand_index",
+    "bar_chart",
+    "calibration_curve",
+    "bcubed_scores",
+    "cluster_exact_match_rate",
+    "confidence_histogram",
+    "cluster_size_histogram",
+    "clustering_from_sets",
+    "disagreement_pairs",
+    "f1_score",
+    "full_report",
+    "normalized_mutual_information",
+    "pairwise_scores",
+    "series_chart",
+    "sparkline",
+    "unanimity_rate",
+    "variation_of_information",
+]

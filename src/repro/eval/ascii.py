@@ -1,0 +1,62 @@
+"""Tiny ASCII charts for terminal-friendly experiment output.
+
+The CLI and examples use these to sketch the paper's figures without any
+plotting dependency: horizontal bar charts for method comparisons and
+sparkline-style series for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              value_format: str = "{:.3f}") -> str:
+    """Horizontal bar chart, one labelled row per entry.
+
+    >>> print(bar_chart({"a": 1.0, "b": 0.5}, width=4))
+    a  ████  1.000
+    b  ██    0.500
+    """
+    if not values:
+        return ""
+    label_width = max(len(label) for label in values)
+    maximum = max(values.values())
+    scale = (width / maximum) if maximum > 0 else 0.0
+    rows: List[str] = []
+    for label, value in values.items():
+        filled = int(round(value * scale))
+        bar = "█" * filled
+        rows.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            + value_format.format(value)
+        )
+    return "\n".join(rows)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """A one-line sparkline of a numeric series.
+
+    >>> sparkline([1, 2, 3])
+    '▁▄█'
+    """
+    if not series:
+        return ""
+    lo = min(series)
+    hi = max(series)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(series)
+    span = hi - lo
+    out = []
+    for value in series:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def series_chart(points: Sequence[Tuple[str, float]], width: int = 40) -> str:
+    """Labelled series as bars — for sweeps where x is categorical
+    (ε values, T divisors)."""
+    return bar_chart({label: value for label, value in points}, width=width)

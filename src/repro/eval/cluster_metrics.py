@@ -1,0 +1,150 @@
+"""Cluster-level evaluation metrics from the dedup-clustering literature.
+
+The paper evaluates with pairwise F1 only, but its reference [27]
+(Hassanzadeh et al., "Framework for evaluating clustering algorithms in
+duplicate detection") establishes a richer battery that downstream users
+expect: B-cubed precision/recall/F1, the Adjusted Rand Index, Normalized
+Mutual Information, and variation of information.  All operate on a
+:class:`~repro.core.clustering.Clustering` against a
+:class:`~repro.datasets.schema.GoldStandard`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Tuple
+
+from repro.core.clustering import Clustering
+from repro.datasets.schema import GoldStandard
+
+
+def _contingency(clustering: Clustering,
+                 gold: GoldStandard) -> Tuple[Dict[Tuple[int, int], int],
+                                              Dict[int, int], Dict[int, int]]:
+    """Joint counts n_{ij} plus predicted and gold marginals."""
+    joint: Counter = Counter()
+    predicted: Counter = Counter()
+    actual: Counter = Counter()
+    for record_id in clustering.record_ids():
+        cluster = clustering.cluster_of(record_id)
+        entity = gold.entity(record_id)
+        joint[(cluster, entity)] += 1
+        predicted[cluster] += 1
+        actual[entity] += 1
+    return dict(joint), dict(predicted), dict(actual)
+
+
+def bcubed_scores(clustering: Clustering,
+                  gold: GoldStandard) -> Tuple[float, float, float]:
+    """B-cubed precision, recall, and F1.
+
+    Per record: precision is the fraction of its predicted cluster that
+    shares its entity; recall is the fraction of its entity found in its
+    cluster.  Scores are averaged over records.
+    """
+    joint, predicted, actual = _contingency(clustering, gold)
+    total = clustering.num_records
+    if total == 0:
+        return 1.0, 1.0, 1.0
+    precision = 0.0
+    recall = 0.0
+    for (cluster, entity), count in joint.items():
+        precision += count * (count / predicted[cluster])
+        recall += count * (count / actual[entity])
+    precision /= total
+    recall /= total
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def adjusted_rand_index(clustering: Clustering, gold: GoldStandard) -> float:
+    """The Adjusted Rand Index: chance-corrected pair agreement in [-1, 1]."""
+    joint, predicted, actual = _contingency(clustering, gold)
+    total = clustering.num_records
+
+    def choose2(value: int) -> float:
+        return value * (value - 1) / 2.0
+
+    sum_joint = sum(choose2(count) for count in joint.values())
+    sum_predicted = sum(choose2(count) for count in predicted.values())
+    sum_actual = sum(choose2(count) for count in actual.values())
+    total_pairs = choose2(total)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_predicted * sum_actual / total_pairs
+    maximum = (sum_predicted + sum_actual) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_joint - expected) / (maximum - expected)
+
+
+def normalized_mutual_information(clustering: Clustering,
+                                  gold: GoldStandard) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    joint, predicted, actual = _contingency(clustering, gold)
+    total = clustering.num_records
+    if total == 0:
+        return 1.0
+
+    def entropy(marginal: Dict[int, int]) -> float:
+        value = 0.0
+        for count in marginal.values():
+            p = count / total
+            value -= p * math.log(p)
+        return value
+
+    h_predicted = entropy(predicted)
+    h_actual = entropy(actual)
+    mutual = 0.0
+    for (cluster, entity), count in joint.items():
+        p_joint = count / total
+        p_pred = predicted[cluster] / total
+        p_act = actual[entity] / total
+        mutual += p_joint * math.log(p_joint / (p_pred * p_act))
+    if h_predicted == 0.0 and h_actual == 0.0:
+        return 1.0
+    denominator = (h_predicted + h_actual) / 2.0
+    if denominator == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mutual / denominator))
+
+
+def variation_of_information(clustering: Clustering,
+                             gold: GoldStandard) -> float:
+    """Meila's variation of information (lower is better; 0 = identical)."""
+    joint, predicted, actual = _contingency(clustering, gold)
+    total = clustering.num_records
+    if total == 0:
+        return 0.0
+    value = 0.0
+    for (cluster, entity), count in joint.items():
+        p_joint = count / total
+        p_pred = predicted[cluster] / total
+        p_act = actual[entity] / total
+        value -= p_joint * (
+            math.log(p_joint / p_pred) + math.log(p_joint / p_act)
+        )
+    return max(0.0, value)
+
+
+def full_report(clustering: Clustering, gold: GoldStandard) -> Dict[str, float]:
+    """All cluster metrics plus pairwise F1 in one dictionary."""
+    from repro.eval.metrics import pairwise_scores
+
+    pairwise = pairwise_scores(clustering, gold)
+    b3_precision, b3_recall, b3_f1 = bcubed_scores(clustering, gold)
+    return {
+        "pairwise_precision": pairwise.precision,
+        "pairwise_recall": pairwise.recall,
+        "pairwise_f1": pairwise.f1,
+        "bcubed_precision": b3_precision,
+        "bcubed_recall": b3_recall,
+        "bcubed_f1": b3_f1,
+        "adjusted_rand_index": adjusted_rand_index(clustering, gold),
+        "nmi": normalized_mutual_information(clustering, gold),
+        "variation_of_information": variation_of_information(clustering, gold),
+        "num_clusters": float(len(clustering)),
+    }

@@ -1,0 +1,127 @@
+"""Analysis tooling for crowd answer sets.
+
+Given an answered candidate set, these utilities characterize the crowd:
+the distribution of confidences (how often did workers disagree?), the
+error rate broken down by machine-score band (the empirical ``f -> f_c``
+calibration curve — exactly what the refinement phase's histogram
+estimates), and vote-agreement statistics.  Used by examples and by anyone
+calibrating a :class:`~repro.crowd.worker.DifficultyModel` against a real
+crowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.datasets.schema import GoldStandard, canonical_pair
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CalibrationBand:
+    """One machine-score band of the calibration curve.
+
+    Attributes:
+        lower: Inclusive machine-score lower bound.
+        upper: Exclusive upper bound (inclusive for the last band).
+        count: Pairs falling in the band.
+        mean_confidence: Mean crowd confidence within the band.
+        error_rate: Majority-vote error rate within the band (``None`` when
+            no gold standard was supplied).
+    """
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    error_rate: Optional[float]
+
+
+def confidence_histogram(confidences: Iterable[float],
+                         num_workers: int = 3) -> Dict[float, int]:
+    """Counts per distinct confidence level.
+
+    With ``w`` workers the possible values are ``k / w``; returned keys are
+    rounded to those levels so replays bucket cleanly.
+    """
+    histogram: Dict[float, int] = {}
+    for confidence in confidences:
+        level = round(confidence * num_workers) / num_workers
+        histogram[level] = histogram.get(level, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def unanimity_rate(confidences: Iterable[float]) -> float:
+    """Fraction of pairs with a unanimous vote (confidence 0.0 or 1.0)."""
+    total = 0
+    unanimous = 0
+    for confidence in confidences:
+        total += 1
+        if confidence in (0.0, 1.0):
+            unanimous += 1
+    return unanimous / total if total else 1.0
+
+
+def calibration_curve(
+    answered: Mapping[Pair, float],
+    machine_scores: Mapping[Pair, float],
+    gold: Optional[GoldStandard] = None,
+    num_bands: int = 10,
+) -> List[CalibrationBand]:
+    """The empirical machine-score -> crowd-confidence curve.
+
+    Args:
+        answered: Pair -> crowd confidence (e.g. ``oracle.known_pairs()``).
+        machine_scores: Pair -> machine score ``f``.
+        gold: Optional ground truth; adds per-band error rates.
+        num_bands: Equal-width machine-score bands over [0, 1].
+
+    Returns:
+        Non-empty bands in ascending score order.
+    """
+    if num_bands < 1:
+        raise ValueError(f"num_bands must be >= 1, got {num_bands}")
+    sums = [0.0] * num_bands
+    counts = [0] * num_bands
+    errors = [0] * num_bands
+    for raw_pair, confidence in answered.items():
+        pair = canonical_pair(*raw_pair)
+        if pair not in machine_scores:
+            continue
+        score = machine_scores[pair]
+        band = min(num_bands - 1, int(score * num_bands))
+        sums[band] += confidence
+        counts[band] += 1
+        if gold is not None:
+            verdict = confidence > 0.5
+            if verdict != gold.is_duplicate(*pair):
+                errors[band] += 1
+    bands: List[CalibrationBand] = []
+    for index in range(num_bands):
+        if counts[index] == 0:
+            continue
+        bands.append(CalibrationBand(
+            lower=index / num_bands,
+            upper=(index + 1) / num_bands,
+            count=counts[index],
+            mean_confidence=sums[index] / counts[index],
+            error_rate=(errors[index] / counts[index]) if gold is not None
+            else None,
+        ))
+    return bands
+
+
+def disagreement_pairs(answered: Mapping[Pair, float],
+                       low: float = 0.3, high: float = 0.7) -> List[Pair]:
+    """Pairs whose confidence sits in the contested middle band — the
+    'difficult pairs' the paper's future work wants to spend more workers
+    on, sorted by distance from 0.5 then canonically."""
+    contested = [
+        (abs(confidence - 0.5), canonical_pair(*pair))
+        for pair, confidence in answered.items()
+        if low <= confidence <= high
+    ]
+    contested.sort()
+    return [pair for _, pair in contested]

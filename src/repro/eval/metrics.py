@@ -1,0 +1,101 @@
+"""Deduplication accuracy metrics.
+
+The paper evaluates with the pairwise F1-measure (Section 6.1, following
+TransM): precision and recall over the set of record pairs predicted to be
+duplicates versus the gold duplicate pairs.  Cluster-level diagnostics are
+provided as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.core.clustering import Clustering
+from repro.datasets.schema import GoldStandard
+
+
+@dataclass(frozen=True)
+class PairwiseScores:
+    """Pairwise precision / recall / F1 with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positives + self.false_positives
+        if predicted == 0:
+            return 1.0 if self.false_negatives == 0 else 0.0
+        return self.true_positives / predicted
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 1.0
+        return self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+
+def pairwise_scores(clustering: Clustering, gold: GoldStandard) -> PairwiseScores:
+    """Pairwise counts of a clustering against the gold standard.
+
+    True positives are same-cluster pairs that are genuine duplicates;
+    false positives are same-cluster non-duplicates; false negatives are
+    duplicate pairs that the clustering separated.
+    """
+    true_positives = 0
+    false_positives = 0
+    predicted_duplicates: Set[Tuple[int, int]] = set()
+    for a, b in clustering.intra_cluster_pairs():
+        pair = (a, b) if a < b else (b, a)
+        predicted_duplicates.add(pair)
+        if gold.is_duplicate(a, b):
+            true_positives += 1
+        else:
+            false_positives += 1
+    false_negatives = sum(
+        1 for pair in gold.duplicate_pairs() if pair not in predicted_duplicates
+    )
+    return PairwiseScores(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )
+
+
+def f1_score(clustering: Clustering, gold: GoldStandard) -> float:
+    """The paper's headline metric."""
+    return pairwise_scores(clustering, gold).f1
+
+
+def cluster_exact_match_rate(clustering: Clustering, gold: GoldStandard) -> float:
+    """Fraction of gold entities recovered *exactly* as one cluster."""
+    predicted: Set[FrozenSet[int]] = set(clustering.as_sets())
+    gold_clusters = gold.clusters()
+    if not gold_clusters:
+        return 1.0
+    matched = sum(1 for members in gold_clusters if frozenset(members) in predicted)
+    return matched / len(gold_clusters)
+
+
+def cluster_size_histogram(clustering: Clustering) -> Dict[int, int]:
+    """Number of clusters per size — a quick structural diagnostic."""
+    histogram: Dict[int, int] = {}
+    for cluster_id in clustering.cluster_ids:
+        size = clustering.size(cluster_id)
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram
+
+
+def clustering_from_sets(clusters: Iterable[Iterable[int]]) -> Clustering:
+    """Build a :class:`Clustering` from raw sets (baseline adapters use it)."""
+    return Clustering(clusters)

@@ -1,0 +1,76 @@
+"""End-to-end crowd cost summaries: money plus time.
+
+Combines a run's :class:`~repro.crowd.stats.CrowdStats` with a
+:class:`~repro.crowd.latency.LatencyModel` to answer the deployment
+question the paper's charts imply: *what would this method cost on AMT, in
+dollars and in hours?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.crowd.latency import LatencyModel, format_duration
+from repro.crowd.stats import CrowdStats
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """One run's projected crowd costs.
+
+    Attributes:
+        pairs: Unique record pairs crowdsourced.
+        hits: HITs posted.
+        iterations: Crowd rounds.
+        dollars: Total worker payment.
+        seconds: Simulated wall-clock time.
+    """
+
+    pairs: int
+    hits: int
+    iterations: int
+    dollars: float
+    seconds: float
+
+    @property
+    def duration(self) -> str:
+        return format_duration(self.seconds)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pairs} pairs / {self.hits} HITs / "
+            f"{self.iterations} rounds — ${self.dollars:.2f}, "
+            f"~{self.duration}"
+        )
+
+
+def summarize_costs(stats: CrowdStats,
+                    latency: Optional[LatencyModel] = None) -> CostSummary:
+    """Project a run's stats into a :class:`CostSummary`.
+
+    Args:
+        stats: The run's counters (must have per-batch sizes recorded).
+        latency: Timing model; defaults to one matching the stats' HIT
+            packing and worker count.
+    """
+    if latency is None:
+        latency = LatencyModel(pairs_per_hit=stats.pairs_per_hit,
+                               num_workers=stats.num_workers)
+    return CostSummary(
+        pairs=stats.pairs_issued,
+        hits=stats.hits,
+        iterations=stats.iterations,
+        dollars=stats.monetary_cost_cents / 100.0,
+        seconds=latency.total_seconds(stats.batch_sizes),
+    )
+
+
+def compare_costs(stats_by_method: Mapping[str, CrowdStats],
+                  latency: Optional[LatencyModel] = None
+                  ) -> "dict[str, CostSummary]":
+    """Cost summaries for several methods' runs, shared timing model."""
+    return {
+        method: summarize_costs(stats, latency=latency)
+        for method, stats in stats_by_method.items()
+    }

@@ -1,0 +1,147 @@
+"""Resumable experiment grids with an on-disk result store.
+
+Running the full comparison over datasets × settings × methods takes
+minutes; re-running everything because one cell changed is wasteful.
+:class:`ResultStore` persists finished cells as JSON keyed by their exact
+configuration; :func:`run_grid` fills in only the missing cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.runner import (
+    ALL_METHODS,
+    MethodResult,
+    prepare_instance,
+    run_comparison,
+)
+
+_STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid configuration (a dataset × setting comparison)."""
+
+    dataset: str
+    setting: str
+    scale: float
+    seed: int
+    repetitions: int
+
+    def key(self) -> str:
+        return (f"{self.dataset}|{self.setting}|scale={self.scale}"
+                f"|seed={self.seed}|reps={self.repetitions}")
+
+
+class ResultStore:
+    """JSON-backed store of finished grid cells.
+
+    The file layout is a single JSON object:
+    ``{"version": 1, "cells": {key: {method: result_dict}}}``.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._cells: Dict[str, Dict[str, Dict[str, float]]] = {}
+        if self._path.exists():
+            payload = json.loads(self._path.read_text())
+            if (not isinstance(payload, dict)
+                    or payload.get("version") != _STORE_VERSION):
+                raise ValueError(f"{path}: not a version-{_STORE_VERSION} "
+                                 "result store")
+            self._cells = payload["cells"]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell: GridCell) -> bool:
+        return cell.key() in self._cells
+
+    def get(self, cell: GridCell) -> Optional[Dict[str, MethodResult]]:
+        """Stored results for a cell, rebuilt as MethodResult objects."""
+        raw = self._cells.get(cell.key())
+        if raw is None:
+            return None
+        return {
+            method: MethodResult(
+                method=method,
+                f1=values["f1"],
+                precision=values["precision"],
+                recall=values["recall"],
+                pairs_issued=values["pairs_issued"],
+                iterations=values["iterations"],
+                hits=values["hits"],
+                num_clusters=values["num_clusters"],
+            )
+            for method, values in raw.items()
+        }
+
+    def put(self, cell: GridCell,
+            results: Dict[str, MethodResult]) -> None:
+        """Store a cell's results and flush to disk."""
+        self._cells[cell.key()] = {
+            method: {
+                "f1": result.f1,
+                "precision": result.precision,
+                "recall": result.recall,
+                "pairs_issued": result.pairs_issued,
+                "iterations": result.iterations,
+                "hits": result.hits,
+                "num_clusters": result.num_clusters,
+            }
+            for method, result in results.items()
+        }
+        self._flush()
+
+    def _flush(self) -> None:
+        payload = {"version": _STORE_VERSION, "cells": self._cells}
+        self._path.write_text(json.dumps(payload, indent=0, sort_keys=True))
+
+
+def grid_cells(
+    datasets: Sequence[str],
+    settings: Sequence[str],
+    scale: float = 1.0,
+    seed: int = 1,
+    repetitions: int = 3,
+) -> List[GridCell]:
+    """The full factorial cell list."""
+    return [
+        GridCell(dataset=dataset, setting=setting, scale=scale, seed=seed,
+                 repetitions=repetitions)
+        for dataset in datasets
+        for setting in settings
+    ]
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    store: ResultStore,
+    methods: Sequence[str] = ALL_METHODS,
+) -> Dict[GridCell, Dict[str, MethodResult]]:
+    """Fill a grid, skipping cells already in the store.
+
+    Returns every requested cell's results (cached or fresh).
+    """
+    out: Dict[GridCell, Dict[str, MethodResult]] = {}
+    for cell in cells:
+        cached = store.get(cell)
+        if cached is not None and set(methods) <= set(cached):
+            out[cell] = {method: cached[method] for method in methods}
+            continue
+        instance = prepare_instance(cell.dataset, cell.setting,
+                                    scale=cell.scale, seed=cell.seed)
+        results = run_comparison(instance, methods=methods,
+                                 repetitions=cell.repetitions)
+        stripped = {
+            method: result.scaled_copy_without_clustering()
+            for method, result in results.items()
+        }
+        store.put(cell, stripped)
+        out[cell] = stripped
+    return out

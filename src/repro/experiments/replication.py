@@ -1,0 +1,99 @@
+"""One-command full replication.
+
+:func:`replicate` runs everything the paper's evaluation reports — Table 3,
+the ε sweep (Figure 5), the six-method comparison (Figures 6–8), and the T
+sweep (Figure 10) — across all datasets and both crowd settings, and
+renders a single markdown document mirroring EXPERIMENTS.md's structure.
+The CLI command ``repro replicate`` wraps it.
+
+At scale 1.0 with 3 repetitions this is ~10 minutes of compute; pass a
+smaller scale for a quick pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.datasets.registry import dataset_names
+from repro.experiments.report import ExperimentReport, markdown_table
+from repro.experiments.runner import prepare_instance, run_comparison
+from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
+from repro.experiments.tables import table3_row
+
+ProgressCallback = Callable[[str], None]
+
+
+def replicate(
+    scale: float = 1.0,
+    seed: int = 1,
+    repetitions: int = 3,
+    settings: Sequence[str] = ("3w", "5w"),
+    datasets: Optional[Sequence[str]] = None,
+    include_sweeps: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> str:
+    """Run the full evaluation and return the markdown report.
+
+    Args:
+        scale: Dataset size multiplier (1.0 = Table 3 sizes).
+        seed: Dataset/crowd seed.
+        repetitions: Averaging runs for randomized methods.
+        settings: Crowd settings to cover.
+        datasets: Datasets to cover (default: all three).
+        include_sweeps: Also run the ε and T sweeps (3w only, per the
+            paper).
+        progress: Optional callback receiving one line per completed step.
+    """
+    names = list(datasets) if datasets is not None else dataset_names()
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    report = ExperimentReport(
+        title=f"Full replication (scale={scale}, reps={repetitions}, "
+              f"seed={seed})"
+    )
+
+    # Table 3.
+    rows = []
+    for name in names:
+        row = table3_row(name, scale=scale, seed=seed)
+        rows.append([
+            name, f"{row['records']:.0f}", f"{row['entities']:.0f}",
+            f"{row['candidate_pairs']:.0f}",
+            f"{row['error_3w']:.1%}", f"{row['error_5w']:.1%}",
+        ])
+        note(f"table3: {name}")
+    report.add_section("Table 3 — datasets and crowd error rates",
+                       markdown_table(
+                           ["dataset", "records", "entities", "pairs",
+                            "error 3w", "error 5w"], rows))
+
+    # Figures 6-8 per dataset x setting.
+    for name in names:
+        for setting in settings:
+            instance = prepare_instance(name, setting, scale=scale,
+                                        seed=seed)
+            results = run_comparison(instance, repetitions=repetitions)
+            report.add_comparison(
+                f"Figures 6-8 — {name} ({setting})", results
+            )
+            note(f"comparison: {name}/{setting}")
+
+    # Figures 5 and 10 (3-worker setting, as in the paper).
+    if include_sweeps:
+        for name in names:
+            instance = prepare_instance(name, "3w", scale=scale, seed=seed)
+            report.add_epsilon_sweep(
+                f"Figure 5 — ε sweep — {name}",
+                epsilon_sweep(instance, repetitions=repetitions),
+            )
+            note(f"epsilon sweep: {name}")
+            report.add_threshold_sweep(
+                f"Figure 10 — T sweep — {name}",
+                threshold_sweep(instance, repetitions=repetitions),
+            )
+            note(f"threshold sweep: {name}")
+
+    return report.render()

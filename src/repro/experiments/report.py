@@ -1,0 +1,121 @@
+"""Markdown experiment reports.
+
+Turns experiment results into a self-contained markdown document — the
+programmatic counterpart of EXPERIMENTS.md.  Used by the CLI's ``report``
+command and handy for CI artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import Instance, MethodResult, run_comparison
+from repro.experiments.sweeps import (
+    EpsilonSweep,
+    ThresholdPoint,
+    epsilon_sweep,
+    threshold_sweep,
+)
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavored markdown table."""
+    head = "| " + " | ".join(headers) + " |"
+    divider = "|" + "|".join("---" for _ in headers) + "|"
+    body = "\n".join(
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    )
+    return f"{head}\n{divider}\n{body}" if rows else f"{head}\n{divider}"
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates sections and renders one markdown document."""
+
+    title: str = "Experiment report"
+    _sections: List[str] = field(default_factory=list)
+
+    def add_section(self, heading: str, body: str) -> None:
+        self._sections.append(f"## {heading}\n\n{body}")
+
+    def add_comparison(self, heading: str,
+                       results: Mapping[str, MethodResult]) -> None:
+        """A Figure 6/7/8-style method table."""
+        rows = [
+            [
+                method,
+                f"{result.f1:.3f}",
+                f"{result.precision:.3f}",
+                f"{result.recall:.3f}",
+                f"{result.pairs_issued:.0f}",
+                f"{result.iterations:.1f}",
+            ]
+            for method, result in results.items()
+        ]
+        self.add_section(heading, markdown_table(
+            ["method", "F1", "precision", "recall", "pairs", "iterations"],
+            rows,
+        ))
+
+    def add_epsilon_sweep(self, heading: str, sweep: EpsilonSweep) -> None:
+        rows = [
+            [f"{point.epsilon:.1f}", f"{point.iterations:.1f}",
+             f"{point.pairs_issued:.0f}"]
+            for point in sweep.points
+        ]
+        rows.append(["Crowd-Pivot", f"{sweep.crowd_pivot_iterations:.1f}",
+                     f"{sweep.crowd_pivot_pairs:.0f}"])
+        self.add_section(heading, markdown_table(
+            ["ε", "crowd iterations", "pairs issued"], rows
+        ))
+
+    def add_threshold_sweep(self, heading: str,
+                            points: Sequence[ThresholdPoint]) -> None:
+        rows = [
+            [f"N_m/{point.divisor:.0f}", f"{point.f1:.3f}",
+             f"{point.refinement_pairs:.0f}",
+             f"{point.refinement_iterations:.1f}"]
+            for point in points
+        ]
+        self.add_section(heading, markdown_table(
+            ["T", "F1", "refine pairs", "refine iterations"], rows
+        ))
+
+    def render(self) -> str:
+        parts = [f"# {self.title}"]
+        parts.extend(self._sections)
+        return "\n\n".join(parts) + "\n"
+
+
+def full_report_for_instance(
+    instance: Instance,
+    repetitions: int = 3,
+    include_sweeps: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """One-stop report: method comparison plus both parameter sweeps."""
+    name = instance.dataset.name
+    report = ExperimentReport(
+        title=title or f"ACD reproduction — {name} ({instance.setting.name})"
+    )
+    report.add_section("Instance", markdown_table(
+        ["records", "entities", "candidate pairs", "workers"],
+        [[len(instance.dataset), instance.dataset.num_entities,
+          len(instance.candidates), instance.setting.num_workers]],
+    ))
+    report.add_comparison(
+        "Method comparison (Figures 6-8)",
+        run_comparison(instance, repetitions=repetitions),
+    )
+    if include_sweeps:
+        report.add_epsilon_sweep(
+            "ε sweep (Figure 5)",
+            epsilon_sweep(instance, repetitions=repetitions),
+        )
+        report.add_threshold_sweep(
+            "T sweep (Figure 10)",
+            threshold_sweep(instance, repetitions=repetitions),
+        )
+    return report.render()

@@ -1,0 +1,120 @@
+"""Robustness analysis: accuracy as a function of crowd error rate.
+
+The paper's central qualitative claim is that ACD degrades gracefully with
+crowd errors while transitivity-based methods collapse (Figure 1, Section
+6.3's 3w-vs-5w comparison).  This module turns that claim into an explicit
+curve: hold the dataset fixed, sweep the simulated crowd's error level, and
+measure each method's F1 at every point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.crowd.cache import AnswerFile
+from repro.crowd.oracle import CrowdOracle
+from repro.crowd.stats import CrowdStats
+from repro.crowd.worker import DifficultyModel, WorkerPool
+from repro.datasets.schema import Dataset
+from repro.eval.metrics import f1_score
+from repro.pruning.candidate import CandidateSet
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One error level of the robustness curve.
+
+    Attributes:
+        easy_error: The per-worker error probability used.
+        measured_error: The realized majority-vote error over the
+            candidate set.
+        f1_by_method: Method name -> mean F1 at this error level.
+    """
+
+    easy_error: float
+    measured_error: float
+    f1_by_method: Dict[str, float]
+
+
+def error_sweep(
+    dataset: Dataset,
+    candidates: CandidateSet,
+    easy_errors: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4),
+    methods: Sequence[str] = ("ACD", "TransM", "CrowdER+"),
+    num_workers: int = 3,
+    repetitions: int = 3,
+    base_seed: int = 700,
+) -> List[RobustnessPoint]:
+    """Measure methods across worker error levels.
+
+    Each point builds a fresh answer file with the given per-worker error
+    (no hard-pair mixture — this sweep isolates the error-rate axis), so
+    the dataset and candidate set stay constant while the crowd degrades.
+
+    Args:
+        dataset: The record set with gold labels.
+        candidates: The pruned candidate set (shared across points).
+        easy_errors: Per-worker error probabilities to sweep.
+        methods: Any of 'ACD', 'PC-Pivot', 'TransM', 'TransNode',
+            'CrowdER+'.
+        num_workers: Panel size per pair.
+        repetitions: Runs to average for randomized methods.
+        base_seed: Seed base.
+
+    Returns:
+        One :class:`RobustnessPoint` per error level, in sweep order.
+    """
+    from repro.baselines import crowder_plus, transm, transnode
+    from repro.core.acd import run_acd
+
+    points: List[RobustnessPoint] = []
+    for level_index, easy_error in enumerate(easy_errors):
+        difficulty = DifficultyModel(easy_error=easy_error,
+                                     seed=base_seed + level_index)
+        answers = AnswerFile(
+            dataset.gold, WorkerPool(difficulty, num_workers=num_workers)
+        )
+        measured = answers.majority_error_rate(candidates.pairs)
+
+        f1_by_method: Dict[str, float] = {}
+        for method in methods:
+            if method in ("ACD", "PC-Pivot"):
+                total = 0.0
+                for repetition in range(repetitions):
+                    result = run_acd(
+                        dataset.record_ids, candidates, answers,
+                        seed=base_seed + repetition,
+                        refine=(method == "ACD"),
+                    )
+                    total += f1_score(result.clustering, dataset.gold)
+                f1_by_method[method] = total / repetitions
+            else:
+                oracle = CrowdOracle(answers, stats=CrowdStats(
+                    num_workers=num_workers
+                ))
+                if method == "TransM":
+                    clustering = transm(dataset.record_ids, candidates,
+                                        oracle)
+                elif method == "TransNode":
+                    clustering = transnode(dataset.record_ids, candidates,
+                                           oracle)
+                elif method == "CrowdER+":
+                    clustering = crowder_plus(dataset.record_ids, candidates,
+                                              oracle)
+                else:
+                    raise ValueError(f"unknown method {method!r}")
+                f1_by_method[method] = f1_score(clustering, dataset.gold)
+        points.append(RobustnessPoint(
+            easy_error=easy_error,
+            measured_error=measured,
+            f1_by_method=f1_by_method,
+        ))
+    return points
+
+
+def degradation(points: Sequence[RobustnessPoint], method: str) -> float:
+    """Total F1 loss of a method from the first to the last sweep point."""
+    if not points:
+        raise ValueError("empty sweep")
+    return points[0].f1_by_method[method] - points[-1].f1_by_method[method]

@@ -1,0 +1,108 @@
+"""Statistical utilities for experiment results.
+
+Randomized methods (ACD, PC-Pivot) are averaged over repetitions; a
+credible comparison should also report spread and whether differences
+survive resampling.  Provides mean / standard deviation / normal-theory
+confidence intervals and a paired bootstrap test for method deltas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, sample standard deviation, and a confidence half-width."""
+
+    mean: float
+    std: float
+    count: int
+    confidence_half_width: float
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.mean - self.confidence_half_width,
+                self.mean + self.confidence_half_width)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.confidence_half_width:.3f}"
+
+
+# Two-sided z critical values for common confidence levels.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> SummaryStats:
+    """Summary statistics with a normal-approximation confidence interval.
+
+    Raises:
+        ValueError: On an empty sample or unsupported confidence level.
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if confidence not in _Z_VALUES:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_VALUES)}, got {confidence}"
+        )
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return SummaryStats(mean=mean, std=0.0, count=1,
+                            confidence_half_width=0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    std = math.sqrt(variance)
+    half_width = _Z_VALUES[confidence] * std / math.sqrt(count)
+    return SummaryStats(mean=mean, std=std, count=count,
+                        confidence_half_width=half_width)
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    mean_difference: float
+    p_value: float
+    resamples: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_bootstrap(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    resamples: int = 10_000,
+    seed: Optional[int] = 0,
+) -> BootstrapResult:
+    """Two-sided paired bootstrap test of ``mean(a) - mean(b) != 0``.
+
+    Both samples must be paired (same length, i-th entries from the same
+    run/seed).  The p-value is the fraction of sign-randomized resampled
+    mean differences at least as extreme as the observed one.
+
+    Raises:
+        ValueError: On length mismatch or empty samples.
+    """
+    if len(sample_a) != len(sample_b):
+        raise ValueError("paired samples must have equal length")
+    if not sample_a:
+        raise ValueError("cannot bootstrap empty samples")
+    differences = [a - b for a, b in zip(sample_a, sample_b)]
+    observed = sum(differences) / len(differences)
+    rng = random.Random(seed)
+    extreme = 0
+    for _ in range(resamples):
+        resampled = sum(
+            d if rng.random() < 0.5 else -d for d in differences
+        ) / len(differences)
+        if abs(resampled) >= abs(observed) - 1e-15:
+            extreme += 1
+    return BootstrapResult(
+        mean_difference=observed,
+        p_value=extreme / resamples,
+        resamples=resamples,
+    )

@@ -1,0 +1,108 @@
+"""Table/figure regeneration: produce the paper's reported rows and series.
+
+These functions return plain data structures and formatted text blocks; the
+``benchmarks/`` suite calls them and prints the output next to the paper's
+reference numbers (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.experiments.configs import WORKER_SETTINGS
+from repro.experiments.runner import (
+    Instance,
+    MethodResult,
+    prepare_instance,
+    run_comparison,
+)
+from repro.experiments.sweeps import EpsilonSweep, ThresholdPoint
+
+
+def table3_row(dataset_name: str, scale: float = 1.0,
+               seed: int = 0) -> Dict[str, float]:
+    """One row of Table 3: dataset characteristics and crowd error rates.
+
+    Builds the dataset once, prunes once, and measures the majority-vote
+    error rate of both crowd settings over the full candidate set.
+    """
+    row: Dict[str, float] = {}
+    base = prepare_instance(dataset_name, "3w", scale=scale, seed=seed)
+    row["records"] = len(base.dataset)
+    row["entities"] = base.dataset.num_entities
+    row["candidate_pairs"] = len(base.candidates)
+    for setting_name in WORKER_SETTINGS:
+        instance = (
+            base if setting_name == "3w"
+            else prepare_instance(dataset_name, setting_name, scale=scale,
+                                  seed=seed)
+        )
+        error = instance.answers.majority_error_rate(instance.candidates.pairs)
+        row[f"error_{setting_name}"] = error
+    return row
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text aligned table (what the benches print)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index])
+                         for index, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def format_comparison(results: Mapping[str, MethodResult]) -> str:
+    """Figure 6/7/8 rows for one instance: method, F1, pairs, iterations."""
+    rows = [
+        [
+            method,
+            f"{result.f1:.3f}",
+            f"{result.precision:.3f}",
+            f"{result.recall:.3f}",
+            f"{result.pairs_issued:.0f}",
+            f"{result.iterations:.1f}",
+        ]
+        for method, result in results.items()
+    ]
+    return format_table(
+        ["method", "F1", "precision", "recall", "pairs", "iterations"], rows
+    )
+
+
+def format_epsilon_sweep(sweep: EpsilonSweep) -> str:
+    """Figure 5 series for one dataset."""
+    rows = [
+        [f"{point.epsilon:.1f}", f"{point.iterations:.1f}",
+         f"{point.pairs_issued:.0f}"]
+        for point in sweep.points
+    ]
+    rows.append([
+        "Crowd-Pivot",
+        f"{sweep.crowd_pivot_iterations:.1f}",
+        f"{sweep.crowd_pivot_pairs:.0f}",
+    ])
+    return format_table(["epsilon", "crowd iterations", "pairs issued"], rows)
+
+
+def format_threshold_sweep(points: Sequence[ThresholdPoint]) -> str:
+    """Figure 10 series for one dataset."""
+    rows = [
+        [
+            f"N_m/{point.divisor:.0f}",
+            f"{point.f1:.3f}",
+            f"{point.refinement_pairs:.0f}",
+            f"{point.refinement_iterations:.1f}",
+            f"{point.total_pairs:.0f}",
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["T", "F1", "refine pairs", "refine iterations", "total pairs"], rows
+    )

@@ -1,0 +1,76 @@
+"""Pruning-phase analysis: what a threshold τ costs and buys.
+
+The candidate set bounds every downstream method's recall: a duplicate pair
+pruned away can never be recovered.  These utilities measure a candidate
+set against the gold standard (recall / precision / reduction ratio) and
+sweep τ to expose the trade-off the paper resolves at τ = 0.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.datasets.schema import Dataset
+from repro.pruning.candidate import CandidateSet, build_candidate_set
+from repro.similarity.composite import SimilarityFunction
+
+
+@dataclass(frozen=True)
+class PruningQuality:
+    """How a candidate set relates to the gold duplicates.
+
+    Attributes:
+        threshold: The τ that produced the set.
+        num_pairs: Candidate pairs retained.
+        recall: Fraction of gold duplicate pairs present in the set (the
+            ceiling on any downstream method's recall).
+        precision: Fraction of candidate pairs that are true duplicates.
+        reduction_ratio: 1 - |S| / C(n, 2): how much work pruning saved.
+    """
+
+    threshold: float
+    num_pairs: int
+    recall: float
+    precision: float
+    reduction_ratio: float
+
+
+def evaluate_candidates(candidates: CandidateSet,
+                        dataset: Dataset) -> PruningQuality:
+    """Measure one candidate set against the dataset's gold standard."""
+    gold_pairs = set(dataset.gold.duplicate_pairs())
+    retained_duplicates = sum(
+        1 for pair in candidates.pairs if pair in gold_pairs
+    )
+    recall = retained_duplicates / len(gold_pairs) if gold_pairs else 1.0
+    precision = (retained_duplicates / len(candidates)
+                 if len(candidates) else 1.0)
+    total_pairs = len(dataset) * (len(dataset) - 1) // 2
+    reduction = 1.0 - (len(candidates) / total_pairs if total_pairs else 0.0)
+    return PruningQuality(
+        threshold=candidates.threshold,
+        num_pairs=len(candidates),
+        recall=recall,
+        precision=precision,
+        reduction_ratio=reduction,
+    )
+
+
+def threshold_tradeoff(
+    dataset: Dataset,
+    similarity: SimilarityFunction,
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+) -> List[PruningQuality]:
+    """Sweep τ and measure the recall/size trade-off at each point.
+
+    The similarity function's memoization makes the sweep cheap: pairs are
+    scored once and re-thresholded.
+    """
+    results = []
+    for threshold in sorted(thresholds):
+        candidates = build_candidate_set(
+            dataset.records, similarity, threshold=threshold
+        )
+        results.append(evaluate_candidates(candidates, dataset))
+    return results

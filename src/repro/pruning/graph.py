@@ -1,0 +1,100 @@
+"""The candidate graph ``G = (V_R, E_S)``.
+
+Every clustering algorithm in the paper operates on the undirected graph
+whose vertices are records and whose edges are candidate pairs (Table 1).
+:class:`CandidateGraph` provides the mutable view the pivot algorithms need
+(vertex removal as clusters form) without copying adjacency sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.datasets.schema import canonical_pair
+
+Pair = Tuple[int, int]
+
+
+class CandidateGraph:
+    """Undirected graph over record ids with O(1) amortized vertex removal.
+
+    Removal marks vertices dead and filters them lazily from neighbor
+    queries — the access pattern of Crowd-Pivot/Partial-Pivot, which remove
+    whole clusters per iteration, never re-inserting.
+    """
+
+    def __init__(self, vertices: Iterable[int], edges: Iterable[Pair]):
+        self._adjacency: Dict[int, Set[int]] = {v: set() for v in vertices}
+        for raw in edges:
+            a, b = canonical_pair(*raw)
+            if a not in self._adjacency or b not in self._adjacency:
+                raise ValueError(f"edge ({a}, {b}) references unknown vertex")
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._alive: Set[int] = set(self._adjacency)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._alive
+
+    @property
+    def vertices(self) -> Set[int]:
+        """The set of live vertices (a copy)."""
+        return set(self._alive)
+
+    def is_empty(self) -> bool:
+        return not self._alive
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Live neighbors of a live vertex, sorted for determinism."""
+        if vertex not in self._alive:
+            raise KeyError(f"vertex {vertex} is not in the graph")
+        return sorted(n for n in self._adjacency[vertex] if n in self._alive)
+
+    def degree(self, vertex: int) -> int:
+        """Number of live neighbors."""
+        return len(self.neighbors(vertex))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True iff both endpoints are live and adjacent."""
+        return (
+            a in self._alive and b in self._alive and b in self._adjacency.get(a, ())
+        )
+
+    def edges(self) -> Iterator[Pair]:
+        """All live edges, canonical and sorted."""
+        for a in sorted(self._alive):
+            for b in self._adjacency[a]:
+                if b in self._alive and a < b:
+                    yield (a, b)
+
+    def num_edges(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def remove_vertices(self, vertices: Iterable[int]) -> None:
+        """Remove a set of vertices (and implicitly their incident edges)."""
+        for vertex in vertices:
+            self._alive.discard(vertex)
+
+    def copy(self) -> "CandidateGraph":
+        """An independent copy with the same live vertices and edges."""
+        clone = CandidateGraph.__new__(CandidateGraph)
+        clone._adjacency = {v: set(ns) for v, ns in self._adjacency.items()}
+        clone._alive = set(self._alive)
+        return clone
+
+
+def graph_from_candidates(record_ids: Iterable[int],
+                          pairs: Iterable[Pair]) -> CandidateGraph:
+    """Build ``G = (V_R, E_S)`` from the record set and candidate set."""
+    return CandidateGraph(record_ids, pairs)

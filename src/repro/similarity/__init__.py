@@ -1,0 +1,83 @@
+"""Machine-based similarity metrics (the ``f`` of the paper).
+
+Includes character-based (Levenshtein, Jaro-Winkler), token-based (Jaccard,
+TF-IDF cosine), q-gram, and phonetic (Soundex/Metaphone) metrics, plus the
+:class:`SimilarityFunction` record-pair interface used by the pruning phase.
+"""
+
+from repro.similarity.cosine import TfIdfVectorizer, sparse_cosine, tfidf_cosine
+from repro.similarity.composite import (
+    SimilarityFunction,
+    jaccard_similarity_function,
+    jaro_winkler_similarity_function,
+    levenshtein_similarity_function,
+    qgram_similarity_function,
+    weighted_similarity_function,
+)
+from repro.similarity.fields import (
+    FieldRule,
+    FieldSimilarityConfig,
+    exact_match,
+)
+from repro.similarity.hybrid import (
+    dice_coefficient,
+    monge_elkan,
+    overlap_coefficient,
+    token_dice,
+    token_overlap,
+)
+from repro.similarity.jaccard import jaccard, qgram_jaccard, token_jaccard
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.levenshtein import (
+    damerau_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from repro.similarity.phonetic import metaphone, phonetic_equal, soundex
+from repro.similarity.softtfidf import SoftTfIdf
+from repro.similarity.tokenize import (
+    ngram_shingles,
+    normalize,
+    qgram_set,
+    qgrams,
+    token_set,
+    word_tokens,
+)
+
+__all__ = [
+    "FieldRule",
+    "FieldSimilarityConfig",
+    "SimilarityFunction",
+    "SoftTfIdf",
+    "TfIdfVectorizer",
+    "damerau_distance",
+    "exact_match",
+    "dice_coefficient",
+    "jaccard",
+    "jaccard_similarity_function",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "jaro_winkler_similarity_function",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "levenshtein_similarity_function",
+    "metaphone",
+    "monge_elkan",
+    "ngram_shingles",
+    "normalize",
+    "overlap_coefficient",
+    "phonetic_equal",
+    "qgram_jaccard",
+    "qgram_set",
+    "qgram_similarity_function",
+    "qgrams",
+    "soundex",
+    "sparse_cosine",
+    "tfidf_cosine",
+    "token_dice",
+    "token_jaccard",
+    "token_overlap",
+    "token_set",
+    "weighted_similarity_function",
+    "word_tokens",
+]

@@ -1,0 +1,89 @@
+"""Similarity function objects: the ``f`` of the paper (Section 2.1).
+
+A :class:`SimilarityFunction` maps a pair of :class:`~repro.datasets.schema.Record`
+objects to a score in [0, 1].  The pruning phase and several baselines are
+parameterized over this interface, so swapping metrics is a one-liner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.datasets.schema import Record, canonical_pair
+from repro.similarity.jaccard import qgram_jaccard, token_jaccard
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.levenshtein import levenshtein_similarity
+
+TextSimilarity = Callable[[str, str], float]
+
+
+class SimilarityFunction:
+    """A named record-pair similarity with memoization.
+
+    The cache matters: the pruning phase scores every candidate pair once,
+    and the refinement phase's histogram estimator re-reads machine scores
+    for the same pairs many times.
+    """
+
+    def __init__(self, name: str, text_similarity: TextSimilarity):
+        self.name = name
+        self._text_similarity = text_similarity
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def __call__(self, record_a: Record, record_b: Record) -> float:
+        key = canonical_pair(record_a.record_id, record_b.record_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        score = self._text_similarity(record_a.text, record_b.text)
+        score = min(1.0, max(0.0, score))
+        self._cache[key] = score
+        return score
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+def jaccard_similarity_function() -> SimilarityFunction:
+    """Word-token Jaccard — the paper's pruning-phase metric."""
+    return SimilarityFunction("jaccard", token_jaccard)
+
+
+def qgram_similarity_function(q: int = 3) -> SimilarityFunction:
+    """Character q-gram Jaccard."""
+    return SimilarityFunction(f"qgram{q}", lambda a, b: qgram_jaccard(a, b, q=q))
+
+
+def levenshtein_similarity_function() -> SimilarityFunction:
+    """Normalized edit similarity."""
+    return SimilarityFunction("levenshtein", levenshtein_similarity)
+
+
+def jaro_winkler_similarity_function() -> SimilarityFunction:
+    """Jaro-Winkler similarity."""
+    return SimilarityFunction("jaro_winkler", jaro_winkler_similarity)
+
+
+def weighted_similarity_function(
+    components: Sequence[Tuple[TextSimilarity, float]],
+    name: str = "weighted",
+) -> SimilarityFunction:
+    """Convex combination of text similarities.
+
+    Args:
+        components: ``(metric, weight)`` pairs; weights must be positive and
+            are normalized to sum to one.
+    """
+    if not components:
+        raise ValueError("weighted similarity needs at least one component")
+    total = sum(weight for _, weight in components)
+    if total <= 0:
+        raise ValueError("component weights must sum to a positive number")
+    normalized: List[Tuple[TextSimilarity, float]] = [
+        (metric, weight / total) for metric, weight in components
+    ]
+
+    def combined(text_a: str, text_b: str) -> float:
+        return sum(weight * metric(text_a, text_b) for metric, weight in normalized)
+
+    return SimilarityFunction(name, combined)

@@ -1,0 +1,69 @@
+"""TF-IDF cosine similarity over word tokens — the token-based metric class
+(paper reference [12]).  The vectorizer is corpus-level: build it once over
+all records, then score pairs cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping
+
+from repro.similarity.tokenize import word_tokens
+
+
+class TfIdfVectorizer:
+    """Fit IDF weights on a corpus, then map texts to sparse TF-IDF vectors."""
+
+    def __init__(self) -> None:
+        self._idf: Dict[str, float] = {}
+        self._num_docs = 0
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._idf)
+
+    def fit(self, texts: Iterable[str]) -> "TfIdfVectorizer":
+        """Compute smoothed IDF weights: ``log((1 + N) / (1 + df)) + 1``."""
+        document_frequency: Counter = Counter()
+        num_docs = 0
+        for text in texts:
+            num_docs += 1
+            document_frequency.update(set(word_tokens(text)))
+        self._num_docs = num_docs
+        self._idf = {
+            token: math.log((1 + num_docs) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        return self
+
+    def transform(self, text: str) -> Dict[str, float]:
+        """L2-normalized sparse TF-IDF vector of ``text``.
+
+        Tokens unseen during :meth:`fit` get the maximum IDF (treated as df=0).
+        """
+        if self._num_docs == 0:
+            raise RuntimeError("vectorizer must be fit before transform")
+        counts = Counter(word_tokens(text))
+        default_idf = math.log(1 + self._num_docs) + 1.0
+        vector = {
+            token: count * self._idf.get(token, default_idf)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        if norm == 0.0:
+            return {}
+        return {token: weight / norm for token, weight in vector.items()}
+
+
+def sparse_cosine(vec_a: Mapping[str, float], vec_b: Mapping[str, float]) -> float:
+    """Dot product of two sparse vectors (cosine if both are L2-normalized)."""
+    if len(vec_a) > len(vec_b):
+        vec_a, vec_b = vec_b, vec_a
+    return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+
+
+def tfidf_cosine(texts: List[str], text_a: str, text_b: str) -> float:
+    """One-shot TF-IDF cosine of two texts against a given corpus."""
+    vectorizer = TfIdfVectorizer().fit(texts)
+    return sparse_cosine(vectorizer.transform(text_a), vectorizer.transform(text_b))

@@ -1,0 +1,34 @@
+"""Jaccard similarity — the machine-based metric used by the paper's pruning
+phase (Section 6.1: "we compute the machine-based similarity score for each
+record pair using the Jaccard similarity metric ... τ = 0.3").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.similarity.tokenize import qgram_set, token_set
+
+
+def jaccard(set_a: FrozenSet[str], set_b: FrozenSet[str]) -> float:
+    """Plain Jaccard coefficient of two sets, in [0, 1].
+
+    Empty-vs-empty is defined as 1.0 (identical); empty-vs-nonempty is 0.0.
+    """
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    union = len(set_a) + len(set_b) - intersection
+    return intersection / union
+
+
+def token_jaccard(text_a: str, text_b: str) -> float:
+    """Jaccard similarity over word tokens."""
+    return jaccard(token_set(text_a), token_set(text_b))
+
+
+def qgram_jaccard(text_a: str, text_b: str, q: int = 3) -> float:
+    """Jaccard similarity over padded character q-grams."""
+    return jaccard(qgram_set(text_a, q=q), qgram_set(text_b, q=q))

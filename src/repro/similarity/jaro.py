@@ -1,0 +1,70 @@
+"""Jaro and Jaro-Winkler string similarity, widely used for names in
+record-linkage literature.
+"""
+
+from __future__ import annotations
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1].
+
+    Matches are characters equal within a window of
+    ``max(len(a), len(b)) // 2 - 1``; transpositions are matched characters
+    in a different order.
+    """
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, char_a in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == char_a:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix
+    (capped at 4 characters).
+
+    Args:
+        prefix_weight: Winkler's scaling factor ``p``; must satisfy
+            ``0 <= p <= 0.25`` so the result stays in [0, 1].
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25], got {prefix_weight}")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)

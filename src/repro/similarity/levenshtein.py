@@ -1,0 +1,75 @@
+"""Levenshtein (edit-distance) similarity — a character-based metric
+(paper reference [32]).  Pure-Python dynamic programming with the usual
+two-row space optimization.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character insertions, deletions, and
+    substitutions transforming ``a`` into ``b``.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string as the row for smaller memory.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity ``1 - dist / max(len)``, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def damerau_distance(a: str, b: str) -> int:
+    """Optimal-string-alignment distance: Levenshtein plus adjacent
+    transpositions (each substring edited at most once).
+    """
+    len_a, len_b = len(a), len(b)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    table = [[0] * (len_b + 1) for _ in range(len_a + 1)]
+    for i in range(len_a + 1):
+        table[i][0] = i
+    for j in range(len_b + 1):
+        table[0][j] = j
+    for i in range(1, len_a + 1):
+        for j in range(1, len_b + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            table[i][j] = min(
+                table[i - 1][j] + 1,
+                table[i][j - 1] + 1,
+                table[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                table[i][j] = min(table[i][j], table[i - 2][j - 2] + 1)
+    return table[len_a][len_b]

@@ -1,0 +1,153 @@
+"""Phonetic encodings (Soundex and a simplified Metaphone) — the paper's
+reference [39] class of similarity metrics.  Useful for name-heavy datasets
+such as Restaurant.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+_VOWELISH = set("aeiouyhw")
+
+
+def soundex(word: str, length: int = 4) -> str:
+    """American Soundex code of a word, padded/truncated to ``length``.
+
+    >>> soundex("Robert")
+    'R163'
+    >>> soundex("Rupert")
+    'R163'
+    """
+    letters = [c for c in word.lower() if c.isalpha()]
+    if not letters:
+        return "0" * length
+    first = letters[0]
+    encoded = [first.upper()]
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for char in letters[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if code and code != previous_code:
+            encoded.append(code)
+        if char not in "hw":
+            previous_code = code
+    result = "".join(encoded)[:length]
+    return result.ljust(length, "0")
+
+
+def metaphone(word: str) -> str:
+    """A simplified Metaphone encoding.
+
+    This covers the common English consonant transformations (enough for
+    fuzzy name matching); it is not a full Philips Metaphone implementation
+    but shares its key property: words that sound alike map to the same code.
+    """
+    word = re.sub(r"[^a-z]", "", word.lower())
+    if not word:
+        return ""
+    # Initial-letter exceptions.
+    for prefix, replacement in (("kn", "n"), ("gn", "n"), ("pn", "n"),
+                                ("wr", "r"), ("ps", "s"), ("x", "s")):
+        if word.startswith(prefix):
+            word = replacement + word[len(prefix):]
+            break
+
+    output = []
+    i = 0
+    n = len(word)
+    while i < n:
+        char = word[i]
+        nxt = word[i + 1] if i + 1 < n else ""
+        prev = word[i - 1] if i > 0 else ""
+        if char in "aeiou":
+            if i == 0:
+                output.append(char.upper())
+            i += 1
+            continue
+        if char == prev and char != "c":  # drop doubled letters
+            i += 1
+            continue
+        if char == "b":
+            if not (i == n - 1 and prev == "m"):
+                output.append("B")
+        elif char == "c":
+            if nxt == "h":
+                output.append("X")
+                i += 1
+            elif nxt in "iey":
+                output.append("S")
+            else:
+                output.append("K")
+        elif char == "d":
+            if nxt == "g" and i + 2 < n and word[i + 2] in "iey":
+                output.append("J")
+                i += 2
+            else:
+                output.append("T")
+        elif char == "g":
+            if nxt == "h":
+                output.append("K")
+                i += 1
+            elif nxt in "iey":
+                output.append("J")
+            else:
+                output.append("K")
+        elif char == "h":
+            if prev in "aeiou" and nxt not in "aeiou":
+                pass  # silent
+            else:
+                output.append("H")
+        elif char == "k":
+            if prev != "c":
+                output.append("K")
+        elif char == "p":
+            if nxt == "h":
+                output.append("F")
+                i += 1
+            else:
+                output.append("P")
+        elif char == "q":
+            output.append("K")
+        elif char == "s":
+            if nxt == "h":
+                output.append("X")
+                i += 1
+            else:
+                output.append("S")
+        elif char == "t":
+            if nxt == "h":
+                output.append("0")
+                i += 1
+            else:
+                output.append("T")
+        elif char == "v":
+            output.append("F")
+        elif char == "w":
+            if nxt in "aeiou":
+                output.append("W")
+        elif char == "x":
+            output.append("KS")
+        elif char == "y":
+            if nxt in "aeiou":
+                output.append("Y")
+        elif char == "z":
+            output.append("S")
+        else:
+            output.append(char.upper())
+        i += 1
+    return "".join(output)
+
+
+def phonetic_equal(a: str, b: str) -> bool:
+    """True iff two words share a Soundex or Metaphone code."""
+    return soundex(a) == soundex(b) or (
+        metaphone(a) != "" and metaphone(a) == metaphone(b)
+    )

@@ -1,0 +1,66 @@
+"""Tokenizers shared by the token-based similarity metrics."""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Tuple
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace; the common preprocessing step."""
+    return " ".join(text.lower().split())
+
+
+def word_tokens(text: str) -> List[str]:
+    """Split text into lower-case alphanumeric word tokens.
+
+    >>> word_tokens("Chevrolet, Chevy & Chevron!")
+    ['chevrolet', 'chevy', 'chevron']
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def token_set(text: str) -> FrozenSet[str]:
+    """The set of word tokens of ``text`` (order and multiplicity dropped)."""
+    return frozenset(word_tokens(text))
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> List[str]:
+    """Character q-grams of the normalized text.
+
+    Args:
+        text: Input string.
+        q: Gram length; must be >= 1.
+        pad: If true, pad with ``q - 1`` sentinel characters on both sides so
+            that boundary characters participate in ``q`` grams each.
+
+    >>> qgrams("ab", q=2, pad=False)
+    ['ab']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    base = normalize(text)
+    if not base:
+        return []
+    if pad:
+        sentinel = "\x01" * (q - 1)
+        base = f"{sentinel}{base}{sentinel}"
+    if len(base) < q:
+        return [base] if base else []
+    return [base[i:i + q] for i in range(len(base) - q + 1)]
+
+
+def qgram_set(text: str, q: int = 3) -> FrozenSet[str]:
+    """The set of padded character q-grams of ``text``."""
+    return frozenset(qgrams(text, q=q))
+
+
+def ngram_shingles(tokens: List[str], n: int = 2) -> List[Tuple[str, ...]]:
+    """Word-level n-gram shingles over a token list."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if len(tokens) < n:
+        return [tuple(tokens)] if tokens else []
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]

@@ -1,0 +1,106 @@
+"""Tests for repro.baselines.agglomerative (VOTE and hierarchical)."""
+
+import pytest
+
+from repro.baselines.agglomerative import (
+    agglomerative_clustering,
+    vote_clustering,
+)
+from tests.conftest import make_candidates
+
+
+class TestVoteClustering:
+    def test_simple_pair_joins(self):
+        candidates = make_candidates({(0, 1): 0.9})
+        clustering = vote_clustering([0, 1, 2], candidates)
+        assert clustering.together(0, 1)
+        assert not clustering.together(0, 2)
+
+    def test_negative_net_starts_new_cluster(self):
+        candidates = make_candidates({(0, 1): 0.4})  # 2*0.4-1 = -0.2 < 0
+        clustering = vote_clustering([0, 1], candidates)
+        assert not clustering.together(0, 1)
+
+    def test_unscored_members_vote_against(self):
+        # Record 2 has a strong edge to 1 but none to 0; if {0,1} formed
+        # first, net for joining = (2*0.8-1) - 1 = -0.4 < 0 -> stays out.
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8})
+        clustering = vote_clustering([0, 1, 2], candidates)
+        assert clustering.together(0, 1)
+        assert not clustering.together(1, 2)
+
+    def test_strong_chain_overcomes_missing_edge(self):
+        # (1,2) strong enough that even with the missing (0,2) edge the
+        # net vote is positive: (2*0.99-1) - 1 < 0... so use both edges.
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.9, (0, 2): 0.9})
+        clustering = vote_clustering([0, 1, 2], candidates)
+        assert clustering.together(0, 1) and clustering.together(1, 2)
+
+    def test_insertion_order_matters(self):
+        candidates = make_candidates({(0, 1): 0.7, (1, 2): 0.7})
+        default = vote_clustering([0, 1, 2], candidates)
+        reordered = vote_clustering([0, 1, 2], candidates, order=[2, 1, 0])
+        # Both are valid clusterings over the same records.
+        assert default.num_records == reordered.num_records == 3
+
+    def test_invalid_order_rejected(self):
+        candidates = make_candidates({})
+        with pytest.raises(ValueError):
+            vote_clustering([0, 1], candidates, order=[0])
+
+    def test_covers_all_records(self, tiny_restaurant):
+        clustering = vote_clustering(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates
+        )
+        assert clustering.num_records == len(tiny_restaurant.dataset)
+
+
+class TestAgglomerative:
+    def test_merges_above_threshold(self):
+        candidates = make_candidates({(0, 1): 0.9, (2, 3): 0.4})
+        clustering = agglomerative_clustering(range(4), candidates,
+                                              threshold=0.5)
+        assert clustering.together(0, 1)
+        assert not clustering.together(2, 3)
+
+    def test_highest_linkage_merged_first(self):
+        # 1 is pulled both ways; average linkage decides.
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.6})
+        clustering = agglomerative_clustering(range(3), candidates,
+                                              threshold=0.5, linkage="average")
+        assert clustering.together(0, 1)
+        # After {0,1} forms, linkage({0,1},{2}) = (0 + 0.6)/2 = 0.3 < 0.5.
+        assert not clustering.together(1, 2)
+
+    def test_single_linkage_chains(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.9})
+        clustering = agglomerative_clustering(range(3), candidates,
+                                              threshold=0.5, linkage="single")
+        # Single linkage ignores the missing (0,2) edge and chains.
+        assert clustering.together(0, 2)
+
+    def test_complete_linkage_requires_all_edges(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.9})
+        clustering = agglomerative_clustering(range(3), candidates,
+                                              threshold=0.5,
+                                              linkage="complete")
+        # Complete linkage vetoes the chain: (0,2) is missing (score 0).
+        assert not clustering.together(0, 2)
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValueError):
+            agglomerative_clustering([0, 1], make_candidates({}),
+                                     linkage="median")
+
+    def test_partition_valid_on_real_instance(self, tiny_restaurant):
+        from repro.eval.metrics import f1_score
+        clustering = agglomerative_clustering(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            threshold=0.5, linkage="average",
+        )
+        clustering.check_invariants()
+        assert clustering.num_records == len(tiny_restaurant.dataset)
+        # Machine-only clustering on the confusable Restaurant graph is
+        # genuinely weak (that is the paper's motivation for the crowd);
+        # it must still clearly beat the all-singletons strawman.
+        assert f1_score(clustering, tiny_restaurant.dataset.gold) > 0.15

@@ -1,0 +1,90 @@
+"""Tests for repro.baselines.gcer."""
+
+import pytest
+
+from repro.baselines.gcer import gcer
+from repro.crowd.oracle import CrowdOracle
+from tests.conftest import make_candidates, scripted_oracle
+
+
+class TestBudget:
+    def test_budget_respected(self, tiny_restaurant):
+        oracle = CrowdOracle(tiny_restaurant.answers)
+        gcer(tiny_restaurant.record_ids, tiny_restaurant.candidates, oracle,
+             budget=50)
+        assert oracle.stats.pairs_issued <= 50
+
+    def test_zero_budget_uses_machine_scores_only(self):
+        candidates = make_candidates({(0, 1): 0.9, (2, 3): 0.2})
+        oracle = scripted_oracle({(0, 1): 0.0, (2, 3): 1.0})
+        clustering = gcer(range(4), candidates, oracle, budget=0)
+        assert oracle.stats.pairs_issued == 0
+        # Falls back to machine evidence: 0.9 > 0.5 merges, 0.2 doesn't.
+        assert clustering.together(0, 1)
+        assert not clustering.together(2, 3)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            gcer([0, 1], make_candidates({}), scripted_oracle({}), budget=-1)
+
+    def test_budget_larger_than_candidate_set(self):
+        candidates = make_candidates({(0, 1): 0.9})
+        oracle = scripted_oracle({(0, 1): 1.0})
+        clustering = gcer(range(2), candidates, oracle, budget=100)
+        assert oracle.stats.pairs_issued == 1
+        assert clustering.together(0, 1)
+
+
+class TestSelection:
+    def test_most_uncertain_pairs_asked_first(self):
+        """Uncertainty selection: with budget 1, the pair whose estimated
+        score is nearest 0.5 (before any answers: the machine score) is the
+        one asked."""
+        candidates = make_candidates({(0, 1): 0.95, (2, 3): 0.52})
+        oracle = scripted_oracle({(0, 1): 1.0, (2, 3): 0.0})
+        gcer(range(4), candidates, oracle, budget=1, batch_size=1,
+             selection="uncertainty")
+        assert oracle.knows(2, 3)
+        assert not oracle.knows(0, 1)
+
+    def test_most_similar_pairs_asked_first(self):
+        """Default selection: the most-likely duplicate goes first."""
+        candidates = make_candidates({(0, 1): 0.95, (2, 3): 0.52})
+        oracle = scripted_oracle({(0, 1): 1.0, (2, 3): 0.0})
+        gcer(range(4), candidates, oracle, budget=1, batch_size=1)
+        assert oracle.knows(0, 1)
+        assert not oracle.knows(2, 3)
+
+    def test_invalid_selection(self):
+        with pytest.raises(ValueError):
+            gcer([0, 1], make_candidates({}), scripted_oracle({}),
+                 budget=0, selection="magic")
+
+
+class TestGeneralization:
+    def test_crowd_answers_override_machine(self):
+        candidates = make_candidates({(0, 1): 0.9})
+        oracle = scripted_oracle({(0, 1): 0.0})
+        clustering = gcer(range(2), candidates, oracle, budget=10)
+        assert not clustering.together(0, 1)
+
+    def test_histogram_generalizes_to_unasked_pairs(self):
+        """If every asked pair with machine ~0.6 turns out non-duplicate,
+        an unasked machine-0.6 pair should be labelled non-duplicate too."""
+        scores = {(i, i + 100): 0.6 for i in range(10)}
+        scores[(50, 51)] = 0.55  # the unasked victim (lowest score)
+        answers = {pair: 0.0 for pair in scores}
+        answers[(50, 51)] = 1.0  # truth says duplicate, but GCER never asks
+        candidates = make_candidates(scores)
+        oracle = scripted_oracle(answers)
+        clustering = gcer(list(range(10)) + list(range(100, 110)) + [50, 51],
+                          candidates, oracle, budget=10, batch_size=10)
+        assert not clustering.together(50, 51)
+
+    def test_transitive_closure_amplifies_errors(self):
+        """GCER's closure glues chains together through a single wrong
+        answer — the weakness the ACD paper points out."""
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.9})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 0.9})  # (1,2) wrong
+        clustering = gcer(range(3), candidates, oracle, budget=10)
+        assert clustering.together(0, 2)  # collapsed through transitivity

@@ -1,0 +1,84 @@
+"""Tests for repro.baselines.machine (machine-only Pivot and BOEM)."""
+
+import pytest
+
+from repro.baselines.machine import boem, machine_pivot
+from repro.core.clustering import Clustering
+from repro.core.objective import lambda_objective
+from repro.core.permutation import Permutation
+from tests.conftest import make_candidates
+
+
+class TestMachinePivot:
+    def test_threshold_drives_membership(self):
+        candidates = make_candidates({(0, 1): 0.9, (0, 2): 0.4})
+        permutation = Permutation([0, 1, 2])
+        clustering = machine_pivot(range(3), candidates,
+                                   permutation=permutation)
+        assert clustering.together(0, 1)
+        assert not clustering.together(0, 2)
+
+    def test_no_crowd_needed(self):
+        """Machine pivot takes no oracle at all — it is crowd-free."""
+        candidates = make_candidates({(0, 1): 0.9})
+        clustering = machine_pivot(range(2), candidates, seed=0)
+        assert clustering.num_records == 2
+
+    def test_custom_threshold(self):
+        candidates = make_candidates({(0, 1): 0.45})
+        permutation = Permutation([0, 1])
+        strict = machine_pivot(range(2), candidates, threshold=0.5,
+                               permutation=permutation)
+        lenient = machine_pivot(range(2), candidates, threshold=0.4,
+                                permutation=permutation)
+        assert not strict.together(0, 1)
+        assert lenient.together(0, 1)
+
+    def test_deterministic_by_seed(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.9})
+        a = machine_pivot(range(3), candidates, seed=7)
+        b = machine_pivot(range(3), candidates, seed=7)
+        assert a.as_sets() == b.as_sets()
+
+
+class TestBoem:
+    def scores(self):
+        values = {(0, 1): 0.9, (0, 2): 0.8, (1, 2): 0.85, (3, 4): 0.1}
+        def lookup(a, b):
+            return values.get((min(a, b), max(a, b)), 0.0)
+        return values, lookup
+
+    def test_improves_bad_clustering(self):
+        values, lookup = self.scores()
+        clustering = Clustering([{0, 3}, {1, 4}, {2}])
+        before = lambda_objective(clustering.copy(), values, lookup)
+        refined = boem(clustering, range(5), lookup)
+        after = lambda_objective(refined, values, lookup)
+        assert after < before
+
+    def test_reaches_local_optimum_on_clean_instance(self):
+        values, lookup = self.scores()
+        refined = boem(Clustering.singletons(range(5)), range(5), lookup)
+        assert refined.together(0, 1) and refined.together(1, 2)
+        assert not refined.together(3, 4)
+
+    def test_never_increases_objective(self):
+        values, lookup = self.scores()
+        clustering = Clustering([{0, 4}, {1, 3}, {2}])
+        before = lambda_objective(clustering.copy(), values, lookup)
+        refined = boem(clustering, range(5), lookup)
+        assert lambda_objective(refined, values, lookup) <= before + 1e-9
+
+    def test_stable_when_already_optimal(self):
+        values, lookup = self.scores()
+        clustering = Clustering([{0, 1, 2}, {3}, {4}])
+        refined = boem(clustering, range(5), lookup)
+        assert refined.as_sets() == [
+            frozenset({0, 1, 2}), frozenset({3}), frozenset({4})
+        ]
+
+    def test_max_rounds_caps_work(self):
+        values, lookup = self.scores()
+        refined = boem(Clustering.singletons(range(5)), range(5), lookup,
+                       max_rounds=1)
+        refined.check_invariants()

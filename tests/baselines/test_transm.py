@@ -1,0 +1,114 @@
+"""Tests for repro.baselines.transm — including the paper's Figure 1
+error-amplification scenario."""
+
+import pytest
+
+from repro.baselines.transm import transm
+from repro.crowd.oracle import CrowdOracle
+from tests.conftest import make_candidates, scripted_oracle
+
+
+class TestInference:
+    def test_perfect_answers_perfect_closure(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.7})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0})
+        clustering = transm([0, 1, 2], candidates, oracle)
+        assert clustering.together(0, 1) and clustering.together(1, 2)
+
+    def test_positive_transitivity_saves_questions(self):
+        """After 0=1 and 1=2, the pair (0,2) must be inferred, not asked."""
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.7})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0})
+        transm([0, 1, 2], candidates, oracle)
+        assert oracle.stats.pairs_issued == 2
+
+    def test_negative_transitivity_saves_questions(self):
+        """0=1 (dup) and 1≠2 imply 0≠2 without asking."""
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.7})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 0.0, (0, 2): 1.0})
+        clustering = transm([0, 1, 2], candidates, oracle)
+        assert not clustering.together(0, 2)
+        assert oracle.stats.pairs_issued == 2
+
+    def test_similarity_order_drives_question_order(self):
+        """The most similar pair is asked first, so inference favors it."""
+        # (1,2) has the highest machine score; answering it dup and (0,1)
+        # non-dup infers (0,2) as non-dup.
+        candidates = make_candidates({(0, 1): 0.6, (1, 2): 0.95, (0, 2): 0.5})
+        oracle = scripted_oracle({(0, 1): 0.0, (1, 2): 1.0, (0, 2): 1.0})
+        clustering = transm([0, 1, 2], candidates, oracle)
+        assert clustering.together(1, 2)
+        assert not clustering.together(0, 1)
+        assert not clustering.together(0, 2)  # inferred negative
+        assert oracle.stats.pairs_issued == 2
+
+    def test_records_without_candidates_are_singletons(self):
+        candidates = make_candidates({(0, 1): 0.9})
+        oracle = scripted_oracle({(0, 1): 1.0})
+        clustering = transm([0, 1, 2], candidates, oracle)
+        assert clustering.members(clustering.cluster_of(2)) == {2}
+
+
+class TestFigure1ErrorAmplification:
+    def test_one_wrong_answer_merges_two_entities(self):
+        """Figure 1: groups {a1..a3} and {b1..b3} fully linked internally;
+        one false-positive cross answer glues all six records together."""
+        a1, a2, a3, b1, b2, b3 = range(6)
+        scores = {}
+        confidences = {}
+        for group in ((a1, a2, a3), (b1, b2, b3)):
+            for i, x in enumerate(group):
+                for y in group[i + 1:]:
+                    scores[(x, y)] = 0.9
+                    confidences[(x, y)] = 1.0
+        # The single cross pair the crowd gets WRONG, with a machine score
+        # low enough that it is asked after the within-group pairs.
+        scores[(a2, b2)] = 0.5
+        confidences[(a2, b2)] = 1.0  # crowd mistake: marked duplicate
+        clustering = transm(range(6), make_candidates(scores),
+                            scripted_oracle(confidences))
+        assert len(clustering) == 1  # everything collapsed into one cluster
+
+    def test_acd_resists_the_same_error(self):
+        """Contrast test: ACD's correlation clustering + refinement does not
+        collapse the two groups on the same wrong answer."""
+        from repro.core.acd import run_acd
+        from repro.crowd.cache import ScriptedAnswers
+
+        a1, a2, a3, b1, b2, b3 = range(6)
+        scores = {}
+        confidences = {}
+        for group in ((a1, a2, a3), (b1, b2, b3)):
+            for i, x in enumerate(group):
+                for y in group[i + 1:]:
+                    scores[(x, y)] = 0.9
+                    confidences[(x, y)] = 1.0
+        scores[(a2, b2)] = 0.5
+        confidences[(a2, b2)] = 1.0  # same crowd mistake
+        candidates = make_candidates(scores)
+        answers = ScriptedAnswers(confidences, num_workers=3)
+        collapsed = 0
+        for seed in range(5):
+            result = run_acd(range(6), candidates, answers, seed=seed)
+            if len(result.clustering) == 1:
+                collapsed += 1
+        assert collapsed == 0
+
+
+class TestBatching:
+    def test_disjoint_pairs_share_an_iteration(self):
+        candidates = make_candidates({(0, 1): 0.9, (2, 3): 0.8})
+        oracle = scripted_oracle({(0, 1): 1.0, (2, 3): 1.0})
+        transm([0, 1, 2, 3], candidates, oracle)
+        assert oracle.stats.iterations == 1
+
+    def test_cluster_sharing_pairs_are_deferred(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 0.0})
+        transm([0, 1, 2], candidates, oracle)
+        assert oracle.stats.iterations == 2
+
+    def test_iterations_far_below_pairs_on_real_data(self, tiny_restaurant):
+        oracle = CrowdOracle(tiny_restaurant.answers)
+        transm(tiny_restaurant.record_ids, tiny_restaurant.candidates, oracle)
+        assert 0 < oracle.stats.iterations < oracle.stats.pairs_issued

@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.transnode."""
+
+from repro.baselines.transnode import transnode
+from repro.crowd.oracle import CrowdOracle
+from repro.eval.metrics import f1_score
+from tests.conftest import make_candidates, scripted_oracle
+
+
+class TestClustering:
+    def test_perfect_answers(self):
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.7,
+                                      (3, 4): 0.9})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0,
+                                  (3, 4): 0.0}, default=0.0)
+        clustering = transnode(range(5), candidates, oracle)
+        assert clustering.together(0, 1) and clustering.together(1, 2)
+        assert not clustering.together(3, 4)
+
+    def test_one_question_decides_cluster_membership(self):
+        """Joining a 2-record cluster costs one question, not two."""
+        candidates = make_candidates({(0, 1): 0.9, (1, 2): 0.8, (0, 2): 0.85})
+        oracle = scripted_oracle({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 1.0})
+        transnode(range(3), candidates, oracle)
+        # Insertions: first record free; second asks 1; third asks 1.
+        assert oracle.stats.pairs_issued == 2
+
+    def test_negative_answer_rules_out_whole_cluster(self):
+        candidates = make_candidates({(0, 1): 0.9, (0, 2): 0.8, (1, 2): 0.8})
+        oracle = scripted_oracle({(0, 1): 1.0, (0, 2): 0.0, (1, 2): 0.0})
+        clustering = transnode(range(3), candidates, oracle)
+        assert clustering.together(0, 1)
+        assert not clustering.together(0, 2)
+        # Record 2 asked at most one question against the {0,1} cluster.
+        assert oracle.stats.pairs_issued <= 3
+
+    def test_sequential_one_pair_per_iteration(self):
+        candidates = make_candidates({(0, 1): 0.9, (2, 3): 0.9})
+        oracle = scripted_oracle({(0, 1): 1.0, (2, 3): 1.0})
+        transnode(range(4), candidates, oracle)
+        assert oracle.stats.iterations == oracle.stats.pairs_issued
+
+    def test_isolated_records_cost_nothing(self):
+        candidates = make_candidates({})
+        oracle = scripted_oracle({})
+        clustering = transnode(range(4), candidates, oracle)
+        assert len(clustering) == 4
+        assert oracle.stats.pairs_issued == 0
+
+    def test_covers_all_records(self, tiny_product):
+        oracle = CrowdOracle(tiny_product.answers)
+        clustering = transnode(tiny_product.record_ids,
+                               tiny_product.candidates, oracle)
+        assert clustering.num_records == len(tiny_product.dataset)
+        assert f1_score(clustering, tiny_product.dataset.gold) > 0.3

@@ -1,0 +1,77 @@
+"""Tests for repro.baselines.unionfind."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.connected(1, 2)
+        assert uf.find(1) == 1
+
+    def test_union_connects(self):
+        uf = UnionFind([1, 2, 3])
+        uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+
+    def test_transitivity(self):
+        uf = UnionFind([1, 2, 3])
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_union_returns_root(self):
+        uf = UnionFind([1, 2])
+        root = uf.union(1, 2)
+        assert root in (1, 2)
+        assert uf.find(1) == root == uf.find(2)
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert uf.find("x") == "x"
+
+    def test_union_already_connected_is_noop(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        root = uf.find(1)
+        assert uf.union(1, 2) == root
+
+    def test_groups(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        uf.union(3, 4)
+        groups = {frozenset(g) for g in uf.groups()}
+        assert groups == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_contains(self):
+        uf = UnionFind([1])
+        assert 1 in uf
+        assert 2 not in uf
+
+
+@settings(deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40,
+))
+def test_matches_naive_connectivity(unions):
+    """Union-find connectivity must match a naive graph reachability check."""
+    uf = UnionFind(range(16))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(16))
+    for a, b in unions:
+        uf.union(a, b)
+        graph.add_edge(a, b)
+    components = list(nx.connected_components(graph))
+    for component in components:
+        members = sorted(component)
+        for member in members[1:]:
+            assert uf.connected(members[0], member)
+    groups = {frozenset(g) for g in uf.groups()}
+    assert groups == {frozenset(c) for c in components}

@@ -1,0 +1,98 @@
+"""Tests for repro.core.acd (the end-to-end pipeline)."""
+
+import pytest
+
+from repro.core.acd import run_acd
+from repro.core.permutation import Permutation
+from repro.eval.metrics import f1_score
+
+
+class TestPipeline:
+    def test_returns_complete_clustering(self, tiny_restaurant):
+        result = run_acd(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            tiny_restaurant.answers, seed=1,
+        )
+        assert result.clustering.num_records == len(tiny_restaurant.dataset)
+        result.clustering.check_invariants()
+
+    def test_stats_are_cumulative(self, tiny_restaurant):
+        result = run_acd(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            tiny_restaurant.answers, seed=1,
+        )
+        total = result.stats.snapshot()
+        for key in ("pairs_issued", "iterations"):
+            assert total[key] == (
+                result.generation_stats[key] + result.refinement_stats[key]
+            )
+
+    def test_refine_false_skips_phase3(self, tiny_paper):
+        result = run_acd(
+            tiny_paper.record_ids, tiny_paper.candidates, tiny_paper.answers,
+            seed=1, refine=False,
+        )
+        assert result.refine_diagnostics is None
+        assert result.refinement_stats["pairs_issued"] == 0
+
+    def test_refinement_improves_f1_on_hard_dataset(self, tiny_paper):
+        """The paper's headline: ACD beats bare PC-Pivot on Paper."""
+        scores = {"with": 0.0, "without": 0.0}
+        repetitions = 3
+        for seed in range(repetitions):
+            with_refine = run_acd(
+                tiny_paper.record_ids, tiny_paper.candidates,
+                tiny_paper.answers, seed=seed,
+            )
+            without = run_acd(
+                tiny_paper.record_ids, tiny_paper.candidates,
+                tiny_paper.answers, seed=seed, refine=False,
+            )
+            scores["with"] += f1_score(with_refine.clustering,
+                                       tiny_paper.dataset.gold)
+            scores["without"] += f1_score(without.clustering,
+                                          tiny_paper.dataset.gold)
+        assert scores["with"] > scores["without"]
+
+    def test_sequential_mode(self, tiny_restaurant):
+        result = run_acd(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            tiny_restaurant.answers, seed=1, parallel=False,
+        )
+        assert result.pivot_diagnostics is None
+        assert result.clustering.num_records == len(tiny_restaurant.dataset)
+
+    def test_sequential_and_parallel_generation_agree(self, tiny_product):
+        permutation = Permutation.random(tiny_product.record_ids, seed=5)
+        parallel = run_acd(
+            tiny_product.record_ids, tiny_product.candidates,
+            tiny_product.answers, permutation=permutation, refine=False,
+        )
+        sequential = run_acd(
+            tiny_product.record_ids, tiny_product.candidates,
+            tiny_product.answers, permutation=permutation, refine=False,
+            parallel=False,
+        )
+        assert parallel.clustering.as_sets() == sequential.clustering.as_sets()
+
+    def test_deterministic_given_seed(self, tiny_paper):
+        a = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                    tiny_paper.answers, seed=3)
+        b = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                    tiny_paper.answers, seed=3)
+        assert a.clustering.as_sets() == b.clustering.as_sets()
+        assert a.stats.pairs_issued == b.stats.pairs_issued
+
+    def test_diagnostics_attached(self, tiny_paper):
+        result = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                         tiny_paper.answers, seed=3)
+        assert result.pivot_diagnostics is not None
+        assert result.pivot_diagnostics.rounds >= 1
+        assert result.refine_diagnostics is not None
+
+    def test_pairs_per_hit_flows_into_stats(self, tiny_restaurant):
+        result = run_acd(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            tiny_restaurant.answers, seed=1, pairs_per_hit=10,
+        )
+        assert result.stats.pairs_per_hit == 10

@@ -1,0 +1,83 @@
+"""Tests for run_acd's configuration knobs (ranking, buckets, epsilon)."""
+
+import pytest
+
+from repro.core.acd import run_acd
+from repro.eval.metrics import f1_score
+
+
+class TestRankingKnob:
+    def test_benefit_ranking_runs(self, tiny_paper):
+        result = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                         tiny_paper.answers, seed=2, ranking="benefit")
+        result.clustering.check_invariants()
+        assert f1_score(result.clustering, tiny_paper.dataset.gold) > 0.5
+
+    def test_invalid_ranking_rejected(self, tiny_paper):
+        with pytest.raises(ValueError):
+            run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                    tiny_paper.answers, seed=2, ranking="magic")
+
+    def test_rankings_agree_on_quality_regime(self, tiny_paper):
+        ratio = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=2, ranking="ratio")
+        benefit = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                          tiny_paper.answers, seed=2, ranking="benefit")
+        gold = tiny_paper.dataset.gold
+        assert abs(f1_score(ratio.clustering, gold)
+                   - f1_score(benefit.clustering, gold)) < 0.2
+
+
+class TestBucketKnob:
+    @pytest.mark.parametrize("buckets", [1, 5, 50])
+    def test_histogram_granularity_runs(self, tiny_paper, buckets):
+        result = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                         tiny_paper.answers, seed=1, num_buckets=buckets)
+        result.clustering.check_invariants()
+
+
+class TestEpsilonKnob:
+    def test_larger_epsilon_fewer_generation_iterations(self, tiny_paper):
+        small = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=3, epsilon=0.0,
+                        refine=False)
+        large = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=3, epsilon=0.8,
+                        refine=False)
+        assert (large.generation_stats["iterations"]
+                <= small.generation_stats["iterations"])
+
+    def test_epsilon_does_not_change_clustering(self, tiny_paper):
+        """Lemma 2/4 through the pipeline API: ε affects cost, never the
+        generation-phase clustering (same permutation seed)."""
+        from repro.core.permutation import Permutation
+        permutation = Permutation.random(tiny_paper.record_ids, seed=9)
+        outcomes = set()
+        for epsilon in (0.0, 0.1, 0.8):
+            result = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                             tiny_paper.answers, permutation=permutation,
+                             epsilon=epsilon, refine=False)
+            outcomes.add(tuple(result.clustering.as_sets()))
+        assert len(outcomes) == 1
+
+
+class TestRunnerKnobPassthrough:
+    def test_run_method_epsilon_passthrough(self, tiny_restaurant):
+        from repro.experiments.runner import run_method
+        tight = run_method("PC-Pivot", tiny_restaurant, seed=5, epsilon=0.0)
+        loose = run_method("PC-Pivot", tiny_restaurant, seed=5, epsilon=0.8)
+        assert loose.iterations <= tight.iterations
+
+    def test_run_method_divisor_passthrough(self, tiny_paper):
+        from repro.experiments.runner import run_method
+        result = run_method("ACD", tiny_paper, seed=5,
+                            threshold_divisor=2.0)
+        assert 0.0 <= result.f1 <= 1.0
+
+    def test_five_worker_instance_hits_cheaper_packing(self):
+        """The 5w setting packs 10 pairs per HIT — visible in HIT counts."""
+        from repro.experiments.runner import prepare_instance, run_method
+        five = prepare_instance("restaurant", "5w", scale=0.1, seed=3)
+        result = run_method("CrowdER+", five)
+        import math
+        assert result.hits == math.ceil(len(five.candidates) / 10)

@@ -1,0 +1,128 @@
+"""Tests for repro.core.clustering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clustering import Clustering
+
+
+class TestConstruction:
+    def test_singletons(self):
+        clustering = Clustering.singletons([1, 2, 3])
+        assert len(clustering) == 3
+        assert clustering.num_records == 3
+
+    def test_from_sets(self):
+        clustering = Clustering([{1, 2}, {3}])
+        assert clustering.together(1, 2)
+        assert not clustering.together(1, 3)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering([[]])
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering([{1, 2}, {2, 3}])
+
+
+class TestQueries:
+    def test_members_returns_copy(self):
+        clustering = Clustering([{1, 2}])
+        members = clustering.members(clustering.cluster_of(1))
+        members.add(99)
+        assert 99 not in clustering
+
+    def test_as_sets_canonical(self):
+        a = Clustering([{3, 4}, {1, 2}])
+        b = Clustering([{1, 2}, {4, 3}])
+        assert a.as_sets() == b.as_sets()
+
+    def test_intra_cluster_pairs(self):
+        clustering = Clustering([{1, 2, 3}, {4}])
+        assert set(clustering.intra_cluster_pairs()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_num_intra_cluster_pairs(self):
+        clustering = Clustering([{1, 2, 3}, {4, 5}])
+        assert clustering.num_intra_cluster_pairs() == 4
+
+    def test_size(self):
+        clustering = Clustering([{1, 2, 3}])
+        assert clustering.size(clustering.cluster_of(1)) == 3
+
+
+class TestSplit:
+    def test_split_creates_singleton(self):
+        clustering = Clustering([{1, 2, 3}])
+        new_id = clustering.split(2)
+        assert clustering.members(new_id) == {2}
+        assert not clustering.together(1, 2)
+        assert clustering.together(1, 3)
+
+    def test_split_singleton_rejected(self):
+        clustering = Clustering([{1}])
+        with pytest.raises(ValueError):
+            clustering.split(1)
+
+    def test_split_preserves_record_count(self):
+        clustering = Clustering([{1, 2, 3}])
+        clustering.split(1)
+        assert clustering.num_records == 3
+
+
+class TestMerge:
+    def test_merge_unions_members(self):
+        clustering = Clustering([{1, 2}, {3}])
+        survivor = clustering.merge(clustering.cluster_of(1),
+                                    clustering.cluster_of(3))
+        assert clustering.members(survivor) == {1, 2, 3}
+        assert len(clustering) == 1
+
+    def test_merge_self_rejected(self):
+        clustering = Clustering([{1, 2}])
+        with pytest.raises(ValueError):
+            clustering.merge(clustering.cluster_of(1), clustering.cluster_of(2))
+
+    def test_larger_cluster_survives(self):
+        clustering = Clustering([{1, 2, 3}, {4}])
+        big = clustering.cluster_of(1)
+        survivor = clustering.merge(big, clustering.cluster_of(4))
+        assert survivor == big
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        original = Clustering([{1, 2}, {3}])
+        clone = original.copy()
+        clone.merge(clone.cluster_of(1), clone.cluster_of(3))
+        assert not original.together(1, 3)
+
+    def test_copy_preserves_ids(self):
+        original = Clustering([{1, 2}])
+        clone = original.copy()
+        assert clone.cluster_of(1) == original.cluster_of(1)
+
+
+@given(st.lists(st.integers(0, 30), min_size=2, max_size=30, unique=True),
+       st.data())
+def test_random_operation_sequences_keep_invariants(record_ids, data):
+    """Any sequence of valid splits and merges preserves the partition."""
+    clustering = Clustering.singletons(record_ids)
+    for _ in range(10):
+        do_merge = data.draw(st.booleans())
+        if do_merge and len(clustering) >= 2:
+            ids = clustering.cluster_ids
+            a = data.draw(st.sampled_from(ids))
+            b = data.draw(st.sampled_from([c for c in ids if c != a]))
+            clustering.merge(a, b)
+        else:
+            splittable = [
+                r for r in record_ids
+                if clustering.size(clustering.cluster_of(r)) >= 2
+            ]
+            if not splittable:
+                continue
+            clustering.split(data.draw(st.sampled_from(splittable)))
+        clustering.check_invariants()
+        assert clustering.num_records == len(record_ids)

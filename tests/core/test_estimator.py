@@ -1,0 +1,103 @@
+"""Tests for repro.core.estimator (the equi-depth histogram)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.estimator import HistogramEstimator
+
+
+class TestEmptyEstimator:
+    def test_falls_back_to_machine_score(self):
+        estimator = HistogramEstimator()
+        assert estimator.estimate(0.42) == 0.42
+
+    def test_fallback_clamps(self):
+        estimator = HistogramEstimator()
+        assert estimator.estimate(1.7) == 1.0
+        assert estimator.estimate(-0.2) == 0.0
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            HistogramEstimator(num_buckets=0)
+
+
+class TestSingleBucketBehaviour:
+    def test_one_sample(self):
+        estimator = HistogramEstimator(num_buckets=20)
+        estimator.add_sample((0, 1), machine_score=0.5, crowd_score=0.9)
+        # Every query maps to the single bucket's mean.
+        assert estimator.estimate(0.1) == 0.9
+        assert estimator.estimate(0.99) == 0.9
+
+    def test_resample_overwrites(self):
+        estimator = HistogramEstimator()
+        estimator.add_sample((0, 1), 0.5, 0.9)
+        estimator.add_sample((0, 1), 0.5, 0.1)
+        assert estimator.estimate(0.5) == 0.1
+        assert len(estimator) == 1
+
+
+class TestEquiDepth:
+    def test_buckets_have_equal_counts(self):
+        estimator = HistogramEstimator(num_buckets=4)
+        for index in range(40):
+            machine = index / 40
+            estimator.add_sample((index, index + 1000), machine, machine)
+        table = estimator.bucket_table()
+        assert len(table) == 4
+
+    def test_low_scores_map_to_low_bucket(self):
+        estimator = HistogramEstimator(num_buckets=2)
+        # Low machine scores have crowd score 0.1; high have 0.9.
+        for index in range(10):
+            estimator.add_sample((index, index + 100), 0.1 + index * 0.01, 0.1)
+        for index in range(10, 20):
+            estimator.add_sample((index, index + 100), 0.8 + (index - 10) * 0.01, 0.9)
+        assert estimator.estimate(0.12) == pytest.approx(0.1)
+        assert estimator.estimate(0.85) == pytest.approx(0.9)
+
+    def test_query_above_all_bounds_uses_last_bucket(self):
+        estimator = HistogramEstimator(num_buckets=2)
+        estimator.add_sample((0, 1), 0.2, 0.3)
+        estimator.add_sample((1, 2), 0.4, 0.7)
+        assert estimator.estimate(0.99) == 0.7
+
+    def test_fewer_samples_than_buckets(self):
+        estimator = HistogramEstimator(num_buckets=20)
+        estimator.add_sample((0, 1), 0.3, 0.4)
+        estimator.add_sample((1, 2), 0.7, 0.8)
+        assert len(estimator.bucket_table()) == 2
+
+    def test_add_samples_bulk(self):
+        estimator = HistogramEstimator()
+        estimator.add_samples({(0, 1): (0.3, 0.5), (1, 2): (0.6, 0.9)})
+        assert len(estimator) == 2
+
+    def test_rebuild_after_new_sample(self):
+        estimator = HistogramEstimator(num_buckets=1)
+        estimator.add_sample((0, 1), 0.5, 1.0)
+        assert estimator.estimate(0.5) == 1.0
+        estimator.add_sample((1, 2), 0.5, 0.0)
+        assert estimator.estimate(0.5) == 0.5  # mean over both
+
+
+class TestProperties:
+    @given(st.lists(
+        st.tuples(st.floats(0, 1), st.floats(0, 1)),
+        min_size=1, max_size=60,
+    ))
+    def test_estimates_within_observed_crowd_range(self, samples):
+        estimator = HistogramEstimator(num_buckets=5)
+        for index, (machine, crowd) in enumerate(samples):
+            estimator.add_sample((index, index + 1000), machine, crowd)
+        crowd_scores = [crowd for _, crowd in samples]
+        lo, hi = min(crowd_scores), max(crowd_scores)
+        for query in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert lo - 1e-9 <= estimator.estimate(query) <= hi + 1e-9
+
+    @given(st.floats(0, 1))
+    def test_estimate_always_in_unit_interval(self, query):
+        estimator = HistogramEstimator()
+        estimator.add_sample((0, 1), 0.5, 0.75)
+        assert 0.0 <= estimator.estimate(query) <= 1.0

@@ -1,0 +1,141 @@
+"""Tests for repro.core.objective — including the paper's Example 1."""
+
+import itertools
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.core.objective import (
+    lambda_objective,
+    merge_benefit,
+    pairwise_cost,
+    split_benefit,
+)
+
+# Table 2 of the paper: similarity scores for Example 1 (records a..f -> 0..5).
+TABLE2_SCORES = {
+    (0, 1): 0.81,  # (a, b)
+    (1, 2): 0.75,  # (b, c)
+    (0, 2): 0.73,  # (a, c)
+    (3, 4): 0.72,  # (d, e)
+    (3, 5): 0.70,  # (d, f)
+    (4, 5): 0.69,  # (e, f)
+    (2, 3): 0.45,  # (c, d)
+    (0, 3): 0.43,  # (a, d)
+    (0, 4): 0.37,  # (a, e)
+}
+
+
+def table2_lookup(a, b):
+    return TABLE2_SCORES.get((min(a, b), max(a, b)), 0.0)
+
+
+def all_partitions(items):
+    """Every partition of a small list (Bell-number enumeration)."""
+    if not items:
+        yield []
+        return
+    head, *rest = items
+    for partition in all_partitions(rest):
+        for index in range(len(partition)):
+            yield partition[:index] + [partition[index] + [head]] + partition[index + 1:]
+        yield partition + [[head]]
+
+
+class TestExample1:
+    def test_paper_clustering_minimizes_lambda(self):
+        """Example 1: Λ(R) is minimized by {a,b,c}, {d,e,f}."""
+        best_cost = float("inf")
+        best_partition = None
+        for partition in all_partitions(list(range(6))):
+            clustering = Clustering(partition)
+            cost = lambda_objective(clustering, TABLE2_SCORES, table2_lookup)
+            if cost < best_cost:
+                best_cost = cost
+                best_partition = clustering.as_sets()
+        assert best_partition == [frozenset({0, 1, 2}), frozenset({3, 4, 5})]
+
+    def test_value_of_paper_clustering(self):
+        clustering = Clustering([{0, 1, 2}, {3, 4, 5}])
+        cost = lambda_objective(clustering, TABLE2_SCORES, table2_lookup)
+        # Intra: (1-.81)+(1-.75)+(1-.73)+(1-.72)+(1-.70)+(1-.69) = 1.60
+        # Inter (separated pairs in S): .45+.43+.37 = 1.25
+        assert cost == pytest.approx(1.60 + 1.25)
+
+
+class TestLambdaObjective:
+    def test_everything_separate(self):
+        clustering = Clustering.singletons(range(6))
+        cost = lambda_objective(clustering, TABLE2_SCORES, table2_lookup)
+        assert cost == pytest.approx(sum(TABLE2_SCORES.values()))
+
+    def test_everything_together_counts_non_candidates(self):
+        clustering = Clustering([set(range(6))])
+        cost = lambda_objective(clustering, TABLE2_SCORES, table2_lookup)
+        in_s = sum(1.0 - s for s in TABLE2_SCORES.values())
+        outside = 15 - len(TABLE2_SCORES)  # C(6,2) - |S|, each costs 1
+        assert cost == pytest.approx(in_s + outside)
+
+    def test_duplicate_pairs_in_input_counted_once(self):
+        clustering = Clustering.singletons([0, 1])
+        cost = lambda_objective(clustering, [(0, 1), (1, 0)], lambda a, b: 0.4)
+        assert cost == pytest.approx(0.4)
+
+    def test_pairwise_cost_helper(self):
+        clustering = Clustering([{0, 1}, {2}])
+        scored = [((0, 1), 0.9), ((1, 2), 0.2)]
+        assert pairwise_cost(clustering, scored) == pytest.approx(0.1 + 0.2)
+
+
+class TestBenefits:
+    def test_split_benefit_formula(self):
+        # Equation 5 with fc = [0.4, 0.0, 0.6]: (1-.8)+(1-0)+(1-1.2) = 1.0
+        assert split_benefit([0.4, 0.0, 0.6]) == pytest.approx(1.0)
+
+    def test_merge_benefit_formula(self):
+        # Equation 6 with fc = [0.8, 0.8]: (1.6-1)+(1.6-1) = 1.2
+        assert merge_benefit([0.8, 0.8]) == pytest.approx(1.2)
+
+    def test_split_and_merge_are_inverse(self):
+        confidences = [0.3, 0.7, 0.55]
+        assert split_benefit(confidences) == pytest.approx(
+            -merge_benefit(confidences)
+        )
+
+    def test_empty_benefits_zero(self):
+        assert split_benefit([]) == 0.0
+        assert merge_benefit([]) == 0.0
+
+
+class TestBenefitMatchesObjectiveDelta:
+    """The Equation 5/6 benefits must equal the actual Λ' decrease."""
+
+    def lookup(self, a, b):
+        scores = {(0, 1): 0.9, (0, 2): 0.4, (1, 2): 0.3, (2, 3): 0.8}
+        return scores.get((min(a, b), max(a, b)), 0.0)
+
+    def pairs(self):
+        return [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_split_delta(self):
+        before = Clustering([{0, 1, 2}, {3}])
+        after = Clustering([{0, 1}, {2}, {3}])
+        benefit = split_benefit([self.lookup(2, 0), self.lookup(2, 1)])
+        delta = (
+            lambda_objective(before, self.pairs(), self.lookup)
+            - lambda_objective(after, self.pairs(), self.lookup)
+        )
+        assert benefit == pytest.approx(delta)
+
+    def test_merge_delta(self):
+        before = Clustering([{0, 1}, {2, 3}])
+        after = Clustering([{0, 1, 2, 3}])
+        benefit = merge_benefit([
+            self.lookup(0, 2), self.lookup(0, 3),
+            self.lookup(1, 2), self.lookup(1, 3),
+        ])
+        delta = (
+            lambda_objective(before, self.pairs(), self.lookup)
+            - lambda_objective(after, self.pairs(), self.lookup)
+        )
+        assert benefit == pytest.approx(delta)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.operations (Sections 5.1-5.2)."""
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.core.estimator import HistogramEstimator
+from repro.core.operations import (
+    Merge,
+    OperationEvaluator,
+    Split,
+    apply_operation,
+    independent,
+)
+from tests.conftest import make_candidates, scripted_oracle
+
+
+class TestOperationTypes:
+    def test_merge_self_rejected(self):
+        with pytest.raises(ValueError):
+            Merge(1, 1)
+
+    def test_touched_clusters(self):
+        assert Split(5, 2).touched_clusters == (2,)
+        assert Merge(1, 3).touched_clusters == (1, 3)
+
+    def test_independence(self):
+        assert independent(Split(0, 1), Merge(2, 3))
+        assert not independent(Split(0, 1), Merge(1, 3))
+        assert not independent(Merge(1, 2), Merge(2, 3))
+        assert independent(Split(0, 1), Split(5, 2))
+        assert not independent(Split(0, 1), Split(5, 1))
+
+    def test_apply_split(self):
+        clustering = Clustering([{0, 1, 2}])
+        apply_operation(clustering, Split(0, clustering.cluster_of(0)))
+        assert not clustering.together(0, 1)
+
+    def test_apply_merge(self):
+        clustering = Clustering([{0}, {1}])
+        apply_operation(
+            clustering, Merge(clustering.cluster_of(0), clustering.cluster_of(1))
+        )
+        assert clustering.together(0, 1)
+
+    def test_apply_unknown_type(self):
+        with pytest.raises(TypeError):
+            apply_operation(Clustering([{0}]), "not an operation")
+
+
+@pytest.fixture
+def setup():
+    """Cluster {0,1,2} and {3,4}; candidate pairs with partial knowledge."""
+    clustering = Clustering([{0, 1, 2}, {3, 4}])
+    candidates = make_candidates({
+        (0, 1): 0.8, (0, 2): 0.7, (1, 2): 0.6,
+        (2, 3): 0.55, (0, 3): 0.5, (3, 4): 0.9,
+    })
+    oracle = scripted_oracle(
+        {(0, 1): 0.9, (0, 2): 0.8, (1, 2): 0.2, (2, 3): 0.7,
+         (0, 3): 0.4, (3, 4): 1.0},
+    )
+    # Pre-answer a subset: (0,1) and (3,4) are in A.
+    oracle.ask_batch([(0, 1), (3, 4)])
+    estimator = HistogramEstimator()
+    estimator.add_sample((0, 1), 0.8, 0.9)
+    estimator.add_sample((3, 4), 0.9, 1.0)
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+    return clustering, candidates, oracle, evaluator
+
+
+class TestRelevantPairs:
+    def test_split_pairs(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Split(0, clustering.cluster_of(0))
+        assert evaluator.relevant_pairs(operation) == [(0, 1), (0, 2)]
+
+    def test_merge_pairs_cross_product(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Merge(clustering.cluster_of(0), clustering.cluster_of(3))
+        assert sorted(evaluator.relevant_pairs(operation)) == [
+            (0, 3), (0, 4), (1, 3), (1, 4), (2, 3), (2, 4),
+        ]
+
+
+class TestKnownConfidence:
+    def test_answered_pair(self, setup):
+        _, _, _, evaluator = setup
+        assert evaluator.known_confidence((0, 1)) == 0.9
+
+    def test_pruned_pair_is_zero(self, setup):
+        _, _, _, evaluator = setup
+        # (1, 3) is not in the candidate set -> f_c = 0 by definition.
+        assert evaluator.known_confidence((1, 3)) == 0.0
+
+    def test_unanswered_candidate_is_unknown(self, setup):
+        _, _, _, evaluator = setup
+        assert evaluator.known_confidence((0, 2)) is None
+
+
+class TestCostAndBenefit:
+    def test_cost_counts_unknown_candidate_pairs(self, setup):
+        clustering, _, _, evaluator = setup
+        # Split 0 from {0,1,2}: (0,1) known, (0,2) unknown -> cost 1.
+        assert evaluator.cost(Split(0, clustering.cluster_of(0))) == 1
+
+    def test_merge_cost(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Merge(clustering.cluster_of(0), clustering.cluster_of(3))
+        # Unknown candidates among cross pairs: (2,3) and (0,3); the rest are
+        # pruned (known 0).
+        assert evaluator.cost(operation) == 2
+
+    def test_exact_benefit_none_when_pairs_unknown(self, setup):
+        clustering, _, _, evaluator = setup
+        assert evaluator.exact_benefit(Split(0, clustering.cluster_of(0))) is None
+
+    def test_exact_benefit_when_all_known(self, setup):
+        clustering, _, oracle, evaluator = setup
+        oracle.ask_batch([(0, 2)])
+        benefit = evaluator.exact_benefit(Split(0, clustering.cluster_of(0)))
+        # fc(0,1)=0.9, fc(0,2)=0.8: (1-1.8) + (1-1.6) = -1.4
+        assert benefit == pytest.approx(-1.4)
+
+    def test_exact_benefit_uses_pruned_zero(self, setup):
+        clustering, _, oracle, evaluator = setup
+        # Split 4 from {3,4}: only pair (3,4), known 1.0 -> benefit -1.
+        assert evaluator.exact_benefit(
+            Split(4, clustering.cluster_of(4))
+        ) == pytest.approx(-1.0)
+
+    def test_estimated_benefit_mixes_known_and_estimated(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Split(0, clustering.cluster_of(0))
+        # Known: fc(0,1)=0.9 -> term -0.8.  Unknown (0,2): histogram over
+        # samples {(0.8,0.9),(0.9,1.0)} has a single low bucket for f=0.7.
+        estimate = evaluator.estimated_benefit(operation)
+        assert estimate < 0  # both terms are clearly negative
+
+    def test_benefit_cost_ratio(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Split(0, clustering.cluster_of(0))
+        ratio = evaluator.benefit_cost_ratio(operation)
+        assert ratio == pytest.approx(evaluator.estimated_benefit(operation) / 1)
+
+    def test_ratio_for_zero_cost_rejected(self, setup):
+        clustering, _, _, evaluator = setup
+        with pytest.raises(ValueError):
+            evaluator.benefit_cost_ratio(Split(4, clustering.cluster_of(4)))
+
+    def test_unknown_pairs_listing(self, setup):
+        clustering, _, _, evaluator = setup
+        operation = Merge(clustering.cluster_of(0), clustering.cluster_of(3))
+        assert sorted(evaluator.unknown_pairs(operation)) == [(0, 3), (2, 3)]

@@ -1,0 +1,62 @@
+"""Tests for repro.core.permutation."""
+
+import random
+
+import pytest
+
+from repro.core.permutation import Permutation
+
+
+class TestConstruction:
+    def test_rank_lookup(self):
+        perm = Permutation([5, 3, 8])
+        assert perm.rank(5) == 0
+        assert perm.rank(8) == 2
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation([1, 1, 2])
+
+    def test_random_is_seeded(self):
+        a = Permutation.random(range(20), seed=4)
+        b = Permutation.random(range(20), seed=4)
+        assert list(a) == list(b)
+
+    def test_random_differs_across_seeds(self):
+        a = Permutation.random(range(20), seed=4)
+        b = Permutation.random(range(20), seed=5)
+        assert list(a) != list(b)
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Permutation.random(range(5), rng=random.Random(0), seed=1)
+
+    def test_random_covers_all_items(self):
+        perm = Permutation.random(range(10), seed=0)
+        assert sorted(perm) == list(range(10))
+
+
+class TestQueries:
+    def test_first(self):
+        perm = Permutation([7, 2, 9, 4])
+        assert perm.first([9, 4, 2]) == 2
+
+    def test_ordered(self):
+        perm = Permutation([7, 2, 9, 4])
+        assert perm.ordered([4, 9, 7]) == [7, 9, 4]
+
+    def test_contains(self):
+        perm = Permutation([1, 2])
+        assert 1 in perm
+        assert 3 not in perm
+
+    def test_len(self):
+        assert len(Permutation([1, 2, 3])) == 3
+
+    def test_uniformity_smoke(self):
+        """Each record should be first in roughly 1/n of random permutations."""
+        counts = {i: 0 for i in range(4)}
+        for seed in range(400):
+            counts[Permutation.random(range(4), seed=seed).first(range(4))] += 1
+        for count in counts.values():
+            assert 60 < count < 140

@@ -1,0 +1,113 @@
+"""Tests for repro.crowd.adaptive (the future-work extension)."""
+
+import pytest
+
+from repro.crowd.adaptive import AdaptiveAnswerFile
+from repro.crowd.worker import DifficultyModel, WorkerPool
+from repro.datasets.schema import GoldStandard
+
+
+def make_gold(pairs=200):
+    # Records 2i and 2i+1 are duplicates; everything else distinct.
+    return GoldStandard({
+        record: record // 2 for record in range(2 * pairs)
+    })
+
+
+class TestConstruction:
+    def test_escalated_must_exceed_base(self):
+        gold = make_gold(1)
+        pool = WorkerPool(DifficultyModel(), num_workers=3)
+        with pytest.raises(ValueError):
+            AdaptiveAnswerFile(gold, pool, escalated_workers=3)
+
+    def test_negative_margin_rejected(self):
+        gold = make_gold(1)
+        pool = WorkerPool(DifficultyModel(), num_workers=3)
+        with pytest.raises(ValueError):
+            AdaptiveAnswerFile(gold, pool, escalated_workers=5, margin=-1)
+
+
+class TestEscalation:
+    def test_unanimous_easy_pairs_stay_cheap(self):
+        gold = make_gold(50)
+        pool = WorkerPool(DifficultyModel(easy_error=0.0), num_workers=3)
+        answers = AdaptiveAnswerFile(gold, pool, escalated_workers=7)
+        answers.prefetch([(2 * i, 2 * i + 1) for i in range(50)])
+        assert answers.escalation_rate() == 0.0
+        assert answers.total_votes_spent() == 50 * 3
+
+    def test_split_votes_escalate(self):
+        gold = make_gold(300)
+        # Error 0.4: plenty of 2-1 splits on a 3-worker panel.
+        pool = WorkerPool(DifficultyModel(easy_error=0.4, seed=3),
+                          num_workers=3)
+        answers = AdaptiveAnswerFile(gold, pool, escalated_workers=7)
+        answers.prefetch([(2 * i, 2 * i + 1) for i in range(300)])
+        assert answers.escalation_rate() > 0.3
+        escalated = [
+            (2 * i, 2 * i + 1) for i in range(300)
+            if answers.votes_spent(2 * i, 2 * i + 1) > 3
+        ]
+        for pair in escalated:
+            assert answers.votes_spent(*pair) == 3 + 7
+
+    def test_memoized(self):
+        gold = make_gold(1)
+        pool = WorkerPool(DifficultyModel(easy_error=0.3, seed=1),
+                          num_workers=3)
+        answers = AdaptiveAnswerFile(gold, pool, escalated_workers=7)
+        first = answers.confidence(0, 1)
+        assert answers.confidence(1, 0) == first
+        assert len(answers) == 1
+
+    def test_confidence_in_unit_interval(self):
+        gold = make_gold(40)
+        pool = WorkerPool(DifficultyModel(easy_error=0.45, seed=2),
+                          num_workers=3)
+        answers = AdaptiveAnswerFile(gold, pool, escalated_workers=9)
+        for i in range(40):
+            value = answers.confidence(2 * i, 2 * i + 1)
+            assert 0.0 <= value <= 1.0
+
+
+class TestAccuracyBenefit:
+    def test_escalation_reduces_error_on_moderately_hard_pairs(self):
+        """On pairs with a ~30% per-worker error rate, escalating split
+        votes to a 9-worker panel must beat the flat 3-worker majority."""
+        gold = make_gold(1500)
+        pairs = [(2 * i, 2 * i + 1) for i in range(1500)]
+        difficulty = DifficultyModel(easy_error=0.3, seed=5)
+
+        flat = WorkerPool(difficulty, num_workers=3)
+        flat_errors = sum(
+            1 for a, b in pairs if flat.confidence(a, b, True) <= 0.5
+        ) / len(pairs)
+
+        adaptive = AdaptiveAnswerFile(gold, WorkerPool(difficulty, 3),
+                                      escalated_workers=9)
+        adaptive_errors = 1.0 - sum(
+            1 for a, b in pairs if adaptive.majority_duplicate(a, b)
+        ) / len(pairs)
+
+        assert adaptive_errors < flat_errors
+
+    def test_cheaper_than_flat_large_panel(self):
+        """Adaptive assignment spends fewer votes than giving every pair
+        the escalated panel outright."""
+        gold = make_gold(400)
+        pairs = [(2 * i, 2 * i + 1) for i in range(400)]
+        difficulty = DifficultyModel(easy_error=0.15, seed=6)
+        adaptive = AdaptiveAnswerFile(gold, WorkerPool(difficulty, 3),
+                                      escalated_workers=9)
+        adaptive.prefetch(pairs)
+        flat_cost = len(pairs) * 9
+        assert adaptive.total_votes_spent() < flat_cost
+
+
+class TestErrorRate:
+    def test_empty_pairs(self):
+        gold = make_gold(1)
+        pool = WorkerPool(DifficultyModel(), num_workers=3)
+        answers = AdaptiveAnswerFile(gold, pool, escalated_workers=5)
+        assert answers.majority_error_rate([]) == 0.0

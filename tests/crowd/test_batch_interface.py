@@ -1,0 +1,68 @@
+"""Tests for the batch-aware answer-source interface of CrowdOracle.
+
+A live crowd client wants whole batches (to post one HIT group), not
+per-pair callbacks; the oracle must use ``confidence_batch`` when the
+answer source provides it.
+"""
+
+import pytest
+
+from repro.crowd.oracle import CrowdOracle
+
+
+class BatchClient:
+    """A fake live crowd client that only supports batched resolution."""
+
+    num_workers = 3
+
+    def __init__(self, confidences):
+        self._confidences = confidences
+        self.batch_calls = []
+
+    def confidence_batch(self, pairs):
+        self.batch_calls.append(list(pairs))
+        return {pair: self._confidences[pair] for pair in pairs}
+
+    def confidence(self, a, b):  # pragma: no cover - must not be used
+        raise AssertionError("per-pair path should not be taken")
+
+
+class TestBatchInterface:
+    def test_batch_resolver_preferred(self):
+        client = BatchClient({(0, 1): 0.9, (2, 3): 0.1})
+        oracle = CrowdOracle(client)
+        answers = oracle.ask_batch([(0, 1), (2, 3)])
+        assert answers == {(0, 1): 0.9, (2, 3): 0.1}
+        assert len(client.batch_calls) == 1
+        assert client.batch_calls[0] == [(0, 1), (2, 3)]
+
+    def test_known_pairs_not_resent(self):
+        client = BatchClient({(0, 1): 0.9, (2, 3): 0.1})
+        oracle = CrowdOracle(client)
+        oracle.ask_batch([(0, 1)])
+        oracle.ask_batch([(0, 1), (2, 3)])
+        # Second call only ships the fresh pair to the client.
+        assert client.batch_calls[1] == [(2, 3)]
+
+    def test_empty_fresh_set_means_no_client_call(self):
+        client = BatchClient({(0, 1): 0.9})
+        oracle = CrowdOracle(client)
+        oracle.ask_batch([(0, 1)])
+        oracle.ask_batch([(0, 1)])
+        assert len(client.batch_calls) == 1
+
+    def test_whole_pipeline_through_batch_client(self):
+        """ACD runs end to end over a batch-only client."""
+        from repro.core.acd import run_acd
+        from tests.conftest import make_candidates
+
+        confidences = {(0, 1): 1.0, (1, 2): 0.0, (0, 2): 0.0, (3, 4): 1.0}
+        client = BatchClient(confidences)
+        candidates = make_candidates(
+            {pair: 0.7 for pair in confidences}
+        )
+        result = run_acd(range(5), candidates, client, seed=2)
+        assert result.clustering.together(0, 1)
+        assert result.clustering.together(3, 4)
+        assert not result.clustering.together(0, 2)
+        assert client.batch_calls  # the batched path was exercised

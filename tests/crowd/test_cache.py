@@ -1,0 +1,90 @@
+"""Tests for repro.crowd.cache (AnswerFile and ScriptedAnswers)."""
+
+import pytest
+
+from repro.crowd.cache import AnswerFile, ScriptedAnswers
+from repro.crowd.worker import DifficultyModel, WorkerPool
+from repro.datasets.schema import GoldStandard
+
+
+@pytest.fixture
+def gold():
+    # Entities: {0,1} together; {2}; {3,4} together.
+    return GoldStandard({0: 0, 1: 0, 2: 1, 3: 2, 4: 2})
+
+
+@pytest.fixture
+def answer_file(gold):
+    pool = WorkerPool(DifficultyModel(easy_error=0.0), num_workers=3)
+    return AnswerFile(gold, pool)
+
+
+class TestAnswerFile:
+    def test_perfect_workers_match_gold(self, answer_file, gold):
+        assert answer_file.confidence(0, 1) == 1.0
+        assert answer_file.confidence(0, 2) == 0.0
+        assert answer_file.majority_duplicate(3, 4)
+        assert not answer_file.majority_duplicate(1, 3)
+
+    def test_memoized(self, answer_file):
+        answer_file.confidence(0, 1)
+        assert len(answer_file) == 1
+        answer_file.confidence(1, 0)  # same canonical pair
+        assert len(answer_file) == 1
+
+    def test_replay_identical(self, gold):
+        pool = WorkerPool(DifficultyModel(easy_error=0.3, seed=4), num_workers=3)
+        file_a = AnswerFile(gold, pool)
+        file_b = AnswerFile(gold, pool)
+        pairs = [(0, 1), (0, 2), (1, 3), (2, 4)]
+        assert [file_a.confidence(*p) for p in pairs] == [
+            file_b.confidence(*p) for p in pairs
+        ]
+
+    def test_prefetch(self, answer_file):
+        answer_file.prefetch([(0, 1), (2, 3)])
+        assert len(answer_file) == 2
+
+    def test_error_rate_zero_with_perfect_workers(self, answer_file):
+        pairs = [(0, 1), (0, 2), (3, 4), (1, 4)]
+        assert answer_file.majority_error_rate(pairs) == 0.0
+
+    def test_error_rate_empty_pairs(self, answer_file):
+        assert answer_file.majority_error_rate([]) == 0.0
+
+    def test_error_rate_counts_majority_mistakes(self, gold):
+        # Error probability 1.0: every worker always wrong -> error rate 1.
+        pool = WorkerPool(DifficultyModel(easy_error=1.0), num_workers=3)
+        answers = AnswerFile(gold, pool)
+        assert answers.majority_error_rate([(0, 1), (0, 2)]) == 1.0
+
+    def test_num_workers_exposed(self, answer_file):
+        assert answer_file.num_workers == 3
+
+
+class TestScriptedAnswers:
+    def test_serves_scripted_values(self):
+        answers = ScriptedAnswers({(1, 0): 0.75})
+        assert answers.confidence(0, 1) == 0.75
+        assert answers.confidence(1, 0) == 0.75
+
+    def test_missing_pair_raises_without_default(self):
+        answers = ScriptedAnswers({(0, 1): 0.9})
+        with pytest.raises(KeyError):
+            answers.confidence(5, 6)
+
+    def test_default_served_for_missing(self):
+        answers = ScriptedAnswers({(0, 1): 0.9}, default=0.0)
+        assert answers.confidence(5, 6) == 0.0
+
+    def test_majority(self):
+        answers = ScriptedAnswers({(0, 1): 0.6, (1, 2): 0.5})
+        assert answers.majority_duplicate(0, 1)
+        assert not answers.majority_duplicate(1, 2)  # strictly > 0.5
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedAnswers({(0, 1): 1.2})
+
+    def test_len(self):
+        assert len(ScriptedAnswers({(0, 1): 0.1, (1, 2): 0.2})) == 2

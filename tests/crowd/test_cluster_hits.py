@@ -1,0 +1,124 @@
+"""Tests for repro.crowd.cluster_hits (CrowdER-style record-group HITs)."""
+
+import pytest
+
+from repro.crowd.cluster_hits import (
+    ClusterHitPlan,
+    cluster_based_hits,
+    hit_cost_comparison,
+    pairs_covered_by,
+)
+from tests.conftest import make_candidates
+
+
+class TestClusterBasedHits:
+    def test_single_pair_one_group(self):
+        candidates = make_candidates({(0, 1): 0.8})
+        plan = cluster_based_hits(candidates, records_per_hit=5)
+        assert plan.num_hits == 1
+        assert plan.covered_pairs == ((0, 1),)
+        assert plan.uncovered_pairs == ()
+
+    def test_connected_pairs_share_a_group(self):
+        # A 4-clique of candidates fits in one group of 4+.
+        scores = {(a, b): 0.8 for a in range(4) for b in range(a + 1, 4)}
+        plan = cluster_based_hits(make_candidates(scores), records_per_hit=5)
+        assert plan.num_hits == 1
+        assert plan.coverage() == 1.0
+
+    def test_capacity_respected(self):
+        scores = {(0, i): 0.8 for i in range(1, 8)}  # star around record 0
+        plan = cluster_based_hits(make_candidates(scores), records_per_hit=3,
+                                  max_hits_per_record=10)
+        for group in plan.groups:
+            assert len(group) <= 3
+
+    def test_star_needs_multiple_groups(self):
+        scores = {(0, i): 0.8 for i in range(1, 8)}
+        plan = cluster_based_hits(make_candidates(scores), records_per_hit=3,
+                                  max_hits_per_record=10)
+        assert plan.num_hits >= 3  # 7 spokes, 2 fit per group with the hub
+        assert plan.coverage() == 1.0
+
+    def test_max_hits_per_record_limits_hub_reuse(self):
+        scores = {(0, i): 0.8 for i in range(1, 20)}
+        plan = cluster_based_hits(make_candidates(scores), records_per_hit=3,
+                                  max_hits_per_record=2)
+        hub_appearances = sum(
+            1 for group in plan.groups if 0 in group.records
+        )
+        assert hub_appearances <= 2
+        assert len(plan.uncovered_pairs) > 0  # the cap leaves spokes uncovered
+
+    def test_every_candidate_pair_accounted_for(self):
+        scores = {(a, b): 0.5 + 0.01 * a
+                  for a in range(10) for b in range(a + 1, 10)
+                  if (a + b) % 3 != 0}
+        candidates = make_candidates(scores)
+        plan = cluster_based_hits(candidates, records_per_hit=4)
+        assert set(plan.covered_pairs) | set(plan.uncovered_pairs) == set(
+            candidates.pairs
+        )
+        assert not set(plan.covered_pairs) & set(plan.uncovered_pairs)
+
+    def test_covered_pairs_really_share_groups(self):
+        scores = {(a, b): 0.6 for a in range(6) for b in range(a + 1, 6)
+                  if b - a <= 2}
+        candidates = make_candidates(scores)
+        plan = cluster_based_hits(candidates, records_per_hit=4)
+        in_group = set()
+        for group in plan.groups:
+            in_group.update(
+                (x, y) for i, x in enumerate(group.records)
+                for y in group.records[i + 1:]
+            )
+        for pair in plan.covered_pairs:
+            assert pair in in_group
+
+    def test_validation(self):
+        candidates = make_candidates({})
+        with pytest.raises(ValueError):
+            cluster_based_hits(candidates, records_per_hit=1)
+        with pytest.raises(ValueError):
+            cluster_based_hits(candidates, max_hits_per_record=0)
+
+    def test_empty_candidates(self):
+        plan = cluster_based_hits(make_candidates({}))
+        assert plan.num_hits == 0
+        assert plan.coverage() == 1.0
+
+
+class TestPairsCoveredBy:
+    def test_in_group_candidate_pairs_only(self):
+        candidates = make_candidates({(0, 1): 0.8, (1, 2): 0.7})
+        plan = cluster_based_hits(candidates, records_per_hit=4)
+        group = plan.groups[0]
+        covered = pairs_covered_by(group, candidates)
+        for pair in covered:
+            assert pair in candidates
+
+
+class TestHitCostComparison:
+    def test_reading_effort_cheaper_on_dense_graph(self, tiny_paper):
+        """CrowdER's win is worker reading effort: settling the same pairs
+        while displaying far fewer records."""
+        comparison = hit_cost_comparison(tiny_paper.candidates,
+                                         records_per_hit=10,
+                                         pairs_per_hit=20)
+        assert (comparison["cluster_based_records_shown"]
+                < 0.7 * comparison["pair_based_records_shown"])
+        assert 0.0 <= comparison["coverage"] <= 1.0
+
+    def test_full_coverage_with_generous_budget(self, tiny_paper):
+        comparison = hit_cost_comparison(tiny_paper.candidates,
+                                         records_per_hit=15,
+                                         max_hits_per_record=10)
+        assert comparison["coverage"] > 0.95
+
+    def test_keys_present(self):
+        comparison = hit_cost_comparison(make_candidates({(0, 1): 0.8}))
+        assert set(comparison) == {
+            "pair_based_hits", "cluster_based_hits", "groups",
+            "fallback_hits", "pair_based_records_shown",
+            "cluster_based_records_shown", "coverage",
+        }

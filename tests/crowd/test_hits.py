@@ -1,0 +1,54 @@
+"""Tests for repro.crowd.hits."""
+
+import pytest
+
+from repro.crowd.hits import monetary_cost_cents, num_hits, pack_hits
+
+
+class TestPackHits:
+    def test_even_split(self):
+        hits = pack_hits([(0, 1), (1, 2), (2, 3), (3, 4)], pairs_per_hit=2)
+        assert [len(hit) for hit in hits] == [2, 2]
+
+    def test_remainder_hit(self):
+        hits = pack_hits([(0, 1), (1, 2), (2, 3)], pairs_per_hit=2)
+        assert [len(hit) for hit in hits] == [2, 1]
+
+    def test_preserves_order(self):
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        hits = pack_hits(pairs, pairs_per_hit=2)
+        assert list(hits[0].pairs) + list(hits[1].pairs) == pairs
+
+    def test_hit_ids_sequential(self):
+        hits = pack_hits([(0, 1)] , pairs_per_hit=1, start_id=5)
+        assert hits[0].hit_id == 5
+
+    def test_empty_input(self):
+        assert pack_hits([], pairs_per_hit=10) == []
+
+    def test_invalid_hit_size(self):
+        with pytest.raises(ValueError):
+            pack_hits([(0, 1)], pairs_per_hit=0)
+
+
+class TestNumHits:
+    def test_rounds_up(self):
+        assert num_hits(21, pairs_per_hit=20) == 2
+
+    def test_zero_pairs(self):
+        assert num_hits(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            num_hits(-1)
+
+
+class TestMonetaryCost:
+    def test_matches_paper_setting(self):
+        # 100 pairs at 20/HIT, 3 workers, 2c -> 5 HITs x 6c = 30c.
+        assert monetary_cost_cents(100) == 30.0
+
+    def test_five_worker_setting(self):
+        assert monetary_cost_cents(
+            100, pairs_per_hit=10, num_workers=5
+        ) == 100.0

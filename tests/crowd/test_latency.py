@@ -1,0 +1,68 @@
+"""Tests for repro.crowd.latency."""
+
+import pytest
+
+from repro.crowd.latency import LatencyModel, format_duration
+
+
+class TestLatencyModel:
+    def test_zero_pairs_is_free(self):
+        assert LatencyModel().batch_seconds(0) == 0.0
+
+    def test_deterministic(self):
+        model = LatencyModel(seed=4)
+        assert model.batch_seconds(100, 1) == model.batch_seconds(100, 1)
+
+    def test_batch_index_varies_draws(self):
+        model = LatencyModel(seed=4)
+        assert model.batch_seconds(100, 0) != model.batch_seconds(100, 1)
+
+    def test_bigger_batches_take_longer(self):
+        model = LatencyModel(seed=1, concurrent_workers=5)
+        small = model.batch_seconds(20, 0)
+        large = model.batch_seconds(2000, 0)
+        assert large > small
+
+    def test_more_concurrency_is_faster(self):
+        slow = LatencyModel(seed=2, concurrent_workers=2)
+        fast = LatencyModel(seed=2, concurrent_workers=50)
+        assert fast.batch_seconds(1000, 0) < slow.batch_seconds(1000, 0)
+
+    def test_includes_posting_overhead(self):
+        model = LatencyModel(seed=3, posting_overhead_seconds=500.0)
+        assert model.batch_seconds(1, 0) > 500.0
+
+    def test_total_accumulates_batches(self):
+        model = LatencyModel(seed=5)
+        individual = sum(model.batch_seconds(size, index)
+                         for index, size in enumerate([50, 80, 20]))
+        assert model.total_seconds([50, 80, 20]) == pytest.approx(individual)
+
+    def test_negative_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().batch_seconds(-1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            LatencyModel(concurrent_workers=0)
+        with pytest.raises(ValueError):
+            LatencyModel(mean_seconds_per_hit=0.0)
+
+    def test_fewer_iterations_means_less_wall_clock(self):
+        """The batching motivation quantified: the same pairs in 3 batches
+        finish far sooner than in 300 one-pair batches."""
+        model = LatencyModel(seed=6, concurrent_workers=20)
+        batched = model.total_seconds([100, 100, 100])
+        sequential = model.total_seconds([1] * 300)
+        assert batched < sequential / 5
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(41) == "41s"
+
+    def test_minutes(self):
+        assert format_duration(53 * 60) == "53m"
+
+    def test_hours(self):
+        assert format_duration(2 * 3600 + 14 * 60) == "2h 14m"

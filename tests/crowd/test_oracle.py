@@ -1,0 +1,89 @@
+"""Tests for repro.crowd.oracle."""
+
+import pytest
+
+from repro.crowd.cache import ScriptedAnswers
+from repro.crowd.oracle import CrowdOracle
+
+
+@pytest.fixture
+def oracle():
+    return CrowdOracle(ScriptedAnswers({
+        (0, 1): 0.9, (1, 2): 0.1, (2, 3): 0.7, (3, 4): 0.3,
+    }, num_workers=3))
+
+
+class TestAsk:
+    def test_returns_confidence(self, oracle):
+        assert oracle.ask(0, 1) == 0.9
+
+    def test_single_ask_counts_one_pair_one_iteration(self, oracle):
+        oracle.ask(0, 1)
+        assert oracle.stats.pairs_issued == 1
+        assert oracle.stats.iterations == 1
+
+    def test_repeat_ask_is_free(self, oracle):
+        oracle.ask(0, 1)
+        oracle.ask(1, 0)
+        assert oracle.stats.pairs_issued == 1
+        assert oracle.stats.iterations == 1
+
+
+class TestAskBatch:
+    def test_batch_counts_one_iteration(self, oracle):
+        answers = oracle.ask_batch([(0, 1), (1, 2), (2, 3)])
+        assert answers == {(0, 1): 0.9, (1, 2): 0.1, (2, 3): 0.7}
+        assert oracle.stats.pairs_issued == 3
+        assert oracle.stats.iterations == 1
+
+    def test_batch_of_known_pairs_is_free(self, oracle):
+        oracle.ask_batch([(0, 1), (1, 2)])
+        oracle.ask_batch([(1, 0), (2, 1)])
+        assert oracle.stats.iterations == 1
+        assert oracle.stats.pairs_issued == 2
+
+    def test_mixed_batch_charges_only_new(self, oracle):
+        oracle.ask_batch([(0, 1)])
+        answers = oracle.ask_batch([(0, 1), (2, 3)])
+        assert set(answers) == {(0, 1), (2, 3)}
+        assert oracle.stats.pairs_issued == 2
+        assert oracle.stats.iterations == 2
+
+    def test_duplicate_pairs_in_one_batch_counted_once(self, oracle):
+        oracle.ask_batch([(0, 1), (1, 0)])
+        assert oracle.stats.pairs_issued == 1
+
+    def test_empty_batch_is_noop(self, oracle):
+        assert oracle.ask_batch([]) == {}
+        assert oracle.stats.iterations == 0
+
+
+class TestKnownSet:
+    def test_knows_after_ask(self, oracle):
+        assert not oracle.knows(0, 1)
+        oracle.ask(0, 1)
+        assert oracle.knows(0, 1)
+        assert oracle.knows(1, 0)
+
+    def test_known_confidence_never_crowdsources(self, oracle):
+        assert oracle.known_confidence(0, 1) is None
+        assert oracle.stats.pairs_issued == 0
+        oracle.ask(0, 1)
+        assert oracle.known_confidence(0, 1) == 0.9
+
+    def test_known_pairs_is_copy(self, oracle):
+        oracle.ask(0, 1)
+        known = oracle.known_pairs()
+        known[(9, 10)] = 0.5
+        assert not oracle.knows(9, 10)
+
+    def test_seed_known_is_free(self, oracle):
+        oracle.seed_known({(3, 4): 0.3})
+        assert oracle.knows(3, 4)
+        assert oracle.stats.pairs_issued == 0
+        # Re-asking the seeded pair stays free.
+        oracle.ask(3, 4)
+        assert oracle.stats.pairs_issued == 0
+
+    def test_num_workers_passthrough(self, oracle):
+        assert oracle.num_workers == 3

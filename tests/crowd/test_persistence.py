@@ -1,0 +1,77 @@
+"""Tests for repro.crowd.persistence."""
+
+import json
+
+import pytest
+
+from repro.crowd.cache import AnswerFile, ScriptedAnswers
+from repro.crowd.persistence import load_answers, save_answers
+from repro.crowd.worker import DifficultyModel, WorkerPool
+from repro.datasets.schema import GoldStandard
+
+
+@pytest.fixture
+def answers():
+    gold = GoldStandard({0: 0, 1: 0, 2: 1, 3: 2, 4: 2})
+    pool = WorkerPool(DifficultyModel(easy_error=0.2, seed=9), num_workers=3)
+    return AnswerFile(gold, pool)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, answers, tmp_path):
+        path = tmp_path / "answers.json"
+        pairs = [(0, 1), (0, 2), (3, 4)]
+        written = save_answers(answers, pairs, path)
+        assert written == 3
+        loaded = load_answers(path)
+        for pair in pairs:
+            assert loaded.confidence(*pair) == answers.confidence(*pair)
+        assert loaded.num_workers == 3
+
+    def test_duplicate_pairs_written_once(self, answers, tmp_path):
+        path = tmp_path / "answers.json"
+        written = save_answers(answers, [(0, 1), (1, 0)], path)
+        assert written == 1
+
+    def test_loaded_answers_replayable_by_pipeline(self, answers, tmp_path):
+        from repro.core.acd import run_acd
+        from repro.pruning.candidate import CandidateSet
+        path = tmp_path / "answers.json"
+        pairs = [(0, 1), (0, 2), (3, 4)]
+        save_answers(answers, pairs, path)
+        loaded = load_answers(path)
+        candidates = CandidateSet(
+            pairs=tuple(sorted(pairs)),
+            machine_scores={pair: 0.7 for pair in pairs},
+            threshold=0.3,
+        )
+        result = run_acd(range(5), candidates, loaded, seed=0)
+        assert result.clustering.num_records == 5
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "answers": []}))
+        with pytest.raises(ValueError):
+            load_answers(path)
+
+    def test_malformed_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "answers": [["x"]]}))
+        with pytest.raises(ValueError):
+            load_answers(path)
+
+    def test_non_dict_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            load_answers(path)
+
+    def test_scripted_answers_saveable(self, tmp_path):
+        scripted = ScriptedAnswers({(0, 1): 0.75}, num_workers=5)
+        path = tmp_path / "scripted.json"
+        save_answers(scripted, [(0, 1)], path)
+        loaded = load_answers(path)
+        assert loaded.confidence(0, 1) == 0.75
+        assert loaded.num_workers == 5

@@ -1,0 +1,162 @@
+"""Tests for repro.crowd.platform (the discrete-event platform simulator)."""
+
+import pytest
+
+from repro.crowd.platform import PlatformAnswerFile, PlatformSimulator
+from repro.crowd.worker import DifficultyModel
+from repro.crowd.workforce import Workforce
+from repro.datasets.schema import GoldStandard
+
+
+def make_platform(**overrides):
+    defaults = dict(
+        workforce=Workforce(size=30, reliability_alpha=30.0,
+                            reliability_beta=1.0, seed=5),
+        gold=GoldStandard({r: r // 2 for r in range(400)}),
+        difficulty=DifficultyModel(easy_error=0.0),
+        pairs_per_hit=5,
+        assignments_per_hit=3,
+        concurrent_workers=10,
+        seed=9,
+    )
+    defaults.update(overrides)
+    return PlatformSimulator(**defaults)
+
+
+def dup_pairs(count):
+    return [(2 * i, 2 * i + 1) for i in range(count)]
+
+
+class TestConstruction:
+    def test_pool_must_cover_assignments(self):
+        with pytest.raises(ValueError):
+            make_platform(concurrent_workers=2, assignments_per_hit=3)
+
+    def test_pool_within_workforce(self):
+        with pytest.raises(ValueError):
+            make_platform(concurrent_workers=50)
+
+    def test_invalid_packing(self):
+        with pytest.raises(ValueError):
+            make_platform(pairs_per_hit=0)
+
+
+class TestPostBatch:
+    def test_every_pair_answered(self):
+        platform = make_platform()
+        receipt = platform.post_batch(dup_pairs(12))
+        assert set(receipt.confidences) == set(dup_pairs(12))
+
+    def test_reliable_workers_answer_correctly(self):
+        platform = make_platform()
+        receipt = platform.post_batch(dup_pairs(12) + [(0, 2), (1, 3)])
+        for pair in dup_pairs(12):
+            assert receipt.confidences[pair] > 0.5
+        assert receipt.confidences[(0, 2)] <= 0.5
+
+    def test_assignments_per_hit_enforced(self):
+        platform = make_platform()
+        receipt = platform.post_batch(dup_pairs(12))
+        per_hit = {}
+        for assignment in receipt.assignments:
+            per_hit.setdefault(assignment.hit_index, set()).add(
+                assignment.worker_id
+            )
+        # ceil(12/5) = 3 HITs, each judged by 3 distinct workers.
+        assert len(per_hit) == 3
+        for workers in per_hit.values():
+            assert len(workers) == 3
+
+    def test_no_worker_repeats_a_hit(self):
+        platform = make_platform()
+        receipt = platform.post_batch(dup_pairs(30))
+        seen = set()
+        for assignment in receipt.assignments:
+            key = (assignment.hit_index, assignment.worker_id)
+            assert key not in seen
+            seen.add(key)
+
+    def test_clock_advances_per_batch(self):
+        platform = make_platform()
+        first = platform.post_batch(dup_pairs(5))
+        second = platform.post_batch(dup_pairs(10))
+        assert second.posted_at == first.completed_at
+        assert second.completed_at > second.posted_at
+
+    def test_cost_counts_assignments(self):
+        platform = make_platform(reward_cents_per_hit=2.0)
+        receipt = platform.post_batch(dup_pairs(12))  # 3 HITs x 3 workers
+        assert receipt.cost_cents == 9 * 2.0
+        assert platform.total_cost_cents() == receipt.cost_cents
+
+    def test_earnings_ledger(self):
+        platform = make_platform()
+        platform.post_batch(dup_pairs(12))
+        earnings = platform.earnings()
+        assert sum(earnings.values()) == platform.total_cost_cents()
+        assert all(amount > 0 for amount in earnings.values())
+
+    def test_empty_batch(self):
+        platform = make_platform()
+        receipt = platform.post_batch([])
+        assert receipt.confidences == {}
+        assert receipt.cost_cents == 0.0
+
+    def test_deterministic_replay(self):
+        a = make_platform().post_batch(dup_pairs(20))
+        b = make_platform().post_batch(dup_pairs(20))
+        assert a.confidences == b.confidences
+        assert a.completed_at == b.completed_at
+
+    def test_duplicate_input_pairs_collapsed(self):
+        platform = make_platform()
+        receipt = platform.post_batch([(0, 1), (1, 0), (0, 1)])
+        assert receipt.pairs == ((0, 1),)
+
+
+class TestAuditTrail:
+    def test_all_votes_attributed(self):
+        platform = make_platform()
+        platform.post_batch(dup_pairs(12))
+        votes = platform.all_votes()
+        assert set(votes) == set(dup_pairs(12))
+        for pair_votes in votes.values():
+            assert len(pair_votes) == 3  # one per assignment
+
+    def test_votes_feed_truth_inference(self):
+        from repro.crowd.truth_inference import dawid_skene
+        platform = make_platform()
+        platform.post_batch(dup_pairs(30) + [(0, 2), (3, 5), (4, 6)])
+        result = dawid_skene(platform.all_votes())
+        for pair in dup_pairs(30):
+            assert result.posteriors[pair] > 0.5
+
+
+class TestPlatformAnswerFile:
+    def test_oracle_batches_become_platform_batches(self):
+        from repro.crowd.oracle import CrowdOracle
+        platform = make_platform()
+        answers = PlatformAnswerFile(platform)
+        oracle = CrowdOracle(answers)
+        oracle.ask_batch(dup_pairs(8))
+        oracle.ask_batch(dup_pairs(8))  # all known: no new platform batch
+        oracle.ask(100, 101)
+        assert len(platform.receipts) == 2
+
+    def test_pipeline_runs_on_platform(self):
+        from repro.core.acd import run_acd
+        from tests.conftest import make_candidates
+        platform = make_platform()
+        answers = PlatformAnswerFile(platform)
+        pairs = {(0, 1): 0.8, (2, 3): 0.8, (1, 2): 0.5}
+        candidates = make_candidates(pairs)
+        result = run_acd(range(4), candidates, answers, seed=1)
+        assert result.clustering.together(0, 1)
+        assert result.clustering.together(2, 3)
+        assert not result.clustering.together(1, 2)
+        assert platform.clock_seconds > 0
+        assert platform.total_cost_cents() > 0
+
+    def test_num_workers_reported(self):
+        answers = PlatformAnswerFile(make_platform())
+        assert answers.num_workers == 3

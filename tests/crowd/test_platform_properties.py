@@ -1,0 +1,86 @@
+"""Property-based tests for the platform simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.platform import PlatformSimulator
+from repro.crowd.worker import DifficultyModel
+from repro.crowd.workforce import Workforce
+from repro.datasets.schema import GoldStandard
+
+
+def build(seed, pairs_per_hit, assignments, pool):
+    return PlatformSimulator(
+        workforce=Workforce(size=max(pool, 12), seed=seed),
+        gold=GoldStandard({r: r // 2 for r in range(2000)}),
+        difficulty=DifficultyModel(easy_error=0.1, seed=seed),
+        pairs_per_hit=pairs_per_hit,
+        assignments_per_hit=assignments,
+        concurrent_workers=pool,
+        seed=seed,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 1000),
+    st.integers(1, 10),    # pairs per HIT
+    st.integers(1, 5),     # assignments per HIT
+    st.integers(5, 12),    # pool size
+    st.integers(0, 60),    # number of pairs
+)
+def test_platform_invariants(seed, pairs_per_hit, assignments, pool,
+                             num_pairs):
+    platform = build(seed, pairs_per_hit, max(1, min(assignments, pool)),
+                     pool)
+    pairs = [(2 * i, 2 * i + 1) for i in range(num_pairs)]
+    receipt = platform.post_batch(pairs)
+
+    # Every pair answered with a confidence that is a vote fraction.
+    assert set(receipt.confidences) == set(pairs)
+    for confidence in receipt.confidences.values():
+        votes = confidence * platform.assignments_per_hit
+        assert abs(votes - round(votes)) < 1e-9
+        assert 0.0 <= confidence <= 1.0
+
+    # Exactly assignments_per_hit distinct workers per HIT.
+    per_hit = {}
+    for assignment in receipt.assignments:
+        per_hit.setdefault(assignment.hit_index, []).append(
+            assignment.worker_id
+        )
+    import math
+    expected_hits = math.ceil(num_pairs / pairs_per_hit) if num_pairs else 0
+    assert len(per_hit) == expected_hits
+    for workers in per_hit.values():
+        assert len(workers) == platform.assignments_per_hit
+        assert len(set(workers)) == len(workers)
+
+    # Time is consistent: submissions inside the batch window.
+    for assignment in receipt.assignments:
+        assert receipt.posted_at <= assignment.started_at
+        assert assignment.started_at < assignment.submitted_at
+        assert assignment.submitted_at <= receipt.completed_at
+
+    # Money is conserved: receipt cost equals the earnings delta.
+    assert receipt.cost_cents == (
+        len(receipt.assignments) * platform.reward_cents_per_hit
+    )
+    assert sum(platform.earnings().values()) == platform.total_cost_cents()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000), st.lists(st.integers(0, 40), max_size=4))
+def test_clock_monotone_across_batches(seed, batch_sizes):
+    platform = build(seed, pairs_per_hit=5, assignments=3, pool=8)
+    previous_end = 0.0
+    offset = 0
+    for size in batch_sizes:
+        pairs = [(2 * (offset + i), 2 * (offset + i) + 1)
+                 for i in range(size)]
+        offset += size
+        receipt = platform.post_batch(pairs)
+        assert receipt.posted_at == previous_end
+        assert receipt.completed_at >= receipt.posted_at
+        previous_end = receipt.completed_at
+    assert platform.clock_seconds == previous_end

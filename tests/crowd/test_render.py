@@ -1,0 +1,91 @@
+"""Tests for repro.crowd.render (HIT rendering and parsing)."""
+
+import pytest
+
+from repro.crowd.hits import Hit
+from repro.crowd.render import (
+    QUESTION,
+    parse_submission,
+    render_hit_html,
+    render_hit_text,
+)
+from repro.datasets.schema import Record
+
+
+@pytest.fixture
+def records():
+    return {
+        0: Record(0, "chevrolet"),
+        1: Record(1, "chevy"),
+        2: Record(2, 'cafe <le "monde">'),
+    }
+
+
+@pytest.fixture
+def hit():
+    return Hit(hit_id=7, pairs=((0, 1), (1, 2)))
+
+
+class TestTextRendering:
+    def test_contains_question_and_texts(self, hit, records):
+        text = render_hit_text(hit, records)
+        assert QUESTION in text
+        assert "chevrolet" in text and "chevy" in text
+
+    def test_numbered_questions(self, hit, records):
+        text = render_hit_text(hit, records)
+        assert "Q1:" in text and "Q2:" in text
+
+    def test_hit_id_shown(self, hit, records):
+        assert "HIT #7" in render_hit_text(hit, records)
+
+
+class TestHtmlRendering:
+    def test_escapes_html(self, hit, records):
+        html_text = render_hit_html(hit, records)
+        assert '<le "monde">' not in html_text  # raw text never embedded
+        assert "&lt;le &quot;monde&quot;&gt;" in html_text
+
+    def test_radio_groups_per_pair(self, hit, records):
+        html_text = render_hit_html(hit, records)
+        assert 'name="q0_1"' in html_text
+        assert 'name="q1_2"' in html_text
+        assert html_text.count('value="same"') == 2
+
+    def test_form_wrapper(self, hit, records):
+        html_text = render_hit_html(hit, records)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<form" in html_text and "</form>" in html_text
+
+
+class TestParseSubmission:
+    def test_parses_votes(self):
+        votes = parse_submission({"q0_1": "same", "q1_2": "different"})
+        assert votes == {(0, 1): True, (1, 2): False}
+
+    def test_canonicalizes_pair_order(self):
+        assert parse_submission({"q5_2": "same"}) == {(2, 5): True}
+
+    def test_ignores_non_question_fields(self):
+        assert parse_submission({"submit": "1", "q0_1": "same"}) == {
+            (0, 1): True
+        }
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_submission({"qxy": "same"})
+
+    def test_invalid_vote_rejected(self):
+        with pytest.raises(ValueError, match="must be 'same'"):
+            parse_submission({"q0_1": "maybe"})
+
+    def test_round_trip_with_rendered_form(self, hit, records):
+        """Field names embedded in the HTML parse back to the HIT's pairs."""
+        html_text = render_hit_html(hit, records)
+        form = {}
+        for a, b in hit.pairs:
+            name = f"q{a}_{b}"
+            assert f'name="{name}"' in html_text
+            form[name] = "same"
+        votes = parse_submission(form)
+        assert set(votes) == {(0, 1), (1, 2)}

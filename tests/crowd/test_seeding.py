@@ -1,0 +1,34 @@
+"""Tests for repro.crowd.seeding."""
+
+from repro.crowd.seeding import stable_rng, stable_seed
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed(1, "x", 2) == stable_seed(1, "x", 2)
+
+    def test_different_parts_differ(self):
+        assert stable_seed(1, "x") != stable_seed(1, "y")
+
+    def test_separator_prevents_concatenation_collision(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    def test_order_matters(self):
+        assert stable_seed(1, 2) != stable_seed(2, 1)
+
+    def test_returns_64_bit_int(self):
+        value = stable_seed("anything")
+        assert isinstance(value, int)
+        assert 0 <= value < 2 ** 64
+
+
+class TestStableRng:
+    def test_same_stream(self):
+        a = stable_rng("s", 1)
+        b = stable_rng("s", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams(self):
+        a = stable_rng("s", 1)
+        b = stable_rng("s", 2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

@@ -1,0 +1,75 @@
+"""Tests for repro.crowd.stats."""
+
+import pytest
+
+from repro.crowd.stats import CrowdStats
+
+
+class TestRecordBatch:
+    def test_zero_new_pairs_costs_nothing(self):
+        stats = CrowdStats()
+        stats.record_batch(0)
+        assert stats.iterations == 0
+        assert stats.hits == 0
+        assert stats.pairs_issued == 0
+
+    def test_single_batch(self):
+        stats = CrowdStats(pairs_per_hit=20, num_workers=3)
+        stats.record_batch(45)
+        assert stats.pairs_issued == 45
+        assert stats.iterations == 1
+        assert stats.hits == 3  # ceil(45/20)
+        assert stats.votes == 135
+
+    def test_exact_multiple_of_hit_size(self):
+        stats = CrowdStats(pairs_per_hit=10)
+        stats.record_batch(30)
+        assert stats.hits == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdStats().record_batch(-1)
+
+    def test_accumulates(self):
+        stats = CrowdStats(pairs_per_hit=10)
+        stats.record_batch(5)
+        stats.record_batch(25)
+        assert stats.pairs_issued == 30
+        assert stats.iterations == 2
+        assert stats.hits == 1 + 3
+
+
+class TestMonetaryCost:
+    def test_paper_3w_setting(self):
+        # 20 pairs/HIT, 3 workers, 2 cents: 40 pairs = 2 HITs x 3 x 2c = 12c.
+        stats = CrowdStats(pairs_per_hit=20, num_workers=3,
+                           reward_cents_per_hit=2.0)
+        stats.record_batch(40)
+        assert stats.monetary_cost_cents == 12.0
+
+    def test_paper_5w_setting(self):
+        # 10 pairs/HIT, 5 workers, 2 cents: 40 pairs = 4 HITs x 5 x 2c = 40c.
+        stats = CrowdStats(pairs_per_hit=10, num_workers=5,
+                           reward_cents_per_hit=2.0)
+        stats.record_batch(40)
+        assert stats.monetary_cost_cents == 40.0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_keys(self):
+        stats = CrowdStats()
+        stats.record_batch(7)
+        snapshot = stats.snapshot()
+        assert snapshot["pairs_issued"] == 7
+        assert snapshot["iterations"] == 1
+        assert "cost_cents" in snapshot
+
+    def test_merge_adds_counters(self):
+        a = CrowdStats(pairs_per_hit=10)
+        b = CrowdStats(pairs_per_hit=10)
+        a.record_batch(10)
+        b.record_batch(20)
+        a.merge(b)
+        assert a.pairs_issued == 30
+        assert a.iterations == 2
+        assert a.hits == 3

@@ -1,0 +1,94 @@
+"""Tests for repro.crowd.worker."""
+
+import pytest
+
+from repro.crowd.worker import DifficultyModel, WorkerPool
+
+
+class TestDifficultyModel:
+    def test_all_easy_when_no_hard_fraction(self):
+        model = DifficultyModel(easy_error=0.07, hard_fraction=0.0)
+        for a in range(5):
+            for b in range(a + 1, 6):
+                assert model.error_probability(a, b) == 0.07
+
+    def test_deterministic_per_pair(self):
+        model = DifficultyModel(easy_error=0.05, hard_fraction=0.5, seed=1)
+        assert model.error_probability(3, 9) == model.error_probability(3, 9)
+
+    def test_symmetric_in_pair_order(self):
+        model = DifficultyModel(easy_error=0.05, hard_fraction=0.5, seed=1)
+        assert model.error_probability(3, 9) == model.error_probability(9, 3)
+
+    def test_hard_pairs_exist_at_full_hard_fraction(self):
+        model = DifficultyModel(
+            easy_error=0.01, hard_fraction=1.0,
+            hard_error_low=0.4, hard_error_high=0.6,
+        )
+        error = model.error_probability(0, 1)
+        assert 0.4 <= error <= 0.6
+
+    def test_hard_fraction_roughly_respected(self):
+        model = DifficultyModel(
+            easy_error=0.01, hard_fraction=0.3,
+            hard_error_low=0.4, hard_error_high=0.6, seed=5,
+        )
+        hard = sum(
+            1 for a in range(100) for b in range(a + 1, 100)
+            if model.error_probability(a, b) >= 0.4
+        )
+        total = 100 * 99 // 2
+        assert 0.25 < hard / total < 0.35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DifficultyModel(easy_error=1.5)
+        with pytest.raises(ValueError):
+            DifficultyModel(hard_error_low=0.6, hard_error_high=0.4)
+
+    def test_different_seeds_reassign_hardness(self):
+        kwargs = dict(easy_error=0.01, hard_fraction=0.5,
+                      hard_error_low=0.4, hard_error_high=0.6)
+        model_a = DifficultyModel(seed=1, **kwargs)
+        model_b = DifficultyModel(seed=2, **kwargs)
+        profile_a = [model_a.error_probability(a, a + 1) for a in range(50)]
+        profile_b = [model_b.error_probability(a, a + 1) for a in range(50)]
+        assert profile_a != profile_b
+
+
+class TestWorkerPool:
+    def test_votes_in_range(self):
+        pool = WorkerPool(DifficultyModel(easy_error=0.3), num_workers=5)
+        for a in range(10):
+            votes = pool.votes(a, a + 1, is_duplicate=True)
+            assert 0 <= votes <= 5
+
+    def test_votes_deterministic(self):
+        pool = WorkerPool(DifficultyModel(easy_error=0.3, seed=2), num_workers=3)
+        assert pool.votes(1, 2, True) == pool.votes(1, 2, True)
+
+    def test_confidence_is_vote_fraction(self):
+        pool = WorkerPool(DifficultyModel(easy_error=0.3, seed=2), num_workers=3)
+        votes = pool.votes(1, 2, True)
+        assert pool.confidence(1, 2, True) == votes / 3
+
+    def test_zero_error_perfect_answers(self):
+        pool = WorkerPool(DifficultyModel(easy_error=0.0), num_workers=3)
+        for a in range(20):
+            assert pool.confidence(a, a + 1, True) == 1.0
+            assert pool.confidence(a, a + 1, False) == 0.0
+
+    def test_error_rate_statistics(self):
+        """With i.i.d. worker error p, the vote-level error frequency over
+        many pairs should be near p."""
+        p = 0.2
+        pool = WorkerPool(DifficultyModel(easy_error=p, seed=7), num_workers=1)
+        wrong = sum(
+            1 for a in range(0, 4000, 2)
+            if pool.confidence(a, a + 1, True) < 0.5
+        )
+        assert abs(wrong / 2000 - p) < 0.03
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(DifficultyModel(), num_workers=0)

@@ -1,0 +1,145 @@
+"""Tests for repro.crowd.workforce (worker-level AMT model)."""
+
+import pytest
+
+from repro.crowd.workforce import (
+    SimulatedWorker,
+    Workforce,
+    WorkforceAnswerFile,
+)
+from repro.crowd.worker import DifficultyModel
+from repro.datasets.schema import GoldStandard
+
+
+def make_gold(pairs=100):
+    return GoldStandard({record: record // 2 for record in range(2 * pairs)})
+
+
+class TestSimulatedWorker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, reliability=1.5, approved_hits=0,
+                            approval_rate=0.9)
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, reliability=0.9, approved_hits=0,
+                            approval_rate=-0.1)
+
+    def test_difficulty_dominates(self):
+        worker = SimulatedWorker(0, reliability=0.99, approved_hits=100,
+                                 approval_rate=0.99)
+        assert worker.error_probability(0.5) == 0.5
+
+    def test_unreliability_dominates_easy_pairs(self):
+        worker = SimulatedWorker(0, reliability=0.7, approved_hits=100,
+                                 approval_rate=0.99)
+        assert worker.error_probability(0.02) == pytest.approx(0.3)
+
+    def test_error_capped(self):
+        worker = SimulatedWorker(0, reliability=0.0, approved_hits=0,
+                                 approval_rate=0.5)
+        assert worker.error_probability(0.99) == 0.95
+
+
+class TestWorkforce:
+    def test_size(self):
+        assert len(Workforce(size=50, seed=1)) == 50
+
+    def test_deterministic(self):
+        a = Workforce(size=30, seed=2).workers()
+        b = Workforce(size=30, seed=2).workers()
+        assert a == b
+
+    def test_reliability_distribution_mean(self):
+        workforce = Workforce(size=2000, reliability_alpha=14,
+                              reliability_beta=2, seed=3)
+        assert abs(workforce.mean_reliability() - 14 / 16) < 0.02
+
+    def test_qualification_raises_mean_reliability(self):
+        workforce = Workforce(size=500, seed=4)
+        qualified = workforce.qualified(min_approval_rate=0.95)
+        assert qualified.mean_reliability() > workforce.mean_reliability()
+        assert len(qualified) < len(workforce)
+
+    def test_qualification_test_predicate(self):
+        workforce = Workforce(size=100, seed=5)
+        elite = workforce.qualified(
+            passes_test=lambda worker: worker.reliability > 0.95
+        )
+        assert all(worker.reliability > 0.95 for worker in elite)
+
+    def test_impossible_qualification_rejected(self):
+        workforce = Workforce(size=10, seed=6)
+        with pytest.raises(ValueError):
+            workforce.qualified(min_approved_hits=10 ** 9)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Workforce(size=0)
+
+
+class TestWorkforceAnswerFile:
+    def test_panel_size_validation(self):
+        gold = make_gold(1)
+        workforce = Workforce(size=5, seed=1)
+        with pytest.raises(ValueError):
+            WorkforceAnswerFile(gold, workforce, DifficultyModel(),
+                                panel_size=6)
+        with pytest.raises(ValueError):
+            WorkforceAnswerFile(gold, workforce, DifficultyModel(),
+                                panel_size=0)
+
+    def test_deterministic_replay(self):
+        gold = make_gold(30)
+        workforce = Workforce(size=60, seed=7)
+        difficulty = DifficultyModel(easy_error=0.1, seed=7)
+        file_a = WorkforceAnswerFile(gold, workforce, difficulty, panel_size=3)
+        file_b = WorkforceAnswerFile(gold, workforce, difficulty, panel_size=3)
+        pairs = [(2 * i, 2 * i + 1) for i in range(30)]
+        assert [file_a.confidence(*p) for p in pairs] == [
+            file_b.confidence(*p) for p in pairs
+        ]
+
+    def test_panel_recorded(self):
+        gold = make_gold(1)
+        workforce = Workforce(size=10, seed=8)
+        answers = WorkforceAnswerFile(gold, workforce, DifficultyModel(),
+                                      panel_size=3)
+        answers.confidence(0, 1)
+        panel = answers.panel(0, 1)
+        assert len(panel) == 3
+        assert len(set(panel)) == 3  # distinct workers
+
+    def test_qualified_workforce_reduces_errors(self):
+        """The paper's stringent 5-worker setting: filtering the workforce
+        lowers the majority error rate on the same pairs."""
+        gold = make_gold(600)
+        pairs = [(2 * i, 2 * i + 1) for i in range(600)]
+        # A sloppier population so unqualified errors are visible.
+        workforce = Workforce(size=400, reliability_alpha=5,
+                              reliability_beta=2, seed=9)
+        difficulty = DifficultyModel(easy_error=0.02, seed=9)
+        everyone = WorkforceAnswerFile(gold, workforce, difficulty,
+                                       panel_size=3)
+        qualified = WorkforceAnswerFile(
+            gold, workforce.qualified(min_approval_rate=0.9),
+            difficulty, panel_size=3,
+        )
+        assert (qualified.majority_error_rate(pairs)
+                < everyone.majority_error_rate(pairs))
+
+    def test_pipeline_compatible(self):
+        """The workforce answer file drives ACD unchanged."""
+        from repro.core.acd import run_acd
+        from repro.pruning.candidate import CandidateSet
+        gold = make_gold(5)
+        workforce = Workforce(size=20, seed=10)
+        answers = WorkforceAnswerFile(gold, workforce,
+                                      DifficultyModel(easy_error=0.05),
+                                      panel_size=3)
+        pairs = tuple((2 * i, 2 * i + 1) for i in range(5))
+        candidates = CandidateSet(
+            pairs=pairs, machine_scores={p: 0.8 for p in pairs},
+            threshold=0.3,
+        )
+        result = run_acd(range(10), candidates, answers, seed=0)
+        assert result.clustering.num_records == 10

@@ -1,0 +1,103 @@
+"""Tests for the three dataset generators and the registry."""
+
+import pytest
+
+from repro.datasets.paper import generate_paper
+from repro.datasets.product import generate_product
+from repro.datasets.registry import dataset_names, generate
+from repro.datasets.restaurant import generate_restaurant
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["paper", "restaurant", "product"]
+
+    def test_generate_by_name(self):
+        dataset = generate("restaurant", scale=0.05, seed=1)
+        assert dataset.name == "restaurant"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate("nonexistent")
+
+
+class TestPaperGenerator:
+    def test_full_scale_counts(self):
+        dataset = generate_paper(scale=1.0, seed=0)
+        assert len(dataset) == 997
+        assert dataset.num_entities == 191
+
+    def test_scale(self):
+        dataset = generate_paper(scale=0.1, seed=0)
+        assert len(dataset) == round(997 * 0.1)
+        assert dataset.num_entities == round(191 * 0.1)
+
+    def test_deterministic(self):
+        a = generate_paper(scale=0.05, seed=7)
+        b = generate_paper(scale=0.05, seed=7)
+        assert [r.text for r in a.records] == [r.text for r in b.records]
+
+    def test_different_seeds_differ(self):
+        a = generate_paper(scale=0.05, seed=7)
+        b = generate_paper(scale=0.05, seed=8)
+        assert [r.text for r in a.records] != [r.text for r in b.records]
+
+    def test_skewed_cluster_sizes(self):
+        dataset = generate_paper(scale=0.3, seed=0)
+        sizes = sorted(len(c) for c in dataset.gold.clusters())
+        assert sizes[-1] >= 2 * (len(dataset) / dataset.num_entities)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_paper(scale=0.0)
+
+
+class TestRestaurantGenerator:
+    def test_full_scale_counts(self):
+        dataset = generate_restaurant(scale=1.0, seed=0)
+        assert len(dataset) == 858
+        assert dataset.num_entities == 752
+
+    def test_mostly_singletons(self):
+        dataset = generate_restaurant(scale=0.3, seed=0)
+        sizes = [len(c) for c in dataset.gold.clusters()]
+        assert max(sizes) == 2
+        assert sizes.count(1) > sizes.count(2)
+
+    def test_duplicated_count_matches_shape(self):
+        dataset = generate_restaurant(scale=1.0, seed=0)
+        pairs = dataset.gold.num_duplicate_pairs()
+        assert pairs == 858 - 752  # every duplicated entity has exactly 2 records
+
+    def test_deterministic(self):
+        a = generate_restaurant(scale=0.05, seed=3)
+        b = generate_restaurant(scale=0.05, seed=3)
+        assert [r.text for r in a.records] == [r.text for r in b.records]
+
+
+class TestProductGenerator:
+    def test_full_scale_counts(self):
+        dataset = generate_product(scale=1.0, seed=0)
+        assert dataset.num_entities == 1076
+        # Record count is approximate (entity copies are random) but close.
+        assert abs(len(dataset) - 3073) < 3073 * 0.15
+
+    def test_small_clusters(self):
+        dataset = generate_product(scale=0.2, seed=0)
+        assert max(len(c) for c in dataset.gold.clusters()) <= 4
+
+    def test_deterministic(self):
+        a = generate_product(scale=0.05, seed=3)
+        b = generate_product(scale=0.05, seed=3)
+        assert [r.text for r in a.records] == [r.text for r in b.records]
+
+    def test_duplicates_share_model_token(self):
+        dataset = generate_product(scale=0.1, seed=0)
+        from repro.similarity.tokenize import token_set
+        shared = 0
+        total = 0
+        for a, b in dataset.gold.duplicate_pairs():
+            total += 1
+            if token_set(dataset.record(a).text) & token_set(dataset.record(b).text):
+                shared += 1
+        assert shared / total > 0.9

@@ -1,0 +1,93 @@
+"""Tests for repro.datasets.io (CSV import/export)."""
+
+import pytest
+
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.restaurant import generate_restaurant
+from repro.datasets.schema import Dataset, GoldStandard, Record
+
+
+@pytest.fixture
+def dataset():
+    records = [
+        Record.make(0, "blue cafe", {"city": "nyc"}),
+        Record.make(1, "blue cafe inc", {"city": "nyc", "phone": "555"}),
+        Record.make(2, "red grill", {}),
+    ]
+    return Dataset(name="toy", records=records,
+                   gold=GoldStandard({0: 0, 1: 0, 2: 1}))
+
+
+class TestRoundTrip:
+    def test_records_preserved(self, dataset, tmp_path):
+        path = tmp_path / "toy.csv"
+        assert save_dataset(dataset, path) == 3
+        loaded = load_dataset(path)
+        assert len(loaded) == 3
+        assert loaded.record(1).text == "blue cafe inc"
+
+    def test_gold_preserved(self, dataset, tmp_path):
+        path = tmp_path / "toy.csv"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.gold.is_duplicate(0, 1)
+        assert not loaded.gold.is_duplicate(0, 2)
+
+    def test_fields_preserved(self, dataset, tmp_path):
+        path = tmp_path / "toy.csv"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.record(1).field("phone") == "555"
+        assert loaded.record(2).field("city") == ""
+
+    def test_name_defaults_to_stem(self, dataset, tmp_path):
+        path = tmp_path / "mydata.csv"
+        save_dataset(dataset, path)
+        assert load_dataset(path).name == "mydata"
+        assert load_dataset(path, name="other").name == "other"
+
+    def test_generated_dataset_round_trips(self, tmp_path):
+        original = generate_restaurant(scale=0.05, seed=2)
+        path = tmp_path / "restaurant.csv"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert [r.text for r in loaded.records] == [
+            r.text for r in original.records
+        ]
+        assert loaded.gold.num_entities == original.gold.num_entities
+
+
+class TestValidation:
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,text\n1,x\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            load_dataset(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,entity_id,text\nabc,0,x\n")
+        with pytest.raises(ValueError, match="must be integers"):
+            load_dataset(path)
+
+    def test_duplicate_record_ids(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,entity_id,text\n1,0,x\n1,0,y\n")
+        with pytest.raises(ValueError, match="duplicate record_id"):
+            load_dataset(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("record_id,entity_id,text\n")
+        with pytest.raises(ValueError, match="no records"):
+            load_dataset(path)
+
+    def test_text_with_commas_and_quotes(self, tmp_path):
+        tricky = Dataset(
+            name="t",
+            records=[Record(0, 'cafe "le monde", paris'), Record(1, "x")],
+            gold=GoldStandard({0: 0, 1: 1}),
+        )
+        path = tmp_path / "tricky.csv"
+        save_dataset(tricky, path)
+        assert load_dataset(path).record(0).text == 'cafe "le monde", paris'

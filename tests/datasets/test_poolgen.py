@@ -1,0 +1,67 @@
+"""Tests for repro.datasets.poolgen."""
+
+import random
+
+import pytest
+
+from repro.datasets.poolgen import expand_pool, scaled_size, synthesize_token
+
+
+class TestSynthesizeToken:
+    def test_nonempty_and_lowercase(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            token = synthesize_token(rng)
+            assert token
+            assert token == token.lower()
+
+    def test_deterministic(self):
+        assert synthesize_token(random.Random(3)) == synthesize_token(
+            random.Random(3)
+        )
+
+    def test_syllable_count_grows_length(self):
+        rng = random.Random(1)
+        short = [synthesize_token(random.Random(i), syllables=1)
+                 for i in range(20)]
+        long = [synthesize_token(random.Random(i), syllables=4)
+                for i in range(20)]
+        assert sum(map(len, long)) > sum(map(len, short))
+
+
+class TestExpandPool:
+    def test_truncates_when_base_suffices(self):
+        assert expand_pool(["a", "b", "c"], 2, random.Random(0)) == ["a", "b"]
+
+    def test_extends_when_base_short(self):
+        pool = expand_pool(["a", "b"], 10, random.Random(0))
+        assert pool[:2] == ["a", "b"]
+        assert len(pool) == 10
+
+    def test_all_distinct(self):
+        pool = expand_pool(["a"], 200, random.Random(0))
+        assert len(set(pool)) == 200
+
+    def test_deterministic(self):
+        a = expand_pool(["x"], 20, random.Random(5))
+        b = expand_pool(["x"], 20, random.Random(5))
+        assert a == b
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            expand_pool(["a"], 0, random.Random(0))
+
+
+class TestScaledSize:
+    def test_identity_at_scale_one(self):
+        assert scaled_size(40, 1.0) == 40
+
+    def test_sqrt_growth(self):
+        assert scaled_size(40, 4.0) == 80
+
+    def test_minimum_enforced(self):
+        assert scaled_size(40, 0.0001) == 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_size(40, 0.0)

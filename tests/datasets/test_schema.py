@@ -1,0 +1,96 @@
+"""Tests for repro.datasets.schema."""
+
+import pytest
+
+from repro.datasets.schema import Dataset, GoldStandard, Record, canonical_pair
+
+
+class TestRecord:
+    def test_field_lookup(self):
+        record = Record.make(1, "blue cafe", {"name": "blue cafe", "city": "nyc"})
+        assert record.field("city") == "nyc"
+        assert record.field("missing", "default") == "default"
+
+    def test_hashable(self):
+        assert hash(Record(1, "x")) == hash(Record(1, "x"))
+
+    def test_make_sorts_fields(self):
+        record = Record.make(1, "t", {"b": "2", "a": "1"})
+        assert record.fields == (("a", "1"), ("b", "2"))
+
+
+class TestCanonicalPair:
+    def test_orders(self):
+        assert canonical_pair(5, 2) == (2, 5)
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+
+@pytest.fixture
+def gold():
+    return GoldStandard({0: 10, 1: 10, 2: 10, 3: 20, 4: 30})
+
+
+class TestGoldStandard:
+    def test_entity_lookup(self, gold):
+        assert gold.entity(0) == 10
+
+    def test_is_duplicate(self, gold):
+        assert gold.is_duplicate(0, 1)
+        assert not gold.is_duplicate(0, 3)
+
+    def test_num_entities(self, gold):
+        assert gold.num_entities == 3
+
+    def test_entity_members(self, gold):
+        assert gold.entity_members(10) == frozenset({0, 1, 2})
+
+    def test_clusters_partition_everything(self, gold):
+        union = set()
+        for cluster in gold.clusters():
+            assert not (union & cluster)
+            union |= cluster
+        assert union == {0, 1, 2, 3, 4}
+
+    def test_duplicate_pairs(self, gold):
+        assert set(gold.duplicate_pairs()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_num_duplicate_pairs(self, gold):
+        assert gold.num_duplicate_pairs() == 3
+
+    def test_contains(self, gold):
+        assert 0 in gold
+        assert 99 not in gold
+
+
+class TestDataset:
+    def test_builds_and_indexes(self, gold):
+        records = [Record(i, f"text {i}") for i in range(5)]
+        dataset = Dataset(name="toy", records=records, gold=gold)
+        assert dataset.record(3).text == "text 3"
+        assert len(dataset) == 5
+        assert dataset.num_entities == 3
+
+    def test_summary(self, gold):
+        records = [Record(i, "t") for i in range(5)]
+        dataset = Dataset(name="toy", records=records, gold=gold)
+        assert dataset.summary() == {
+            "records": 5, "entities": 3, "duplicate_pairs": 3
+        }
+
+    def test_duplicate_record_ids_rejected(self, gold):
+        records = [Record(0, "a"), Record(0, "b"),
+                   Record(2, "c"), Record(3, "d"), Record(4, "e")]
+        with pytest.raises(ValueError):
+            Dataset(name="bad", records=records, gold=gold)
+
+    def test_record_missing_from_gold_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                records=[Record(0, "a"), Record(1, "b")],
+                gold=GoldStandard({0: 0}),
+            )

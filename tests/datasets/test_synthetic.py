@@ -1,0 +1,116 @@
+"""Tests for repro.datasets.synthetic (noise channels)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    abbreviate,
+    abbreviate_words,
+    corrupt_words,
+    drop_words,
+    noisy_variant,
+    shuffle_some,
+    typo,
+    zipf_cluster_sizes,
+)
+
+
+class TestTypo:
+    def test_empty_word_unchanged(self):
+        assert typo("", random.Random(0)) == ""
+
+    def test_result_is_one_edit_away(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            word = "restaurant"
+            mutated = typo(word, rng)
+            assert abs(len(mutated) - len(word)) <= 1
+
+    def test_deterministic_given_rng(self):
+        assert typo("hello", random.Random(7)) == typo("hello", random.Random(7))
+
+
+class TestDropWords:
+    def test_keeps_at_least(self):
+        rng = random.Random(0)
+        kept = drop_words(["a", "b"], rng, drop_rate=1.0, keep_at_least=1)
+        assert kept == ["a"]
+
+    def test_zero_rate_keeps_all(self):
+        assert drop_words(["a", "b"], random.Random(0), drop_rate=0.0) == ["a", "b"]
+
+
+class TestAbbreviate:
+    def test_short_words_untouched(self):
+        assert abbreviate("abc", random.Random(0)) == "abc"
+
+    def test_abbreviation_is_prefix(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            short = abbreviate("international", rng)
+            assert "international".startswith(short)
+            assert len(short) < len("international")
+
+    def test_rate_zero_is_identity(self):
+        words = ["proceedings", "of", "conference"]
+        assert abbreviate_words(words, random.Random(0), rate=0.0) == words
+
+
+class TestShuffle:
+    def test_zero_probability_keeps_order(self):
+        words = ["a", "b", "c"]
+        assert shuffle_some(words, random.Random(0), probability=0.0) == words
+
+    def test_certain_shuffle_is_adjacent_transposition(self):
+        words = ["a", "b", "c", "d"]
+        shuffled = shuffle_some(words, random.Random(1), probability=1.0)
+        assert sorted(shuffled) == sorted(words)
+        diffs = [i for i, (x, y) in enumerate(zip(words, shuffled)) if x != y]
+        assert len(diffs) == 2 and diffs[1] == diffs[0] + 1
+
+
+class TestNoisyVariant:
+    def test_zero_noise_is_identity(self):
+        text = "golden cafe main st"
+        result = noisy_variant(text, random.Random(0), typo_rate=0.0,
+                               drop_rate=0.0, abbreviate_rate=0.0,
+                               shuffle_probability=0.0)
+        assert result == text
+
+    def test_never_empty(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert noisy_variant("single", rng, drop_rate=0.99)
+
+
+class TestZipfClusterSizes:
+    def test_sums_exactly(self):
+        sizes = zipf_cluster_sizes(997, 191, random.Random(0))
+        assert sum(sizes) == 997
+        assert len(sizes) == 191
+
+    def test_all_positive(self):
+        sizes = zipf_cluster_sizes(100, 90, random.Random(1))
+        assert all(size >= 1 for size in sizes)
+
+    def test_skewed(self):
+        sizes = zipf_cluster_sizes(1000, 100, random.Random(2), skew=1.5)
+        assert max(sizes) > 3 * (1000 / 100)  # a few big clusters exist
+
+    def test_records_equal_entities(self):
+        assert zipf_cluster_sizes(5, 5, random.Random(0)) == [1] * 5
+
+    def test_too_few_records_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_cluster_sizes(3, 5, random.Random(0))
+
+    @given(st.integers(1, 50), st.integers(0, 200), st.integers(0, 10))
+    def test_property_sum_and_positivity(self, entities, extra, seed):
+        records = entities + extra
+        sizes = zipf_cluster_sizes(records, entities, random.Random(seed))
+        assert sum(sizes) == records
+        assert len(sizes) == entities
+        assert min(sizes) >= 1

@@ -1,0 +1,50 @@
+"""Tests for repro.eval.ascii."""
+
+from repro.eval.ascii import bar_chart, series_chart, sparkline
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart({"full": 1.0, "half": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"a": 1.0, "longer": 1.0}, width=4)
+        lines = chart.splitlines()
+        bar_positions = [line.index("█") for line in lines]
+        assert len(set(bar_positions)) == 1
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_all_zero_values(self):
+        chart = bar_chart({"a": 0.0}, width=10)
+        assert "█" not in chart
+
+    def test_value_format(self):
+        chart = bar_chart({"x": 0.125}, width=4, value_format="{:.1%}")
+        assert "12.5%" in chart
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        assert sparkline([1, 2, 3]) == "▁▄█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestSeriesChart:
+    def test_ordered_labels(self):
+        chart = series_chart([("0.1", 10.0), ("0.2", 5.0)], width=8)
+        lines = chart.splitlines()
+        assert lines[0].startswith("0.1")
+        assert lines[1].startswith("0.2")

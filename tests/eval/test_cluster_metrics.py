@@ -1,0 +1,132 @@
+"""Tests for repro.eval.cluster_metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clustering import Clustering
+from repro.datasets.schema import GoldStandard
+from repro.eval.cluster_metrics import (
+    adjusted_rand_index,
+    bcubed_scores,
+    full_report,
+    normalized_mutual_information,
+    variation_of_information,
+)
+
+
+@pytest.fixture
+def gold():
+    return GoldStandard({0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2})
+
+
+def perfect(gold):
+    return Clustering([{0, 1, 2}, {3, 4}, {5}])
+
+
+class TestBCubed:
+    def test_perfect(self, gold):
+        assert bcubed_scores(perfect(gold), gold) == (1.0, 1.0, 1.0)
+
+    def test_all_singletons(self, gold):
+        precision, recall, f1 = bcubed_scores(
+            Clustering.singletons(range(6)), gold
+        )
+        assert precision == 1.0
+        # Recall per record = 1/|entity|: (3*(1/3) + 2*(1/2) + 1) / 6 = 0.5
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_everything_merged(self, gold):
+        precision, recall, f1 = bcubed_scores(
+            Clustering([set(range(6))]), gold
+        )
+        assert recall == 1.0
+        # Precision per record = |entity|/6: (3*(3/6)+2*(2/6)+1*(1/6))/6
+        assert precision == pytest.approx((3 * 0.5 + 2 * (2 / 6) + 1 / 6) / 6)
+
+    def test_known_mixed_case(self, gold):
+        clustering = Clustering([{0, 1}, {2, 3}, {4, 5}])
+        precision, recall, _ = bcubed_scores(clustering, gold)
+        # Precision: records 0,1 -> 1; 2,3 -> 1/2; 4,5 -> 1/2 => (2+2)/6
+        assert precision == pytest.approx(4 / 6)
+
+
+class TestAdjustedRand:
+    def test_perfect_is_one(self, gold):
+        assert adjusted_rand_index(perfect(gold), gold) == pytest.approx(1.0)
+
+    def test_singletons_near_zero(self, gold):
+        # Singletons predict no pairs: ARI is 0 (chance level).
+        value = adjusted_rand_index(Clustering.singletons(range(6)), gold)
+        assert abs(value) < 1e-9
+
+    def test_worse_than_chance_negative_possible(self):
+        gold = GoldStandard({0: 0, 1: 0, 2: 1, 3: 1})
+        # Systematically anti-correlated clustering.
+        clustering = Clustering([{0, 2}, {1, 3}])
+        assert adjusted_rand_index(clustering, gold) < 0.0
+
+    def test_single_record(self):
+        gold = GoldStandard({0: 0})
+        assert adjusted_rand_index(Clustering([{0}]), gold) == 1.0
+
+
+class TestNMI:
+    def test_perfect_is_one(self, gold):
+        assert normalized_mutual_information(perfect(gold), gold) == pytest.approx(1.0)
+
+    def test_everything_merged_is_zero_information(self, gold):
+        value = normalized_mutual_information(Clustering([set(range(6))]), gold)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_range(self, gold):
+        clustering = Clustering([{0, 3}, {1, 4}, {2, 5}])
+        assert 0.0 <= normalized_mutual_information(clustering, gold) <= 1.0
+
+
+class TestVariationOfInformation:
+    def test_perfect_is_zero(self, gold):
+        assert variation_of_information(perfect(gold), gold) == pytest.approx(0.0)
+
+    def test_positive_for_different_partitions(self, gold):
+        clustering = Clustering([set(range(6))])
+        assert variation_of_information(clustering, gold) > 0.0
+
+    def test_bounded_by_log_n(self, gold):
+        clustering = Clustering([{0, 4}, {1, 5}, {2}, {3}])
+        assert variation_of_information(clustering, gold) <= 2 * math.log(6)
+
+
+class TestFullReport:
+    def test_keys_and_consistency(self, gold):
+        report = full_report(perfect(gold), gold)
+        assert report["pairwise_f1"] == 1.0
+        assert report["bcubed_f1"] == 1.0
+        assert report["adjusted_rand_index"] == pytest.approx(1.0)
+        assert report["num_clusters"] == 3.0
+        assert set(report) >= {
+            "pairwise_precision", "bcubed_recall", "nmi",
+            "variation_of_information",
+        }
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=12),
+       st.lists(st.integers(0, 3), min_size=2, max_size=12))
+def test_metric_ranges_on_random_partitions(gold_labels, predicted_labels):
+    size = min(len(gold_labels), len(predicted_labels))
+    gold = GoldStandard({i: gold_labels[i] for i in range(size)})
+    by_label = {}
+    for i in range(size):
+        by_label.setdefault(predicted_labels[i], set()).add(i)
+    clustering = Clustering(by_label.values())
+
+    precision, recall, f1 = bcubed_scores(clustering, gold)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+    assert 0.0 <= f1 <= 1.0
+    assert -1.0 <= adjusted_rand_index(clustering, gold) <= 1.0 + 1e-9
+    assert 0.0 <= normalized_mutual_information(clustering, gold) <= 1.0
+    assert variation_of_information(clustering, gold) >= 0.0

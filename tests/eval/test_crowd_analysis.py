@@ -1,0 +1,94 @@
+"""Tests for repro.eval.crowd_analysis."""
+
+import pytest
+
+from repro.datasets.schema import GoldStandard
+from repro.eval.crowd_analysis import (
+    calibration_curve,
+    confidence_histogram,
+    disagreement_pairs,
+    unanimity_rate,
+)
+
+
+class TestConfidenceHistogram:
+    def test_buckets_by_vote_level(self):
+        histogram = confidence_histogram([0.0, 1 / 3, 1 / 3, 1.0],
+                                         num_workers=3)
+        assert histogram == {0.0: 1, 1 / 3: 2, 1.0: 1}
+
+    def test_rounds_float_noise_to_levels(self):
+        histogram = confidence_histogram([0.3333333333], num_workers=3)
+        assert list(histogram) == [1 / 3]
+
+    def test_empty(self):
+        assert confidence_histogram([]) == {}
+
+
+class TestUnanimity:
+    def test_mixed(self):
+        assert unanimity_rate([0.0, 1.0, 2 / 3, 1 / 3]) == 0.5
+
+    def test_empty_is_one(self):
+        assert unanimity_rate([]) == 1.0
+
+
+class TestCalibrationCurve:
+    def test_bands_capture_means(self):
+        answered = {(0, 1): 0.1, (2, 3): 0.2, (4, 5): 0.9}
+        machine = {(0, 1): 0.35, (2, 3): 0.38, (4, 5): 0.85}
+        bands = calibration_curve(answered, machine, num_bands=10)
+        assert len(bands) == 2
+        low_band = bands[0]
+        assert low_band.lower == 0.3
+        assert low_band.count == 2
+        assert low_band.mean_confidence == pytest.approx(0.15)
+
+    def test_error_rates_with_gold(self):
+        gold = GoldStandard({0: 0, 1: 0, 2: 1, 3: 2})
+        # (0,1) true dup answered 0.9 (right); (2,3) non-dup answered 0.8
+        # (wrong).
+        answered = {(0, 1): 0.9, (2, 3): 0.8}
+        machine = {(0, 1): 0.55, (2, 3): 0.52}
+        bands = calibration_curve(answered, machine, gold=gold, num_bands=2)
+        assert len(bands) == 1
+        assert bands[0].error_rate == pytest.approx(0.5)
+
+    def test_no_gold_means_no_error_rates(self):
+        bands = calibration_curve({(0, 1): 0.5}, {(0, 1): 0.5}, num_bands=4)
+        assert bands[0].error_rate is None
+
+    def test_pairs_without_machine_score_skipped(self):
+        bands = calibration_curve({(0, 1): 0.5}, {}, num_bands=4)
+        assert bands == []
+
+    def test_score_one_lands_in_last_band(self):
+        bands = calibration_curve({(0, 1): 1.0}, {(0, 1): 1.0}, num_bands=4)
+        assert bands[0].lower == 0.75
+
+    def test_invalid_bands(self):
+        with pytest.raises(ValueError):
+            calibration_curve({}, {}, num_bands=0)
+
+    def test_curve_reflects_simulated_crowd(self, tiny_paper):
+        """On the Paper instance, high-machine-score pairs get higher mean
+        crowd confidence than low-score pairs."""
+        from repro.crowd.oracle import CrowdOracle
+        oracle = CrowdOracle(tiny_paper.answers)
+        oracle.ask_batch(tiny_paper.candidates.pairs)
+        bands = calibration_curve(
+            oracle.known_pairs(), tiny_paper.candidates.machine_scores,
+            gold=tiny_paper.dataset.gold, num_bands=5,
+        )
+        assert len(bands) >= 2
+        assert bands[-1].mean_confidence > bands[0].mean_confidence
+
+
+class TestDisagreementPairs:
+    def test_contested_band_selected(self):
+        answered = {(0, 1): 0.5, (2, 3): 1.0, (4, 5): 0.65, (6, 7): 0.0}
+        assert disagreement_pairs(answered) == [(0, 1), (4, 5)]
+
+    def test_sorted_by_ambiguity(self):
+        answered = {(0, 1): 0.68, (2, 3): 0.52}
+        assert disagreement_pairs(answered) == [(2, 3), (0, 1)]

@@ -1,0 +1,82 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.datasets.schema import GoldStandard
+from repro.eval.metrics import (
+    PairwiseScores,
+    cluster_exact_match_rate,
+    cluster_size_histogram,
+    clustering_from_sets,
+    f1_score,
+    pairwise_scores,
+)
+
+
+@pytest.fixture
+def gold():
+    return GoldStandard({0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2})
+
+
+class TestPairwiseScores:
+    def test_perfect_clustering(self, gold):
+        clustering = Clustering([{0, 1, 2}, {3, 4}, {5}])
+        scores = pairwise_scores(clustering, gold)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_all_singletons(self, gold):
+        clustering = Clustering.singletons(range(6))
+        scores = pairwise_scores(clustering, gold)
+        assert scores.true_positives == 0
+        assert scores.false_negatives == 4  # 3 + 1 gold pairs
+        assert scores.recall == 0.0
+        assert scores.precision == 0.0  # nothing predicted, but FN exist
+
+    def test_everything_merged(self, gold):
+        clustering = Clustering([set(range(6))])
+        scores = pairwise_scores(clustering, gold)
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(4 / 15)
+
+    def test_mixed_counts(self, gold):
+        clustering = Clustering([{0, 1, 3}, {2}, {4}, {5}])
+        scores = pairwise_scores(clustering, gold)
+        assert scores.true_positives == 1   # (0,1)
+        assert scores.false_positives == 2  # (0,3), (1,3)
+        assert scores.false_negatives == 3  # (0,2), (1,2), (3,4)
+
+    def test_f1_harmonic_mean(self):
+        scores = PairwiseScores(true_positives=1, false_positives=1,
+                                false_negatives=1)
+        assert scores.f1 == pytest.approx(0.5)
+
+    def test_empty_gold_recall_is_one(self):
+        gold = GoldStandard({0: 0, 1: 1})
+        clustering = Clustering.singletons([0, 1])
+        scores = pairwise_scores(clustering, gold)
+        assert scores.recall == 1.0
+        assert scores.precision == 1.0
+        assert scores.f1 == 1.0
+
+    def test_f1_zero_when_no_overlap(self, gold):
+        clustering = Clustering([{0, 3}, {1, 4}, {2, 5}])
+        assert f1_score(clustering, gold) == 0.0
+
+
+class TestClusterLevel:
+    def test_exact_match_rate(self, gold):
+        clustering = Clustering([{0, 1, 2}, {3}, {4}, {5}])
+        # {0,1,2} and {5} match gold entities exactly; {3,4} does not.
+        assert cluster_exact_match_rate(clustering, gold) == pytest.approx(2 / 3)
+
+    def test_size_histogram(self):
+        clustering = Clustering([{0, 1, 2}, {3, 4}, {5}, {6}])
+        assert cluster_size_histogram(clustering) == {3: 1, 2: 1, 1: 2}
+
+    def test_from_sets(self):
+        clustering = clustering_from_sets([[0, 1], [2]])
+        assert clustering.together(0, 1)
+        assert len(clustering) == 2

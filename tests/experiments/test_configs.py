@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.configs."""
+
+import pytest
+
+from repro.experiments.configs import (
+    CROWD_SETTINGS,
+    DIFFICULTY_MODELS,
+    FIVE_WORKERS,
+    THREE_WORKERS,
+    WORKER_SETTINGS,
+    crowd_setting,
+    difficulty_model,
+)
+
+
+class TestCrowdSettings:
+    def test_paper_3w_setting(self):
+        setting = crowd_setting(THREE_WORKERS)
+        assert setting.num_workers == 3
+        assert setting.pairs_per_hit == 20
+        assert setting.reward_cents_per_hit == 2.0
+
+    def test_paper_5w_setting(self):
+        setting = crowd_setting(FIVE_WORKERS)
+        assert setting.num_workers == 5
+        assert setting.pairs_per_hit == 10
+
+    def test_unknown_setting(self):
+        with pytest.raises(KeyError):
+            crowd_setting("7w")
+
+    def test_all_settings_registered(self):
+        assert set(WORKER_SETTINGS) == set(CROWD_SETTINGS)
+
+
+class TestDifficultyModels:
+    def test_every_dataset_covered(self):
+        for name in ("paper", "restaurant", "product"):
+            assert difficulty_model(name) is DIFFICULTY_MODELS[name]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            difficulty_model("imaginary")
+
+    def test_hardness_ordering(self):
+        """Paper must be harder than Product, Product harder than Restaurant
+        (Table 3's error ordering)."""
+        def roughness(name):
+            model = difficulty_model(name)
+            return model.hard_fraction + model.easy_error
+        assert roughness("paper") > roughness("product") > roughness("restaurant")

@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.cost_model."""
+
+import pytest
+
+from repro.crowd.latency import LatencyModel
+from repro.crowd.stats import CrowdStats
+from repro.experiments.cost_model import (
+    CostSummary,
+    compare_costs,
+    summarize_costs,
+)
+
+
+def stats_with_batches(*sizes, pairs_per_hit=20, num_workers=3):
+    stats = CrowdStats(pairs_per_hit=pairs_per_hit, num_workers=num_workers)
+    for size in sizes:
+        stats.record_batch(size)
+    return stats
+
+
+class TestSummarizeCosts:
+    def test_counters_copied(self):
+        stats = stats_with_batches(40, 15)
+        summary = summarize_costs(stats)
+        assert summary.pairs == 55
+        assert summary.iterations == 2
+        assert summary.hits == 2 + 1
+
+    def test_dollars_from_cents(self):
+        stats = stats_with_batches(40)  # 2 HITs x 3 workers x 2c = 12c
+        assert summarize_costs(stats).dollars == pytest.approx(0.12)
+
+    def test_latency_accumulates_batches(self):
+        stats = stats_with_batches(40, 15)
+        model = LatencyModel(seed=3)
+        summary = summarize_costs(stats, latency=model)
+        assert summary.seconds == pytest.approx(
+            model.total_seconds([40, 15])
+        )
+
+    def test_default_latency_matches_settings(self):
+        stats = stats_with_batches(10, pairs_per_hit=10, num_workers=5)
+        summary = summarize_costs(stats)
+        assert summary.seconds > 0
+
+    def test_str_and_duration(self):
+        summary = CostSummary(pairs=10, hits=1, iterations=1,
+                              dollars=0.06, seconds=300.0)
+        assert "$0.06" in str(summary)
+        assert summary.duration == "5m"
+
+
+class TestCompareCosts:
+    def test_per_method_summaries(self):
+        summaries = compare_costs({
+            "A": stats_with_batches(100),
+            "B": stats_with_batches(10, 10),
+        })
+        assert summaries["A"].pairs == 100
+        assert summaries["B"].iterations == 2
+
+    def test_real_run_costs(self, tiny_restaurant):
+        """An actual ACD run produces a coherent cost projection."""
+        from repro.experiments.runner import run_method
+        from repro.core.acd import run_acd
+        result = run_acd(
+            tiny_restaurant.record_ids, tiny_restaurant.candidates,
+            tiny_restaurant.answers, seed=3,
+        )
+        summary = summarize_costs(result.stats)
+        assert summary.pairs == result.stats.pairs_issued
+        assert summary.seconds > 0
+        assert summary.dollars > 0

@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.grid (resumable experiment grids)."""
+
+import json
+
+import pytest
+
+from repro.experiments.grid import (
+    GridCell,
+    ResultStore,
+    grid_cells,
+    run_grid,
+)
+from repro.experiments.runner import MethodResult
+
+
+def sample_results():
+    return {
+        "ACD": MethodResult("ACD", 0.9, 0.95, 0.85, 120, 12, 6, 40),
+        "TransM": MethodResult("TransM", 0.7, 0.6, 0.8, 130, 9, 7, 35),
+    }
+
+
+class TestGridCell:
+    def test_key_is_unique_per_configuration(self):
+        a = GridCell("paper", "3w", 1.0, 1, 3)
+        b = GridCell("paper", "3w", 1.0, 2, 3)
+        assert a.key() != b.key()
+
+    def test_key_stable(self):
+        cell = GridCell("paper", "5w", 0.5, 1, 3)
+        assert cell.key() == GridCell("paper", "5w", 0.5, 1, 3).key()
+
+
+class TestGridCells:
+    def test_factorial(self):
+        cells = grid_cells(["a", "b"], ["3w", "5w"], scale=0.5)
+        assert len(cells) == 4
+        assert {cell.dataset for cell in cells} == {"a", "b"}
+        assert all(cell.scale == 0.5 for cell in cells)
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.json")
+        cell = GridCell("paper", "3w", 1.0, 1, 3)
+        store.put(cell, sample_results())
+        reloaded = ResultStore(tmp_path / "grid.json")
+        assert cell in reloaded
+        results = reloaded.get(cell)
+        assert results["ACD"].f1 == 0.9
+        assert results["TransM"].pairs_issued == 130
+
+    def test_missing_cell_is_none(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.json")
+        assert store.get(GridCell("x", "3w", 1.0, 1, 3)) is None
+
+    def test_len(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.json")
+        assert len(store) == 0
+        store.put(GridCell("a", "3w", 1.0, 1, 3), sample_results())
+        assert len(store) == 1
+
+    def test_invalid_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            ResultStore(path)
+
+
+class TestRunGrid:
+    def test_runs_and_caches(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.json")
+        cells = grid_cells(["restaurant"], ["3w"], scale=0.05,
+                           repetitions=1)
+        first = run_grid(cells, store, methods=("TransM", "CrowdER+"))
+        assert set(first[cells[0]]) == {"TransM", "CrowdER+"}
+        assert cells[0] in store
+
+    def test_cache_hit_skips_computation(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "grid.json")
+        cells = grid_cells(["restaurant"], ["3w"], scale=0.05,
+                           repetitions=1)
+        run_grid(cells, store, methods=("TransM",))
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("comparison should be cached")
+
+        monkeypatch.setattr("repro.experiments.grid.run_comparison", boom)
+        again = run_grid(cells, store, methods=("TransM",))
+        assert again[cells[0]]["TransM"].f1 >= 0.0
+
+    def test_missing_method_triggers_recompute(self, tmp_path):
+        store = ResultStore(tmp_path / "grid.json")
+        cells = grid_cells(["restaurant"], ["3w"], scale=0.05,
+                           repetitions=1)
+        run_grid(cells, store, methods=("TransM",))
+        # Asking for an extra method must recompute the cell.
+        results = run_grid(cells, store, methods=("TransM", "CrowdER+"))
+        assert "CrowdER+" in results[cells[0]]

@@ -1,0 +1,46 @@
+"""Tests for repro.experiments.replication."""
+
+import pytest
+
+from repro.experiments.replication import replicate
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return replicate(scale=0.05, seed=2, repetitions=1,
+                         settings=("3w",), datasets=("restaurant",),
+                         include_sweeps=True)
+
+    def test_contains_all_sections(self, report):
+        assert "Table 3" in report
+        assert "Figures 6-8 — restaurant (3w)" in report
+        assert "Figure 5 — ε sweep — restaurant" in report
+        assert "Figure 10 — T sweep — restaurant" in report
+
+    def test_table3_has_the_dataset_row(self, report):
+        assert "| restaurant |" in report
+
+    def test_comparison_has_all_methods(self, report):
+        for method in ("ACD", "PC-Pivot", "CrowdER+", "GCER", "TransM",
+                       "TransNode"):
+            assert f"| {method} |" in report
+
+    def test_progress_callback_fires(self):
+        lines = []
+        replicate(scale=0.05, seed=2, repetitions=1, settings=("3w",),
+                  datasets=("restaurant",), include_sweeps=False,
+                  progress=lines.append)
+        assert any("table3" in line for line in lines)
+        assert any("comparison" in line for line in lines)
+
+    def test_cli_replicate(self, tmp_path, capsys):
+        from repro.cli import main
+        output = tmp_path / "replication.md"
+        assert main([
+            "replicate", "--scale", "0.05", "--repetitions", "1",
+            "--no-sweeps", "--output", str(output),
+        ]) == 0
+        text = output.read_text()
+        assert "Table 3" in text
+        assert "Figures 6-8 — paper (3w)" in text

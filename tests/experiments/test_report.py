@@ -1,0 +1,88 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import (
+    ExperimentReport,
+    full_report_for_instance,
+    markdown_table,
+)
+from repro.experiments.runner import MethodResult
+from repro.experiments.sweeps import EpsilonPoint, EpsilonSweep, ThresholdPoint
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_empty_rows(self):
+        table = markdown_table(["x"], [])
+        assert table.splitlines() == ["| x |", "|---|"]
+
+
+class TestExperimentReport:
+    def test_render_contains_sections(self):
+        report = ExperimentReport(title="T")
+        report.add_section("Alpha", "body text")
+        rendered = report.render()
+        assert rendered.startswith("# T")
+        assert "## Alpha" in rendered
+        assert "body text" in rendered
+
+    def test_add_comparison(self):
+        report = ExperimentReport()
+        report.add_comparison("Methods", {
+            "ACD": MethodResult("ACD", 0.9, 0.95, 0.85, 100, 10, 5, 50),
+        })
+        rendered = report.render()
+        assert "| ACD | 0.900 |" in rendered
+
+    def test_add_epsilon_sweep(self):
+        report = ExperimentReport()
+        report.add_epsilon_sweep("Eps", EpsilonSweep(
+            points=[EpsilonPoint(0.1, 12.0, 300.0)],
+            crowd_pivot_iterations=80.0, crowd_pivot_pairs=290.0,
+        ))
+        rendered = report.render()
+        assert "| 0.1 | 12.0 | 300 |" in rendered
+        assert "Crowd-Pivot" in rendered
+
+    def test_add_threshold_sweep(self):
+        report = ExperimentReport()
+        report.add_threshold_sweep("T", [
+            ThresholdPoint(8.0, 0.9, 100.0, 3.0, 500.0),
+        ])
+        assert "N_m/8" in report.render()
+
+
+class TestFullReport:
+    def test_end_to_end(self, tiny_restaurant):
+        text = full_report_for_instance(
+            tiny_restaurant, repetitions=1, include_sweeps=False
+        )
+        assert "# ACD reproduction — restaurant (3w)" in text
+        assert "Method comparison" in text
+        assert "| ACD |" in text
+
+    def test_sweeps_included_when_requested(self, tiny_restaurant):
+        text = full_report_for_instance(
+            tiny_restaurant, repetitions=1, include_sweeps=True
+        )
+        assert "ε sweep" in text
+        assert "T sweep" in text
+
+
+class TestCliReport:
+    def test_report_command_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+        output = tmp_path / "report.md"
+        assert main([
+            "report", "restaurant", "--scale", "0.05",
+            "--repetitions", "1", "--no-sweeps", "--output", str(output),
+        ]) == 0
+        assert output.exists()
+        assert "Method comparison" in output.read_text()

@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.robustness."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    degradation,
+    error_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(request):
+    instance = request.getfixturevalue("tiny_product")
+    return error_sweep(
+        instance.dataset, instance.candidates,
+        easy_errors=(0.0, 0.3), methods=("ACD", "TransM"),
+        repetitions=1,
+    )
+
+
+# Make the session fixture reachable from a module-scoped fixture.
+@pytest.fixture(scope="module")
+def tiny_product(request):
+    from repro.experiments.runner import prepare_instance
+    return prepare_instance("product", "3w", scale=0.1, seed=3)
+
+
+class TestErrorSweep:
+    def test_points_per_level(self, sweep):
+        assert [point.easy_error for point in sweep] == [0.0, 0.3]
+
+    def test_zero_error_has_zero_measured_error(self, sweep):
+        assert sweep[0].measured_error == 0.0
+
+    def test_measured_error_grows(self, sweep):
+        assert sweep[1].measured_error > sweep[0].measured_error
+
+    def test_methods_present(self, sweep):
+        for point in sweep:
+            assert set(point.f1_by_method) == {"ACD", "TransM"}
+
+    def test_f1_degrades_with_errors(self, sweep):
+        for method in ("ACD", "TransM"):
+            assert (sweep[1].f1_by_method[method]
+                    <= sweep[0].f1_by_method[method] + 0.05)
+
+    def test_unknown_method_rejected(self, tiny_product):
+        with pytest.raises(ValueError):
+            error_sweep(tiny_product.dataset, tiny_product.candidates,
+                        easy_errors=(0.1,), methods=("Nope",),
+                        repetitions=1)
+
+
+class TestDegradation:
+    def test_difference_of_endpoints(self):
+        points = [
+            RobustnessPoint(0.0, 0.0, {"X": 0.9}),
+            RobustnessPoint(0.3, 0.2, {"X": 0.6}),
+        ]
+        assert degradation(points, "X") == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            degradation([], "X")

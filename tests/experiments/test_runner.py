@@ -1,0 +1,121 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ACD_METHOD,
+    ALL_METHODS,
+    CROWDER_METHOD,
+    CROWD_PIVOT_METHOD,
+    GCER_METHOD,
+    MethodResult,
+    PC_PIVOT_METHOD,
+    TRANSM_METHOD,
+    TRANSNODE_METHOD,
+    average_results,
+    prepare_instance,
+    run_comparison,
+    run_method,
+)
+
+
+class TestPrepareInstance:
+    def test_deterministic(self):
+        a = prepare_instance("restaurant", "3w", scale=0.05, seed=2)
+        b = prepare_instance("restaurant", "3w", scale=0.05, seed=2)
+        assert a.candidates.pairs == b.candidates.pairs
+
+    def test_settings_flow_through(self):
+        instance = prepare_instance("restaurant", "5w", scale=0.05, seed=2)
+        assert instance.setting.num_workers == 5
+        assert instance.answers.num_workers == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            prepare_instance("bogus", "3w")
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", [
+        ACD_METHOD, PC_PIVOT_METHOD, CROWD_PIVOT_METHOD, CROWDER_METHOD,
+        TRANSM_METHOD, TRANSNODE_METHOD,
+    ])
+    def test_each_method_runs(self, tiny_restaurant, method):
+        result = run_method(method, tiny_restaurant, seed=1)
+        assert result.method == method
+        assert 0.0 <= result.f1 <= 1.0
+        assert result.pairs_issued >= 0
+        assert result.clustering is not None
+        assert result.clustering.num_records == len(tiny_restaurant.dataset)
+
+    def test_gcer_needs_budget(self, tiny_restaurant):
+        with pytest.raises(ValueError):
+            run_method(GCER_METHOD, tiny_restaurant)
+
+    def test_gcer_with_budget(self, tiny_restaurant):
+        result = run_method(GCER_METHOD, tiny_restaurant, gcer_budget=30)
+        assert result.pairs_issued <= 30
+
+    def test_unknown_method(self, tiny_restaurant):
+        with pytest.raises(ValueError):
+            run_method("Magic", tiny_restaurant)
+
+    def test_methods_share_answers_but_not_costs(self, tiny_restaurant):
+        first = run_method(CROWDER_METHOD, tiny_restaurant)
+        second = run_method(CROWDER_METHOD, tiny_restaurant)
+        assert first.pairs_issued == second.pairs_issued
+        assert first.f1 == second.f1
+
+
+class TestAverageResults:
+    def test_mean_computed(self):
+        results = [
+            MethodResult("X", f1=0.8, precision=0.9, recall=0.7,
+                         pairs_issued=100, iterations=10, hits=5,
+                         num_clusters=50),
+            MethodResult("X", f1=0.6, precision=0.7, recall=0.5,
+                         pairs_issued=200, iterations=20, hits=15,
+                         num_clusters=70),
+        ]
+        mean = average_results(results)
+        assert mean.f1 == pytest.approx(0.7)
+        assert mean.pairs_issued == pytest.approx(150)
+
+    def test_mixed_methods_rejected(self):
+        a = MethodResult("X", 1, 1, 1, 1, 1, 1, 1)
+        b = MethodResult("Y", 1, 1, 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            average_results([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_results([])
+
+
+class TestRunComparison:
+    def test_full_comparison(self, tiny_restaurant):
+        results = run_comparison(tiny_restaurant, repetitions=2)
+        assert set(results) == set(ALL_METHODS)
+
+    def test_gcer_budget_matches_acd(self, tiny_restaurant):
+        results = run_comparison(
+            tiny_restaurant, methods=(ACD_METHOD, GCER_METHOD), repetitions=2
+        )
+        assert results[GCER_METHOD].pairs_issued <= (
+            results[ACD_METHOD].pairs_issued + 1
+        )
+
+    def test_subset_of_methods(self, tiny_restaurant):
+        results = run_comparison(
+            tiny_restaurant, methods=(TRANSM_METHOD,), repetitions=1
+        )
+        assert list(results) == [TRANSM_METHOD]
+
+    def test_crowder_crowdsources_whole_candidate_set(self, tiny_restaurant):
+        results = run_comparison(
+            tiny_restaurant, methods=(CROWDER_METHOD,), repetitions=1
+        )
+        assert results[CROWDER_METHOD].pairs_issued == len(
+            tiny_restaurant.candidates
+        )
+        assert results[CROWDER_METHOD].iterations == 1

@@ -1,0 +1,100 @@
+"""Tests for repro.experiments.significance."""
+
+import pytest
+
+from repro.experiments.significance import (
+    BootstrapResult,
+    paired_bootstrap,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(1.0)
+        assert stats.count == 3
+
+    def test_interval_contains_mean(self):
+        stats = summarize([0.8, 0.9, 0.85, 0.95])
+        lo, hi = stats.interval
+        assert lo < stats.mean < hi
+
+    def test_single_value(self):
+        stats = summarize([0.5])
+        assert stats.mean == 0.5
+        assert stats.confidence_half_width == 0.0
+
+    def test_identical_values_zero_width(self):
+        stats = summarize([0.7, 0.7, 0.7])
+        assert stats.std == pytest.approx(0.0, abs=1e-12)
+        assert stats.confidence_half_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_higher_confidence_wider_interval(self):
+        values = [0.1, 0.5, 0.9, 0.3]
+        narrow = summarize(values, confidence=0.90)
+        wide = summarize(values, confidence=0.99)
+        assert wide.confidence_half_width > narrow.confidence_half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=0.5)
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        a = [0.9, 0.92, 0.91, 0.93, 0.9, 0.92]
+        b = [0.5, 0.52, 0.49, 0.51, 0.5, 0.53]
+        result = paired_bootstrap(a, b, resamples=2000, seed=1)
+        assert result.mean_difference == pytest.approx(0.4, abs=0.02)
+        assert result.significant(alpha=0.05)
+
+    def test_no_difference_not_significant(self):
+        a = [0.5, 0.6, 0.4, 0.55, 0.45, 0.5]
+        b = [0.5, 0.4, 0.6, 0.45, 0.55, 0.52]
+        result = paired_bootstrap(a, b, resamples=2000, seed=1)
+        assert not result.significant(alpha=0.05)
+
+    def test_deterministic_given_seed(self):
+        a, b = [0.9, 0.8, 0.85], [0.7, 0.75, 0.72]
+        first = paired_bootstrap(a, b, resamples=500, seed=3)
+        second = paired_bootstrap(a, b, resamples=500, seed=3)
+        assert first.p_value == second.p_value
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+    def test_symmetry(self):
+        a, b = [0.9, 0.8, 0.85, 0.95], [0.7, 0.75, 0.72, 0.74]
+        forward = paired_bootstrap(a, b, resamples=1000, seed=5)
+        backward = paired_bootstrap(b, a, resamples=1000, seed=5)
+        assert forward.mean_difference == pytest.approx(
+            -backward.mean_difference
+        )
+        assert forward.p_value == backward.p_value
+
+
+class TestIntegrationWithRunner:
+    def test_acd_beats_pcpivot_significantly_on_paper(self, tiny_paper):
+        """The headline claim survives a paired significance test on the
+        hard dataset."""
+        from repro.experiments.runner import run_method
+        acd = [run_method("ACD", tiny_paper, seed=s).f1 for s in range(6)]
+        pivot = [run_method("PC-Pivot", tiny_paper, seed=s).f1
+                 for s in range(6)]
+        result = paired_bootstrap(acd, pivot, resamples=2000, seed=0)
+        assert result.mean_difference > 0
+        assert result.significant(alpha=0.05)

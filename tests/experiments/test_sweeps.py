@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.sweeps (the ε and T experiments)."""
+
+import pytest
+
+from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
+
+
+class TestEpsilonSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, request):
+        instance = request.getfixturevalue("tiny_restaurant")
+        return epsilon_sweep(instance, epsilons=(0.0, 0.1, 0.8),
+                             repetitions=2)
+
+    def test_points_cover_requested_epsilons(self, sweep):
+        assert [point.epsilon for point in sweep.points] == [0.0, 0.1, 0.8]
+
+    def test_parallel_beats_sequential(self, sweep):
+        """Figure 5's headline: PC-Pivot needs far fewer crowd iterations
+        than Crowd-Pivot at every ε."""
+        for point in sweep.points:
+            assert point.iterations < sweep.crowd_pivot_iterations
+
+    def test_iterations_decrease_with_epsilon(self, sweep):
+        iterations = [point.iterations for point in sweep.points]
+        assert iterations[0] >= iterations[1] >= iterations[2]
+
+    def test_pairs_increase_with_epsilon(self, sweep):
+        """Figure 5(d): a larger waste budget costs more crowdsourced pairs."""
+        pairs = [point.pairs_issued for point in sweep.points]
+        assert pairs[0] <= pairs[2]
+
+    def test_sequential_issues_no_wasted_pairs(self, sweep):
+        """Crowd-Pivot never wastes pairs, so its pair count lower-bounds
+        every ε point (up to randomization noise averaged out here)."""
+        for point in sweep.points:
+            assert point.pairs_issued >= sweep.crowd_pivot_pairs - 1e-9
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def points(self, request):
+        instance = request.getfixturevalue("tiny_paper")
+        return threshold_sweep(instance, divisors=(2.0, 8.0), repetitions=2)
+
+    def test_points_cover_divisors(self, points):
+        assert [point.divisor for point in points] == [2.0, 8.0]
+
+    def test_f1_insensitive_to_divisor(self, points):
+        """Figure 10(b): F1 is roughly flat in T."""
+        assert abs(points[0].f1 - points[1].f1) < 0.12
+
+    def test_measurements_positive(self, points):
+        for point in points:
+            assert point.total_pairs > 0
+            assert point.f1 > 0

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.tables."""
+
+import pytest
+
+from repro.experiments.runner import prepare_instance, run_comparison
+from repro.experiments.sweeps import EpsilonPoint, EpsilonSweep, ThresholdPoint
+from repro.experiments.tables import (
+    format_comparison,
+    format_epsilon_sweep,
+    format_table,
+    format_threshold_sweep,
+    table3_row,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["value", "1"], ["v", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestTable3Row:
+    def test_row_fields(self):
+        row = table3_row("restaurant", scale=0.05, seed=1)
+        assert set(row) == {
+            "records", "entities", "candidate_pairs", "error_3w", "error_5w"
+        }
+        assert row["records"] > row["entities"]
+        assert 0.0 <= row["error_3w"] <= 1.0
+
+    def test_error_ordering_between_datasets(self):
+        paper = table3_row("paper", scale=0.08, seed=1)
+        restaurant = table3_row("restaurant", scale=0.08, seed=1)
+        assert paper["error_3w"] > restaurant["error_3w"]
+
+
+class TestFormatters:
+    def test_format_comparison(self, tiny_restaurant):
+        results = run_comparison(tiny_restaurant, methods=("TransM",),
+                                 repetitions=1)
+        text = format_comparison(results)
+        assert "TransM" in text
+        assert "F1" in text
+
+    def test_format_epsilon_sweep(self):
+        sweep = EpsilonSweep(
+            points=[EpsilonPoint(0.1, 10.0, 100.0)],
+            crowd_pivot_iterations=50.0,
+            crowd_pivot_pairs=90.0,
+        )
+        text = format_epsilon_sweep(sweep)
+        assert "0.1" in text
+        assert "Crowd-Pivot" in text
+
+    def test_format_threshold_sweep(self):
+        points = [ThresholdPoint(8.0, 0.9, 120.0, 3.0, 500.0)]
+        text = format_threshold_sweep(points)
+        assert "N_m/8" in text
+        assert "0.900" in text

@@ -1,0 +1,95 @@
+"""Tests for repro.pruning.analysis."""
+
+import pytest
+
+from repro.datasets.schema import Dataset, GoldStandard, Record
+from repro.pruning.analysis import (
+    PruningQuality,
+    evaluate_candidates,
+    threshold_tradeoff,
+)
+from repro.pruning.candidate import CandidateSet, build_candidate_set
+from repro.similarity.composite import jaccard_similarity_function
+
+
+@pytest.fixture
+def dataset():
+    # Entities: {0,1}, {2,3}, {4}.
+    records = [
+        Record(0, "alpha beta gamma"),
+        Record(1, "alpha beta gamma delta"),
+        Record(2, "epsilon zeta eta"),
+        Record(3, "epsilon zeta theta"),
+        Record(4, "iota kappa lambda alpha"),
+    ]
+    return Dataset(name="toy", records=records,
+                   gold=GoldStandard({0: 0, 1: 0, 2: 1, 3: 1, 4: 2}))
+
+
+class TestEvaluateCandidates:
+    def test_perfect_candidate_set(self, dataset):
+        candidates = CandidateSet(
+            pairs=((0, 1), (2, 3)),
+            machine_scores={(0, 1): 0.75, (2, 3): 0.5},
+            threshold=0.3,
+        )
+        quality = evaluate_candidates(candidates, dataset)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+        assert quality.num_pairs == 2
+        # 2 of C(5,2)=10 pairs retained -> reduction 0.8.
+        assert quality.reduction_ratio == pytest.approx(0.8)
+
+    def test_missing_duplicate_lowers_recall(self, dataset):
+        candidates = CandidateSet(
+            pairs=((0, 1),), machine_scores={(0, 1): 0.75}, threshold=0.3
+        )
+        quality = evaluate_candidates(candidates, dataset)
+        assert quality.recall == 0.5
+
+    def test_false_candidates_lower_precision(self, dataset):
+        candidates = CandidateSet(
+            pairs=((0, 1), (2, 3), (0, 4)),
+            machine_scores={(0, 1): 0.7, (2, 3): 0.5, (0, 4): 0.35},
+            threshold=0.3,
+        )
+        quality = evaluate_candidates(candidates, dataset)
+        assert quality.precision == pytest.approx(2 / 3)
+
+    def test_empty_candidate_set(self, dataset):
+        candidates = CandidateSet(pairs=(), machine_scores={}, threshold=0.3)
+        quality = evaluate_candidates(candidates, dataset)
+        assert quality.recall == 0.0
+        assert quality.precision == 1.0
+        assert quality.reduction_ratio == 1.0
+
+
+class TestThresholdTradeoff:
+    def test_recall_monotone_in_threshold(self, dataset):
+        results = threshold_tradeoff(
+            dataset, jaccard_similarity_function(),
+            thresholds=(0.1, 0.3, 0.6),
+        )
+        recalls = [quality.recall for quality in results]
+        sizes = [quality.num_pairs for quality in results]
+        # Higher τ never increases recall or candidate count.
+        assert recalls == sorted(recalls, reverse=True)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_results_sorted_by_threshold(self, dataset):
+        results = threshold_tradeoff(
+            dataset, jaccard_similarity_function(), thresholds=(0.5, 0.1)
+        )
+        assert [quality.threshold for quality in results] == [0.1, 0.5]
+
+    def test_paper_dataset_tau_03_recall(self):
+        """On the Paper-shaped dataset, τ = 0.3 keeps most duplicates —
+        the premise of the paper's pruning setting."""
+        from repro.datasets.paper import generate_paper
+        dataset = generate_paper(scale=0.1, seed=3)
+        candidates = build_candidate_set(
+            dataset.records, jaccard_similarity_function(), threshold=0.3
+        )
+        quality = evaluate_candidates(candidates, dataset)
+        assert quality.recall > 0.85
+        assert quality.reduction_ratio > 0.5

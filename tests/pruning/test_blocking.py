@@ -1,0 +1,81 @@
+"""Tests for repro.pruning.blocking."""
+
+import pytest
+
+from repro.datasets.schema import Record
+from repro.pruning.blocking import (
+    all_pairs,
+    sorted_neighborhood_pairs,
+    token_blocking_pairs,
+)
+
+
+def recs(*texts):
+    return [Record(record_id=i, text=t) for i, t in enumerate(texts)]
+
+
+class TestTokenBlocking:
+    def test_shared_token_pairs_found(self):
+        records = recs("golden cafe", "golden grill", "silver spoon")
+        pairs = set(token_blocking_pairs(records))
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs and (1, 2) not in pairs
+
+    def test_no_duplicates_with_multiple_shared_tokens(self):
+        records = recs("a b c", "a b c")
+        pairs = list(token_blocking_pairs(records))
+        assert pairs == [(0, 1)]
+
+    def test_canonical_order(self):
+        records = recs("x", "x")
+        assert list(token_blocking_pairs(records)) == [(0, 1)]
+
+    def test_block_size_cap_skips_stopwords(self):
+        records = recs("the cat", "the dog", "the bird")
+        # 'the' block has 3 records; cap at 2 removes all pairs.
+        assert list(token_blocking_pairs(records, max_block_size=2)) == []
+
+    def test_complete_for_nonzero_jaccard(self):
+        """Token blocking must not lose any pair with a shared token."""
+        records = recs("a b", "b c", "c d", "d a", "e f")
+        blocked = set(token_blocking_pairs(records))
+        from repro.similarity.jaccard import token_jaccard
+        for i, a in enumerate(records):
+            for b in records[i + 1:]:
+                if token_jaccard(a.text, b.text) > 0:
+                    assert (a.record_id, b.record_id) in blocked
+
+
+class TestSortedNeighborhood:
+    def test_window_pairs(self):
+        records = recs("a", "b", "c", "d")
+        pairs = set(sorted_neighborhood_pairs(records, key=lambda r: r.text,
+                                              window=2))
+        assert pairs == {(0, 1), (1, 2), (2, 3)}
+
+    def test_wider_window(self):
+        records = recs("a", "b", "c")
+        pairs = set(sorted_neighborhood_pairs(records, key=lambda r: r.text,
+                                              window=3))
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_sort_key_applied(self):
+        records = recs("z", "a")  # sorted order: record 1 then record 0
+        pairs = list(sorted_neighborhood_pairs(records, key=lambda r: r.text,
+                                               window=2))
+        assert pairs == [(0, 1)]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(sorted_neighborhood_pairs(recs("a"), key=lambda r: r.text,
+                                           window=1))
+
+
+class TestAllPairs:
+    def test_counts(self):
+        records = recs("a", "b", "c", "d")
+        assert len(list(all_pairs(records))) == 6
+
+    def test_canonical_sorted(self):
+        pairs = list(all_pairs(recs("a", "b", "c")))
+        assert pairs == [(0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,97 @@
+"""Tests for repro.pruning.candidate (the pruning phase)."""
+
+import pytest
+
+from repro.datasets.schema import Record
+from repro.pruning.candidate import CandidateSet, build_candidate_set
+from repro.similarity.composite import jaccard_similarity_function
+
+
+def recs(*texts):
+    return [Record(record_id=i, text=t) for i, t in enumerate(texts)]
+
+
+class TestBuildCandidateSet:
+    def test_threshold_is_strict(self):
+        # tokens: {a,b,c} vs {a,b,d}: jaccard 2/4 = 0.5 > 0.3 -> kept;
+        # {a,b,c} vs {a,x,y}: 1/5 = 0.2 -> pruned.
+        records = recs("a b c", "a b d", "a x y")
+        candidates = build_candidate_set(records, jaccard_similarity_function(),
+                                         threshold=0.3)
+        assert (0, 1) in candidates
+        assert (0, 2) not in candidates
+
+    def test_exact_threshold_pruned(self):
+        # {a,b} vs {b,c}: 1/3 ≈ 0.333 kept at τ=0.3 but pruned at τ=1/3.
+        records = recs("a b", "b c")
+        kept = build_candidate_set(records, jaccard_similarity_function(),
+                                   threshold=0.3)
+        assert (0, 1) in kept
+        pruned = build_candidate_set(records, jaccard_similarity_function(),
+                                     threshold=1 / 3)
+        assert (0, 1) not in pruned
+
+    def test_scores_stored(self):
+        records = recs("a b c", "a b c")
+        candidates = build_candidate_set(records, jaccard_similarity_function())
+        assert candidates.machine_scores[(0, 1)] == 1.0
+
+    def test_explicit_candidate_pairs_respected(self):
+        records = recs("a b", "a b", "a b")
+        candidates = build_candidate_set(
+            records, jaccard_similarity_function(),
+            candidate_pairs=[(0, 1)],
+        )
+        assert (0, 1) in candidates
+        assert (1, 2) not in candidates  # never scored
+
+    def test_blocking_equals_all_pairs_for_jaccard(self):
+        """Token blocking must produce the same candidate set as exhaustive
+        scoring (no pair with Jaccard > τ > 0 is lost)."""
+        records = recs("a b c", "b c d", "x y", "y z", "a z q")
+        fast = build_candidate_set(records, jaccard_similarity_function(),
+                                   use_token_blocking=True)
+        slow = build_candidate_set(records, jaccard_similarity_function(),
+                                   use_token_blocking=False)
+        assert fast.pairs == slow.pairs
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            build_candidate_set(recs("a"), jaccard_similarity_function(),
+                                threshold=1.0)
+
+    def test_pairs_sorted(self):
+        records = recs("q w", "q w", "q w")
+        candidates = build_candidate_set(records, jaccard_similarity_function())
+        assert list(candidates.pairs) == sorted(candidates.pairs)
+
+
+class TestCandidateSet:
+    def test_score_of_pruned_pair_is_zero(self):
+        candidates = CandidateSet(pairs=((0, 1),),
+                                  machine_scores={(0, 1): 0.7}, threshold=0.3)
+        assert candidates.score(0, 1) == 0.7
+        assert candidates.score(0, 9) == 0.0
+
+    def test_contains_is_order_insensitive(self):
+        candidates = CandidateSet(pairs=((0, 1),),
+                                  machine_scores={(0, 1): 0.7}, threshold=0.3)
+        assert (1, 0) in candidates
+
+    def test_sorted_by_score(self):
+        candidates = CandidateSet(
+            pairs=((0, 1), (1, 2), (2, 3)),
+            machine_scores={(0, 1): 0.5, (1, 2): 0.9, (2, 3): 0.7},
+            threshold=0.3,
+        )
+        assert candidates.sorted_by_score() == [(1, 2), (2, 3), (0, 1)]
+        assert candidates.sorted_by_score(descending=False) == [
+            (0, 1), (2, 3), (1, 2)
+        ]
+
+    def test_len_and_iter(self):
+        candidates = CandidateSet(pairs=((0, 1), (1, 2)),
+                                  machine_scores={(0, 1): 0.5, (1, 2): 0.9},
+                                  threshold=0.3)
+        assert len(candidates) == 2
+        assert list(candidates) == [(0, 1), (1, 2)]

@@ -1,0 +1,89 @@
+"""Tests for repro.pruning.graph."""
+
+import pytest
+
+from repro.pruning.graph import CandidateGraph, graph_from_candidates
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    # 0-1-2 triangle, 2-3 tail, 4 isolated.
+    return CandidateGraph(range(5), [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestConstruction:
+    def test_unknown_vertex_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateGraph([0, 1], [(0, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateGraph([0, 1], [(0, 0)])
+
+    def test_factory(self):
+        graph = graph_from_candidates([0, 1], [(0, 1)])
+        assert graph.has_edge(0, 1)
+
+
+class TestQueries:
+    def test_neighbors_sorted(self, triangle_plus_tail):
+        assert triangle_plus_tail.neighbors(2) == [0, 1, 3]
+
+    def test_degree(self, triangle_plus_tail):
+        assert triangle_plus_tail.degree(2) == 3
+        assert triangle_plus_tail.degree(4) == 0
+
+    def test_neighbors_of_removed_vertex_raises(self, triangle_plus_tail):
+        triangle_plus_tail.remove_vertices([2])
+        with pytest.raises(KeyError):
+            triangle_plus_tail.neighbors(2)
+
+    def test_edges_enumeration(self, triangle_plus_tail):
+        assert list(triangle_plus_tail.edges()) == [
+            (0, 1), (0, 2), (1, 2), (2, 3)
+        ]
+
+    def test_num_edges(self, triangle_plus_tail):
+        assert triangle_plus_tail.num_edges() == 4
+
+    def test_contains(self, triangle_plus_tail):
+        assert 4 in triangle_plus_tail
+        triangle_plus_tail.remove_vertices([4])
+        assert 4 not in triangle_plus_tail
+
+
+class TestRemoval:
+    def test_removal_filters_neighbors(self, triangle_plus_tail):
+        triangle_plus_tail.remove_vertices([0])
+        assert triangle_plus_tail.neighbors(2) == [1, 3]
+
+    def test_removal_filters_edges(self, triangle_plus_tail):
+        triangle_plus_tail.remove_vertices([2])
+        assert list(triangle_plus_tail.edges()) == [(0, 1)]
+
+    def test_len_tracks_live_vertices(self, triangle_plus_tail):
+        assert len(triangle_plus_tail) == 5
+        triangle_plus_tail.remove_vertices([0, 4])
+        assert len(triangle_plus_tail) == 3
+
+    def test_is_empty(self, triangle_plus_tail):
+        triangle_plus_tail.remove_vertices(range(5))
+        assert triangle_plus_tail.is_empty()
+
+    def test_removing_twice_is_idempotent(self, triangle_plus_tail):
+        triangle_plus_tail.remove_vertices([0])
+        triangle_plus_tail.remove_vertices([0])
+        assert len(triangle_plus_tail) == 4
+
+    def test_has_edge_requires_both_alive(self, triangle_plus_tail):
+        assert triangle_plus_tail.has_edge(0, 1)
+        triangle_plus_tail.remove_vertices([1])
+        assert not triangle_plus_tail.has_edge(0, 1)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, triangle_plus_tail):
+        clone = triangle_plus_tail.copy()
+        triangle_plus_tail.remove_vertices([0, 1])
+        assert len(clone) == 5
+        assert clone.has_edge(0, 1)

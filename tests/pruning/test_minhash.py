@@ -1,0 +1,137 @@
+"""Tests for repro.pruning.minhash."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.schema import Record
+from repro.pruning.minhash import (
+    MinHasher,
+    lsh_candidate_pairs,
+    minhash_blocking_pairs,
+)
+from repro.similarity.jaccard import jaccard
+from repro.similarity.tokenize import token_set
+
+
+class TestMinHasher:
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(num_hashes=32, seed=1)
+        tokens = token_set("golden cafe main st")
+        assert hasher.signature(tokens) == hasher.signature(tokens)
+
+    def test_deterministic_across_instances(self):
+        tokens = token_set("a b c")
+        assert MinHasher(16, seed=2).signature(tokens) == \
+            MinHasher(16, seed=2).signature(tokens)
+
+    def test_different_seeds_differ(self):
+        tokens = token_set("a b c")
+        assert MinHasher(16, seed=1).signature(tokens) != \
+            MinHasher(16, seed=2).signature(tokens)
+
+    def test_empty_set_signature(self):
+        hasher = MinHasher(num_hashes=8)
+        signature = hasher.signature(frozenset())
+        assert len(set(signature)) == 1
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    def test_jaccard_estimate_accuracy(self):
+        """With many hashes the signature agreement approximates Jaccard."""
+        hasher = MinHasher(num_hashes=512, seed=3)
+        set_a = frozenset(f"tok{i}" for i in range(20))
+        set_b = frozenset(f"tok{i}" for i in range(10, 30))
+        true = jaccard(set_a, set_b)  # 10/30
+        estimate = MinHasher.estimate_jaccard(
+            hasher.signature(set_a), hasher.signature(set_b)
+        )
+        assert abs(estimate - true) < 0.08
+
+    def test_estimate_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimate_jaccard((1, 2), (1,))
+
+
+class TestLshCandidatePairs:
+    def test_identical_records_always_collide(self):
+        hasher = MinHasher(num_hashes=64, seed=1)
+        signature = hasher.signature(token_set("blue cafe paris"))
+        pairs = set(lsh_candidate_pairs({0: signature, 1: signature},
+                                        bands=16, rows=4))
+        assert (0, 1) in pairs
+
+    def test_disjoint_records_rarely_collide(self):
+        hasher = MinHasher(num_hashes=64, seed=1)
+        signatures = {
+            0: hasher.signature(frozenset(f"a{i}" for i in range(10))),
+            1: hasher.signature(frozenset(f"b{i}" for i in range(10))),
+        }
+        assert (0, 1) not in set(
+            lsh_candidate_pairs(signatures, bands=16, rows=4)
+        )
+
+    def test_band_configuration_validated(self):
+        hasher = MinHasher(num_hashes=8, seed=1)
+        signatures = {0: hasher.signature(token_set("x"))}
+        with pytest.raises(ValueError):
+            list(lsh_candidate_pairs(signatures, bands=4, rows=4))
+
+    def test_empty_input(self):
+        assert list(lsh_candidate_pairs({}, bands=2, rows=2)) == []
+
+    def test_pairs_unique_and_canonical(self):
+        hasher = MinHasher(num_hashes=16, seed=1)
+        signature = hasher.signature(token_set("same text"))
+        pairs = list(lsh_candidate_pairs(
+            {3: signature, 1: signature, 2: signature}, bands=4, rows=4
+        ))
+        assert len(pairs) == len(set(pairs)) == 3
+        assert all(a < b for a, b in pairs)
+
+
+class TestMinhashBlocking:
+    def test_high_jaccard_pairs_recovered(self):
+        records = [
+            Record(0, "golden cafe main st san francisco italian"),
+            Record(1, "golden cafe main st san francisco french"),
+            Record(2, "completely different words here entirely"),
+        ]
+        pairs = set(minhash_blocking_pairs(records, bands=16, rows=4))
+        assert (0, 1) in pairs
+
+    def test_integrates_with_candidate_builder(self):
+        from repro.pruning.candidate import build_candidate_set
+        from repro.similarity.composite import jaccard_similarity_function
+        records = [
+            Record(0, "alpha beta gamma delta"),
+            Record(1, "alpha beta gamma epsilon"),
+            Record(2, "zeta eta theta iota"),
+        ]
+        candidates = build_candidate_set(
+            records, jaccard_similarity_function(),
+            candidate_pairs=minhash_blocking_pairs(records, bands=16, rows=4),
+        )
+        assert (0, 1) in candidates
+
+    def test_recall_against_token_blocking(self):
+        """On a realistic dataset, LSH must recover the vast majority of
+        the true above-threshold pairs that token blocking finds."""
+        from repro.datasets.restaurant import generate_restaurant
+        from repro.pruning.candidate import build_candidate_set
+        from repro.similarity.composite import jaccard_similarity_function
+
+        dataset = generate_restaurant(scale=0.1, seed=5)
+        exact = build_candidate_set(
+            dataset.records, jaccard_similarity_function(), threshold=0.5
+        )
+        approximate = build_candidate_set(
+            dataset.records, jaccard_similarity_function(), threshold=0.5,
+            candidate_pairs=minhash_blocking_pairs(
+                dataset.records, bands=32, rows=2
+            ),
+        )
+        recovered = sum(1 for pair in exact.pairs if pair in approximate)
+        assert recovered / max(1, len(exact)) > 0.9

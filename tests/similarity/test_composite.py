@@ -1,0 +1,86 @@
+"""Tests for repro.similarity.composite."""
+
+import pytest
+
+from repro.datasets.schema import Record
+from repro.similarity.composite import (
+    SimilarityFunction,
+    jaccard_similarity_function,
+    jaro_winkler_similarity_function,
+    levenshtein_similarity_function,
+    qgram_similarity_function,
+    weighted_similarity_function,
+)
+
+
+def rec(record_id, text):
+    return Record(record_id=record_id, text=text)
+
+
+class TestSimilarityFunction:
+    def test_caches_pairs(self):
+        calls = []
+
+        def counting(a, b):
+            calls.append((a, b))
+            return 0.5
+
+        function = SimilarityFunction("counting", counting)
+        a, b = rec(1, "x"), rec(2, "y")
+        function(a, b)
+        function(a, b)
+        function(b, a)  # symmetric call hits the same cache slot
+        assert len(calls) == 1
+        assert function.cache_size() == 1
+
+    def test_clamps_to_unit_interval(self):
+        function = SimilarityFunction("bad", lambda a, b: 1.7)
+        assert function(rec(1, "x"), rec(2, "y")) == 1.0
+        function = SimilarityFunction("bad", lambda a, b: -0.3)
+        assert function(rec(3, "x"), rec(4, "y")) == 0.0
+
+    def test_same_record_pair_rejected(self):
+        function = jaccard_similarity_function()
+        record = rec(1, "x")
+        with pytest.raises(ValueError):
+            function(record, record)
+
+
+class TestFactories:
+    def test_jaccard_factory(self):
+        function = jaccard_similarity_function()
+        assert function(rec(1, "a b"), rec(2, "a b")) == 1.0
+
+    def test_qgram_factory(self):
+        function = qgram_similarity_function(q=2)
+        assert function(rec(1, "abc"), rec(2, "abc")) == 1.0
+
+    def test_levenshtein_factory(self):
+        function = levenshtein_similarity_function()
+        assert function(rec(1, "cat"), rec(2, "bat")) == pytest.approx(2 / 3)
+
+    def test_jaro_winkler_factory(self):
+        function = jaro_winkler_similarity_function()
+        assert function(rec(1, "same"), rec(2, "same")) == 1.0
+
+
+class TestWeighted:
+    def test_combination(self):
+        half = weighted_similarity_function(
+            [(lambda a, b: 1.0, 1.0), (lambda a, b: 0.0, 1.0)]
+        )
+        assert half(rec(1, "x"), rec(2, "y")) == 0.5
+
+    def test_weights_normalized(self):
+        function = weighted_similarity_function(
+            [(lambda a, b: 1.0, 3.0), (lambda a, b: 0.0, 1.0)]
+        )
+        assert function(rec(1, "x"), rec(2, "y")) == 0.75
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_similarity_function([])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_similarity_function([(lambda a, b: 1.0, 0.0)])

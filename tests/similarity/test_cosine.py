@@ -1,0 +1,62 @@
+"""Tests for repro.similarity.cosine."""
+
+import math
+
+import pytest
+
+from repro.similarity.cosine import TfIdfVectorizer, sparse_cosine, tfidf_cosine
+
+
+class TestTfIdfVectorizer:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform("hello")
+
+    def test_vector_is_normalized(self):
+        vectorizer = TfIdfVectorizer().fit(["a b c", "a b", "c d"])
+        vector = vectorizer.transform("a b c d")
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_rare_token_weighs_more(self):
+        vectorizer = TfIdfVectorizer().fit(
+            ["common rare", "common x", "common y", "common z"]
+        )
+        vector = vectorizer.transform("common rare")
+        assert vector["rare"] > vector["common"]
+
+    def test_empty_text_gives_empty_vector(self):
+        vectorizer = TfIdfVectorizer().fit(["a b"])
+        assert vectorizer.transform("") == {}
+
+    def test_vocabulary_size(self):
+        vectorizer = TfIdfVectorizer().fit(["a b", "b c"])
+        assert vectorizer.vocabulary_size == 3
+
+
+class TestSparseCosine:
+    def test_identical_normalized_vectors(self):
+        vectorizer = TfIdfVectorizer().fit(["x y z", "p q"])
+        vector = vectorizer.transform("x y z")
+        assert sparse_cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert sparse_cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_vector(self):
+        assert sparse_cosine({}, {"a": 1.0}) == 0.0
+
+
+class TestTfIdfCosine:
+    def test_self_similarity(self):
+        corpus = ["golden cafe", "blue grill", "golden grill"]
+        assert tfidf_cosine(corpus, "golden cafe", "golden cafe") == pytest.approx(1.0)
+
+    def test_partial_overlap_between_zero_and_one(self):
+        corpus = ["golden cafe", "blue grill", "golden grill"]
+        score = tfidf_cosine(corpus, "golden cafe", "golden grill")
+        assert 0.0 < score < 1.0
+
+    def test_disjoint_is_zero(self):
+        corpus = ["a b", "c d"]
+        assert tfidf_cosine(corpus, "a b", "c d") == 0.0

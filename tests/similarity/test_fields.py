@@ -1,0 +1,115 @@
+"""Tests for repro.similarity.fields."""
+
+import pytest
+
+from repro.datasets.schema import Record
+from repro.similarity.fields import (
+    FieldRule,
+    FieldSimilarityConfig,
+    exact_match,
+)
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.jaccard import token_jaccard
+
+
+def rec(record_id, text, **fields):
+    return Record.make(record_id, text, fields)
+
+
+class TestExactMatch:
+    def test_normalized_equality(self):
+        assert exact_match("  NYC ", "nyc") == 1.0
+
+    def test_mismatch(self):
+        assert exact_match("nyc", "la") == 0.0
+
+
+class TestFieldRule:
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            FieldRule("name", exact_match, weight=0.0)
+
+
+class TestFieldSimilarityConfig:
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            FieldSimilarityConfig([], fallback=token_jaccard)
+
+    def test_weighted_combination(self):
+        config = FieldSimilarityConfig(
+            [
+                FieldRule("name", exact_match, weight=3.0),
+                FieldRule("city", exact_match, weight=1.0),
+            ],
+            fallback=token_jaccard,
+        )
+        a = rec(0, "blue cafe nyc", name="blue cafe", city="nyc")
+        b = rec(1, "blue cafe la", name="blue cafe", city="la")
+        # name matches (weight 3), city doesn't (weight 1): 3/4.
+        assert config.score(a, b) == pytest.approx(0.75)
+
+    def test_missing_field_uses_fallback(self):
+        config = FieldSimilarityConfig(
+            [FieldRule("name", exact_match)],
+            fallback=lambda x, y: 0.5,
+        )
+        a = rec(0, "text a", name="x")
+        b = rec(1, "text b")  # no name field
+        assert config.score(a, b) == pytest.approx(0.5)
+
+    def test_score_clamped(self):
+        config = FieldSimilarityConfig(
+            [FieldRule("name", lambda x, y: 1.8)],
+            fallback=token_jaccard,
+        )
+        a = rec(0, "t", name="x")
+        b = rec(1, "t", name="y")
+        assert config.score(a, b) == 1.0
+
+    def test_per_field_metrics(self):
+        config = FieldSimilarityConfig(
+            [
+                FieldRule("name", jaro_winkler_similarity, weight=1.0),
+                FieldRule("city", exact_match, weight=1.0),
+            ],
+            fallback=token_jaccard,
+        )
+        a = rec(0, "", name="martha", city="nyc")
+        b = rec(1, "", name="marhta", city="nyc")
+        score = config.score(a, b)
+        assert 0.9 < score < 1.0  # near-match name, exact city
+
+
+class TestAsSimilarityFunction:
+    def test_pruning_phase_integration(self):
+        from repro.pruning.candidate import build_candidate_set
+        config = FieldSimilarityConfig(
+            [FieldRule("name", exact_match)],
+            fallback=token_jaccard,
+        )
+        function = config.as_similarity_function()
+        records = [
+            rec(0, "alpha", name="same"),
+            rec(1, "beta", name="same"),
+            rec(2, "gamma", name="other"),
+        ]
+        candidates = build_candidate_set(
+            records, function, threshold=0.5, use_token_blocking=False
+        )
+        assert (0, 1) in candidates
+        assert (0, 2) not in candidates
+
+    def test_caching(self):
+        calls = []
+        def counting(x, y):
+            calls.append(1)
+            return 1.0
+        config = FieldSimilarityConfig(
+            [FieldRule("name", counting)], fallback=token_jaccard
+        )
+        function = config.as_similarity_function()
+        a = rec(0, "", name="x")
+        b = rec(1, "", name="x")
+        function(a, b)
+        function(b, a)
+        assert len(calls) == 1

@@ -1,0 +1,91 @@
+"""Tests for repro.similarity.hybrid."""
+
+import pytest
+
+from repro.similarity.hybrid import (
+    dice_coefficient,
+    monge_elkan,
+    overlap_coefficient,
+    token_dice,
+    token_overlap,
+)
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient(frozenset("ab"), frozenset("abc")) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert overlap_coefficient(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_both_empty(self):
+        assert overlap_coefficient(frozenset(), frozenset()) == 1.0
+
+    def test_one_empty(self):
+        assert overlap_coefficient(frozenset(), frozenset("a")) == 0.0
+
+    def test_partial(self):
+        # {a,b,c} vs {b,c,d,e}: 2 / min(3,4) = 2/3
+        assert overlap_coefficient(
+            frozenset("abc"), frozenset("bcde")
+        ) == pytest.approx(2 / 3)
+
+    def test_at_least_jaccard(self):
+        from repro.similarity.jaccard import jaccard
+        a, b = frozenset("abcd"), frozenset("cdef")
+        assert overlap_coefficient(a, b) >= jaccard(a, b)
+
+
+class TestDice:
+    def test_identical(self):
+        assert dice_coefficient(frozenset("abc"), frozenset("abc")) == 1.0
+
+    def test_partial(self):
+        # 2*2 / (3+4)
+        assert dice_coefficient(
+            frozenset("abc"), frozenset("bcde")
+        ) == pytest.approx(4 / 7)
+
+    def test_empty_cases(self):
+        assert dice_coefficient(frozenset(), frozenset()) == 1.0
+        assert dice_coefficient(frozenset("a"), frozenset()) == 0.0
+
+    def test_token_wrappers(self):
+        assert token_dice("a b", "a b") == 1.0
+        assert token_overlap("a", "a b c") == 1.0
+
+
+class TestMongeElkan:
+    def test_identical_texts(self):
+        assert monge_elkan("paul johnson", "paul johnson") == pytest.approx(1.0)
+
+    def test_tolerates_token_typos(self):
+        assert monge_elkan("paul johnson", "johson paule") > 0.8
+
+    def test_word_order_invariant_for_exact_tokens(self):
+        assert monge_elkan("alpha beta gamma", "gamma alpha beta") == pytest.approx(1.0)
+
+    def test_asymmetric_variant(self):
+        # 'a' aligns perfectly into 'a b'; the reverse direction cannot.
+        forward = monge_elkan("alpha", "alpha beta", symmetric=False)
+        backward = monge_elkan("alpha beta", "alpha", symmetric=False)
+        assert forward == pytest.approx(1.0)
+        assert backward < 1.0
+
+    def test_symmetric_is_mean_of_directions(self):
+        forward = monge_elkan("alpha", "alpha beta", symmetric=False)
+        backward = monge_elkan("alpha beta", "alpha", symmetric=False)
+        assert monge_elkan("alpha", "alpha beta") == pytest.approx(
+            (forward + backward) / 2
+        )
+
+    def test_empty_inputs(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("word", "") == 0.0
+
+    def test_custom_inner_metric(self):
+        exact = lambda a, b: 1.0 if a == b else 0.0
+        assert monge_elkan("a b", "a c", inner=exact) == pytest.approx(0.5)
+
+    def test_range(self):
+        assert 0.0 <= monge_elkan("golden grill", "silver spoon") <= 1.0

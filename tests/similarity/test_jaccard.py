@@ -1,0 +1,52 @@
+"""Tests for repro.similarity.jaccard."""
+
+from repro.similarity.jaccard import jaccard, qgram_jaccard, token_jaccard
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(frozenset("abc"), frozenset("abc")) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_partial_overlap(self):
+        # |{a,b} ∩ {b,c}| / |{a,b,c}| = 1/3
+        assert jaccard(frozenset("ab"), frozenset("bc")) == 1 / 3
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(frozenset(), frozenset("a")) == 0.0
+
+    def test_symmetry(self):
+        a, b = frozenset("abcd"), frozenset("cdef")
+        assert jaccard(a, b) == jaccard(b, a)
+
+
+class TestTokenJaccard:
+    def test_same_tokens_different_order(self):
+        assert token_jaccard("blue cafe paris", "paris blue cafe") == 1.0
+
+    def test_case_insensitive(self):
+        assert token_jaccard("Blue Cafe", "blue cafe") == 1.0
+
+    def test_half_overlap(self):
+        # tokens {a,b} vs {b,c}: 1/3
+        assert token_jaccard("a b", "b c") == 1 / 3
+
+    def test_within_unit_interval(self):
+        score = token_jaccard("golden grill main st", "golden house oak ave")
+        assert 0.0 <= score <= 1.0
+
+
+class TestQgramJaccard:
+    def test_identical(self):
+        assert qgram_jaccard("restaurant", "restaurant") == 1.0
+
+    def test_typo_still_similar(self):
+        assert qgram_jaccard("restaurant", "restuarant") > 0.4
+
+    def test_unrelated_strings_low(self):
+        assert qgram_jaccard("aaaa", "zzzz") < 0.2

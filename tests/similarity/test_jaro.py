@@ -1,0 +1,45 @@
+"""Tests for repro.similarity.jaro."""
+
+import pytest
+
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_string(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("crate", "trace") == jaro_similarity("trace", "crate")
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted > plain
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler_similarity("abc", "xbc") == jaro_similarity("abc", "xbc")
+
+    def test_identical_is_one(self):
+        assert jaro_winkler_similarity("same", "same") == 1.0
+
+    def test_stays_in_unit_interval(self):
+        assert jaro_winkler_similarity("aaaa", "aaab") <= 1.0
+
+    def test_invalid_prefix_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.3)

@@ -1,0 +1,61 @@
+"""Tests for repro.similarity.levenshtein."""
+
+from repro.similarity.levenshtein import (
+    damerau_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+
+class TestLevenshteinDistance:
+    def test_identical(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein_distance("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("cat", "bat") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein_distance("cat", "cart") == 1
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcde", "xbcdz") == levenshtein_distance(
+            "xbcdz", "abcde"
+        )
+
+
+class TestLevenshteinSimilarity:
+    def test_identical_is_one(self):
+        assert levenshtein_similarity("same", "same") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_completely_different_is_zero(self):
+        assert levenshtein_similarity("aaa", "zzz") == 0.0
+
+    def test_range(self):
+        assert 0.0 < levenshtein_similarity("chevy", "chevrolet") < 1.0
+
+
+class TestDamerau:
+    def test_transposition_counts_one(self):
+        assert damerau_distance("ab", "ba") == 1
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_never_exceeds_levenshtein(self):
+        for a, b in [("abcd", "acbd"), ("hello", "ehllo"), ("x", "xy")]:
+            assert damerau_distance(a, b) <= levenshtein_distance(a, b)
+
+    def test_empty_cases(self):
+        assert damerau_distance("", "ab") == 2
+        assert damerau_distance("ab", "") == 2

@@ -1,0 +1,57 @@
+"""Tests for repro.similarity.phonetic."""
+
+from repro.similarity.phonetic import metaphone, phonetic_equal, soundex
+
+
+class TestSoundex:
+    def test_robert_rupert_match(self):
+        assert soundex("Robert") == soundex("Rupert") == "R163"
+
+    def test_classic_tymczak(self):
+        assert soundex("Tymczak") == "T522"
+
+    def test_classic_pfister(self):
+        assert soundex("Pfister") == "P236"
+
+    def test_honeyman(self):
+        assert soundex("Honeyman") == "H555"
+
+    def test_empty_word(self):
+        assert soundex("") == "0000"
+
+    def test_non_alpha_stripped(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_padding(self):
+        assert len(soundex("a")) == 4
+
+    def test_custom_length(self):
+        assert len(soundex("washington", length=6)) == 6
+
+
+class TestMetaphone:
+    def test_identical_words_match(self):
+        assert metaphone("smith") == metaphone("smith")
+
+    def test_ph_maps_to_f(self):
+        assert metaphone("phone")[0] == "F"
+
+    def test_kn_prefix_silent_k(self):
+        assert metaphone("knight")[0] == "N"
+
+    def test_empty(self):
+        assert metaphone("") == ""
+
+    def test_sounds_alike(self):
+        assert metaphone("phish") == metaphone("fish")
+
+    def test_doubled_letters_collapse(self):
+        assert metaphone("hammer") == metaphone("hamer")
+
+
+class TestPhoneticEqual:
+    def test_homophones(self):
+        assert phonetic_equal("Robert", "Rupert")
+
+    def test_different_names(self):
+        assert not phonetic_equal("smith", "garcia")

@@ -1,0 +1,84 @@
+"""Property-based tests for the similarity metrics (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.jaccard import qgram_jaccard, token_jaccard
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.levenshtein import (
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+words = st.text(alphabet=string.ascii_lowercase + " ", max_size=30)
+tokens = st.text(alphabet=string.ascii_lowercase, max_size=15)
+
+
+@given(words, words)
+def test_token_jaccard_symmetric(a, b):
+    assert token_jaccard(a, b) == token_jaccard(b, a)
+
+
+@given(words)
+def test_token_jaccard_identity(a):
+    assert token_jaccard(a, a) == 1.0
+
+
+@given(words, words)
+def test_token_jaccard_range(a, b):
+    assert 0.0 <= token_jaccard(a, b) <= 1.0
+
+
+@given(words, words)
+def test_qgram_jaccard_range(a, b):
+    assert 0.0 <= qgram_jaccard(a, b) <= 1.0
+
+
+@given(tokens, tokens)
+def test_levenshtein_symmetric(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+@given(tokens)
+def test_levenshtein_identity(a):
+    assert levenshtein_distance(a, a) == 0
+
+
+@given(tokens, tokens)
+def test_levenshtein_bounded_by_longest(a, b):
+    assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+@given(tokens, tokens, tokens)
+@settings(max_examples=50)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )
+
+
+@given(tokens, tokens)
+def test_levenshtein_similarity_range(a, b):
+    assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+@given(tokens, tokens)
+def test_jaro_symmetric(a, b):
+    assert jaro_similarity(a, b) == jaro_similarity(b, a)
+
+
+@given(tokens, tokens)
+def test_jaro_range(a, b):
+    assert 0.0 <= jaro_similarity(a, b) <= 1.0
+
+
+@given(tokens, tokens)
+def test_jaro_winkler_at_least_jaro(a, b):
+    assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+
+@given(tokens, tokens)
+def test_jaro_winkler_range(a, b):
+    assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0 + 1e-12

@@ -1,0 +1,66 @@
+"""Tests for repro.similarity.softtfidf."""
+
+import pytest
+
+from repro.similarity.softtfidf import SoftTfIdf
+
+
+CORPUS = [
+    "paul johnson machine learning",
+    "mary johnson databases",
+    "paul smith networks",
+    "unique rareword entry",
+]
+
+
+@pytest.fixture
+def scorer():
+    return SoftTfIdf(CORPUS)
+
+
+class TestSoftTfIdf:
+    def test_identical_texts(self, scorer):
+        assert scorer("paul johnson", "paul johnson") == pytest.approx(1.0)
+
+    def test_token_typo_still_matches(self, scorer):
+        with_typo = scorer("paul johnson", "paul johson")
+        exact = scorer("paul johnson", "completely different words")
+        assert with_typo > 0.7
+        assert with_typo > exact
+
+    def test_beats_hard_tfidf_on_typos(self):
+        from repro.similarity.cosine import tfidf_cosine
+        hard = tfidf_cosine(CORPUS, "paul johnson", "pual johson")
+        soft = SoftTfIdf(CORPUS)("paul johnson", "pual johson")
+        assert hard == 0.0  # no exact token overlap at all
+        assert soft > 0.5
+
+    def test_theta_floor_blocks_weak_matches(self):
+        strict = SoftTfIdf(CORPUS, theta=0.99)
+        lenient = SoftTfIdf(CORPUS, theta=0.8)
+        assert strict("johnson", "johson") <= lenient("johnson", "johson")
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            SoftTfIdf(CORPUS, theta=0.0)
+
+    def test_empty_texts(self, scorer):
+        assert scorer("", "") == 1.0
+        assert scorer("paul", "") == 0.0
+
+    def test_symmetric(self, scorer):
+        a, b = "paul johnson learning", "johnson paul databases"
+        assert scorer(a, b) == pytest.approx(scorer(b, a))
+
+    def test_range(self, scorer):
+        for a in CORPUS:
+            for b in CORPUS:
+                assert 0.0 <= scorer(a, b) <= 1.0
+
+    def test_integrates_with_similarity_function(self):
+        from repro.datasets.schema import Record
+        from repro.similarity.composite import SimilarityFunction
+        scorer = SoftTfIdf(CORPUS)
+        function = SimilarityFunction("soft_tfidf", scorer)
+        score = function(Record(0, "paul johnson"), Record(1, "paul johson"))
+        assert score > 0.5

@@ -1,0 +1,84 @@
+"""Tests for repro.similarity.tokenize."""
+
+import pytest
+
+from repro.similarity.tokenize import (
+    ngram_shingles,
+    normalize,
+    qgram_set,
+    qgrams,
+    token_set,
+    word_tokens,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("HeLLo") == "hello"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b \n c ") == "a b c"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+
+class TestWordTokens:
+    def test_splits_on_punctuation(self):
+        assert word_tokens("Chevrolet, Chevy & Chevron!") == [
+            "chevrolet", "chevy", "chevron"
+        ]
+
+    def test_keeps_digits(self):
+        assert word_tokens("model x200 v2") == ["model", "x200", "v2"]
+
+    def test_empty_string(self):
+        assert word_tokens("") == []
+
+    def test_only_punctuation(self):
+        assert word_tokens("!!! ---") == []
+
+
+class TestTokenSet:
+    def test_drops_duplicates(self):
+        assert token_set("a b a b c") == frozenset({"a", "b", "c"})
+
+    def test_is_frozenset(self):
+        assert isinstance(token_set("x"), frozenset)
+
+
+class TestQgrams:
+    def test_unpadded_exact(self):
+        assert qgrams("abc", q=2, pad=False) == ["ab", "bc"]
+
+    def test_short_string_unpadded(self):
+        assert qgrams("a", q=3, pad=False) == ["a"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_count_matches_length(self):
+        grams = qgrams("abcdef", q=3, pad=False)
+        assert len(grams) == len("abcdef") - 3 + 1
+
+    def test_qgram_set_type(self):
+        assert isinstance(qgram_set("abc"), frozenset)
+
+
+class TestShingles:
+    def test_bigrams(self):
+        assert ngram_shingles(["a", "b", "c"], n=2) == [("a", "b"), ("b", "c")]
+
+    def test_short_input(self):
+        assert ngram_shingles(["a"], n=2) == [("a",)]
+
+    def test_empty_input(self):
+        assert ngram_shingles([], n=2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_shingles(["a"], n=0)

@@ -1,0 +1,72 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+        assert args.scale == 0.3
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "paper", "--setting", "5w", "--scale", "0.1"]
+        )
+        assert args.dataset == "paper"
+        assert args.setting == "5w"
+        assert args.scale == 0.1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "imaginary"])
+
+    def test_run_method_choice(self):
+        args = build_parser().parse_args(
+            ["run", "product", "--method", "TransM"]
+        )
+        assert args.method == "TransM"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "product", "--method", "Nope"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "error 3w" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--method", "TransM"]) == 0
+        out = capsys.readouterr().out
+        assert "TransM" in out
+        assert "F1" in out
+
+    def test_run_gcer_autobudgets(self, capsys):
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--method", "GCER"]) == 0
+        assert "GCER" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "restaurant", "--scale", "0.05",
+                     "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ACD" in out and "CrowdER+" in out
+
+    def test_sweep_epsilon_command(self, capsys):
+        assert main(["sweep-epsilon", "restaurant", "--scale", "0.05",
+                     "--repetitions", "1"]) == 0
+        assert "Crowd-Pivot" in capsys.readouterr().out
+
+    def test_sweep_threshold_command(self, capsys):
+        assert main(["sweep-threshold", "restaurant", "--scale", "0.05",
+                     "--repetitions", "1"]) == 0
+        assert "N_m/" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Smoke tests: the fast example scripts must run and print what they
+promise (the slow ones are exercised manually / in CI's example target)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, capsys, argv=None):
+    old_argv = sys.argv
+    sys.argv = [f"examples/{name}"] + (argv or [])
+    try:
+        runpy.run_path(f"examples/{name}", run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_paper_walkthrough(self, capsys):
+        out = run_example("paper_walkthrough.py", capsys)
+        assert "2.85" in out                  # Example 1's optimum
+        assert "[0, 2]" in out                # Figure 2 case 3 bound
+        assert "['abc', 'def']" in out        # Example 3's final clusters
+
+    def test_brand_disambiguation(self, capsys):
+        out = run_example("brand_disambiguation.py", capsys)
+        assert "['chevrolet', 'chevy']" in out
+        assert "['chevron']" in out
+        # Figure 1: TransM collapses, ACD resists.
+        assert "['a1', 'a2', 'a3', 'b1', 'b2', 'b3']" in out
+        assert "['a1', 'a2', 'a3']" in out
+
+    def test_custom_dataset(self, capsys):
+        out = run_example("custom_dataset.py", capsys)
+        assert "F1 against gold" in out
+        assert "recovered clusters" in out
+
+    def test_structured_records(self, capsys):
+        out = run_example("structured_records.py", capsys)
+        assert "chez panisse" in out
+        assert "ACD F1" in out
+
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "ACD results" in out
+        assert "pairs crowdsourced" in out
+
+    def test_answer_file_replay(self, capsys):
+        out = run_example("answer_file_replay.py", capsys)
+        assert "replay check: identical clusterings" in out

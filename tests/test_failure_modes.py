@@ -1,0 +1,118 @@
+"""Failure-injection tests: the library must fail loudly and precisely.
+
+Every public API boundary is probed with malformed or out-of-contract
+input; the assertions pin both the exception type and (where it matters)
+that no state was corrupted along the way.
+"""
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.core.pc_pivot import pc_pivot
+from repro.crowd.cache import ScriptedAnswers
+from repro.crowd.oracle import CrowdOracle
+from repro.datasets.schema import GoldStandard, Record, canonical_pair
+from repro.pruning.candidate import CandidateSet
+from tests.conftest import make_candidates, scripted_oracle
+
+
+class TestCrowdBoundary:
+    def test_unscripted_pair_fails_before_stats_are_charged(self):
+        oracle = scripted_oracle({(0, 1): 0.9})
+        with pytest.raises(KeyError):
+            oracle.ask(5, 6)
+        # The failed batch must not have been partially accounted.
+        assert oracle.stats.pairs_issued == 0
+
+    def test_mixed_batch_with_missing_answer_fails_atomically(self):
+        oracle = scripted_oracle({(0, 1): 0.9})
+        with pytest.raises(KeyError):
+            oracle.ask_batch([(0, 1), (5, 6)])
+        assert not oracle.knows(5, 6)
+        assert oracle.stats.iterations == 0
+
+    def test_gold_standard_unknown_record(self):
+        gold = GoldStandard({0: 0})
+        with pytest.raises(KeyError):
+            gold.entity(99)
+        with pytest.raises(KeyError):
+            gold.is_duplicate(0, 99)
+
+    def test_self_pair_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+        answers = ScriptedAnswers({(0, 1): 0.5})
+        with pytest.raises(ValueError):
+            answers.confidence(3, 3)
+
+
+class TestAlgorithmBoundary:
+    def test_pivot_rejects_edges_to_unknown_records(self):
+        """Candidate pairs referencing records outside R must fail at graph
+        construction, not mid-clustering."""
+        candidates = make_candidates({(0, 99): 0.8})
+        oracle = scripted_oracle({(0, 99): 1.0})
+        with pytest.raises(ValueError):
+            pc_pivot([0, 1], candidates, oracle, seed=0)
+
+    def test_clustering_rejects_unknown_record_queries(self):
+        clustering = Clustering([{0, 1}])
+        with pytest.raises(KeyError):
+            clustering.cluster_of(7)
+        with pytest.raises(KeyError):
+            clustering.members(12345)
+
+    def test_merge_of_dead_cluster_rejected(self):
+        clustering = Clustering([{0}, {1}, {2}])
+        survivor = clustering.merge(clustering.cluster_of(0),
+                                    clustering.cluster_of(1))
+        dead = ({clustering.cluster_of(0), clustering.cluster_of(1)}
+                - {survivor})
+        # All records now live in `survivor`; the absorbed id is gone.
+        with pytest.raises(KeyError):
+            clustering.members(next(iter(
+                {0, 1, 2} - set(clustering.cluster_ids)
+            ), 999))
+
+    def test_empty_record_set_is_fine(self):
+        candidates = CandidateSet(pairs=(), machine_scores={}, threshold=0.3)
+        clustering = pc_pivot([], candidates, scripted_oracle({}), seed=0)
+        assert len(clustering) == 0
+
+
+class TestDatasetBoundary:
+    def test_record_ids_must_be_unique(self):
+        from repro.datasets.schema import Dataset
+        with pytest.raises(ValueError):
+            Dataset(
+                name="dup",
+                records=[Record(1, "a"), Record(1, "b")],
+                gold=GoldStandard({1: 0}),
+            )
+
+    def test_scale_zero_rejected_by_all_generators(self):
+        from repro.datasets.registry import dataset_names, generate
+        for name in dataset_names():
+            with pytest.raises(ValueError):
+                generate(name, scale=0)
+
+
+class TestPersistenceBoundary:
+    def test_truncated_json_rejected(self, tmp_path):
+        from repro.crowd.persistence import load_answers
+        path = tmp_path / "broken.json"
+        path.write_text('{"version": 1, "answers": [[0, 1')
+        with pytest.raises(Exception):  # json decode or ValueError
+            load_answers(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        from repro.crowd.persistence import load_answers
+        with pytest.raises(OSError):
+            load_answers(tmp_path / "nope.json")
+
+    def test_dataset_csv_with_blank_text_loads(self, tmp_path):
+        from repro.datasets.io import load_dataset
+        path = tmp_path / "blank.csv"
+        path.write_text("record_id,entity_id,text\n0,0,\n1,0,x\n")
+        dataset = load_dataset(path)
+        assert dataset.record(0).text == ""

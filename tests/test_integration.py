@@ -1,0 +1,107 @@
+"""End-to-end integration tests: the whole pipeline across datasets and
+crowd settings, plus cross-cutting invariants that only show up when all
+the pieces run together."""
+
+import pytest
+
+from repro.core.acd import run_acd
+from repro.eval.cluster_metrics import full_report
+from repro.eval.metrics import f1_score
+from repro.experiments.runner import (
+    ALL_METHODS,
+    prepare_instance,
+    run_comparison,
+    run_method,
+)
+
+
+@pytest.mark.parametrize("dataset", ("paper", "restaurant", "product"))
+@pytest.mark.parametrize("setting", ("3w", "5w"))
+def test_acd_end_to_end(dataset, setting):
+    instance = prepare_instance(dataset, setting, scale=0.12, seed=4)
+    result = run_method("ACD", instance, seed=11)
+    assert result.clustering.num_records == len(instance.dataset)
+    result.clustering.check_invariants()
+    assert 0.0 < result.f1 <= 1.0
+    assert result.pairs_issued <= len(instance.candidates)
+    assert result.iterations >= 1
+
+
+def test_five_workers_never_much_worse(tiny_paper):
+    """More workers should not hurt accuracy meaningfully (paper: all
+    methods improve at 5w)."""
+    three = prepare_instance("paper", "3w", scale=0.12, seed=6)
+    five = prepare_instance("paper", "5w", scale=0.12, seed=6)
+    f1_three = sum(run_method("ACD", three, seed=s).f1 for s in range(3)) / 3
+    f1_five = sum(run_method("ACD", five, seed=s).f1 for s in range(3)) / 3
+    assert f1_five >= f1_three - 0.05
+
+
+def test_all_methods_partition_correctly(tiny_product):
+    results = run_comparison(tiny_product, repetitions=1)
+    for method in ALL_METHODS:
+        clustering = results[method].clustering
+        if clustering is None:
+            continue
+        clustering.check_invariants()
+        assert clustering.num_records == len(tiny_product.dataset)
+
+
+def test_pairs_issued_bounded_by_candidate_set(tiny_paper):
+    """No method may crowdsource a pair outside S, so the unique-pair count
+    is capped by |S|."""
+    results = run_comparison(tiny_paper, repetitions=1)
+    for method, result in results.items():
+        assert result.pairs_issued <= len(tiny_paper.candidates), method
+
+
+def test_acd_cluster_count_in_plausible_range(tiny_restaurant):
+    result = run_method("ACD", tiny_restaurant, seed=2)
+    true_entities = tiny_restaurant.dataset.num_entities
+    assert 0.5 * true_entities <= result.num_clusters <= 1.5 * true_entities
+
+
+def test_full_metric_report_consistency(tiny_product):
+    """Pairwise F1 from the metric battery matches the runner's F1."""
+    result = run_method("ACD", tiny_product, seed=3)
+    report = full_report(result.clustering, tiny_product.dataset.gold)
+    assert report["pairwise_f1"] == pytest.approx(result.f1)
+    # B-cubed and pairwise should broadly agree on quality.
+    assert abs(report["bcubed_f1"] - report["pairwise_f1"]) < 0.35
+
+
+def test_answer_replay_across_methods(tiny_paper):
+    """Two methods asking overlapping pairs must observe identical
+    confidences (the file-F protocol)."""
+    from repro.crowd.oracle import CrowdOracle
+    from repro.baselines import crowder_plus, transm
+
+    oracle_a = CrowdOracle(tiny_paper.answers)
+    crowder_plus(tiny_paper.record_ids, tiny_paper.candidates, oracle_a)
+    oracle_b = CrowdOracle(tiny_paper.answers)
+    transm(tiny_paper.record_ids, tiny_paper.candidates, oracle_b)
+
+    known_a = oracle_a.known_pairs()
+    for pair, confidence in oracle_b.known_pairs().items():
+        assert known_a[pair] == confidence
+
+
+def test_acd_beats_machine_only(tiny_paper):
+    """The crowd must add value over pure machine clustering — the paper's
+    entire premise."""
+    from repro.baselines import machine_pivot
+    machine = machine_pivot(tiny_paper.record_ids, tiny_paper.candidates,
+                            seed=5)
+    acd = run_method("ACD", tiny_paper, seed=5)
+    assert acd.f1 > f1_score(machine, tiny_paper.dataset.gold)
+
+
+def test_deterministic_full_pipeline():
+    """Same seeds end to end => byte-identical outcomes."""
+    def run_once():
+        instance = prepare_instance("product", "3w", scale=0.1, seed=8)
+        result = run_acd(instance.record_ids, instance.candidates,
+                         instance.answers, seed=9)
+        return (result.clustering.as_sets(), result.stats.pairs_issued,
+                result.stats.iterations)
+    assert run_once() == run_once()
