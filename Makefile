@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick examples lint clean
+.PHONY: install test bench bench-quick bench-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -11,6 +11,12 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=0.3 REPRO_BENCH_REPS=2 pytest benchmarks/ --benchmark-only -q
+
+# Tiny-scale perf harness: regenerates BENCH_pruning.json and
+# BENCH_endtoend.json at the repo root (machine-readable stage timings).
+bench-smoke:
+	REPRO_BENCH_SCALE=0.3 python benchmarks/bench_pruning.py
+	REPRO_BENCH_SCALE=0.2 python benchmarks/bench_endtoend.py
 
 examples:
 	for script in examples/*.py; do \

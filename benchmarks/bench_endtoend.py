@@ -1,0 +1,83 @@
+"""End-to-end benchmark: pruning + full ACD run per dataset.
+
+Times the two phases the fast-path work targets — candidate generation
+(``pruning``) and the crowd pipeline that consumes it (``acd``) — and
+writes ``BENCH_endtoend.json`` at the repo root in the shared BENCH schema.
+
+Standalone (no pytest)::
+
+    REPRO_BENCH_SCALE=0.3 python benchmarks/bench_endtoend.py
+
+Environment knobs:
+    REPRO_BENCH_SCALE     dataset scale (default 1.0)
+    REPRO_BENCH_ENGINE    pruning engine (default auto)
+    REPRO_BENCH_PARALLEL  reference-scoring worker processes (default 0)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.runner import (  # noqa: E402
+    ACD_METHOD,
+    prepare_instance,
+    run_method,
+)
+from repro.perf.timing import (  # noqa: E402
+    StageTimings,
+    bench_payload,
+    run_entry,
+    write_bench_json,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "auto")
+PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+SEED = 1
+SETTING = "3w"
+DATASETS = ("paper", "restaurant", "product")
+OUTPUT = REPO_ROOT / "BENCH_endtoend.json"
+
+
+def main() -> int:
+    runs = {}
+    for dataset_name in DATASETS:
+        timings = StageTimings()
+        with timings.stage("pruning"):
+            instance = prepare_instance(
+                dataset_name, SETTING, scale=SCALE, seed=SEED,
+                engine=ENGINE, parallel=PARALLEL,
+            )
+        with timings.stage("acd"):
+            result = run_method(ACD_METHOD, instance, seed=SEED)
+        runs[dataset_name] = run_entry(
+            timings,
+            records=len(instance.record_ids),
+            candidate_pairs=len(instance.candidates),
+            f1=round(result.f1, 4),
+            pairs_issued=result.pairs_issued,
+        )
+        print(
+            f"{dataset_name}: pruning {timings.seconds('pruning'):.3f}s, "
+            f"acd {timings.seconds('acd'):.3f}s, F1 {result.f1:.3f}"
+        )
+
+    payload = bench_payload(
+        "endtoend",
+        config={"scale": SCALE, "seed": SEED, "engine": ENGINE,
+                "parallel": PARALLEL, "setting": SETTING,
+                "datasets": list(DATASETS)},
+        runs=runs,
+    )
+    write_bench_json(OUTPUT, payload)
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Pruning-phase benchmark: reference scoring loop vs the prefix join.
+
+Runs the pruning phase on every dataset with both engines, checks the
+outputs are byte-identical, and writes ``BENCH_pruning.json`` at the repo
+root in the shared BENCH schema (see :mod:`repro.perf.timing`).
+
+Standalone (no pytest)::
+
+    REPRO_BENCH_SCALE=2 python benchmarks/bench_pruning.py
+
+Environment knobs:
+    REPRO_BENCH_SCALE     dataset scale (default 1.0)
+    REPRO_BENCH_PARALLEL  also measure a parallel reference run with this
+                          many workers (default 0 = skip)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.registry import generate  # noqa: E402
+from repro.experiments.configs import PRUNING_THRESHOLD  # noqa: E402
+from repro.perf.timing import (  # noqa: E402
+    StageTimings,
+    bench_payload,
+    run_entry,
+    write_bench_json,
+)
+from repro.pruning.candidate import build_candidate_set  # noqa: E402
+from repro.similarity.composite import (  # noqa: E402
+    SimilarityFunction,
+    jaccard_similarity_function,
+)
+from repro.similarity.jaccard import token_jaccard  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+SEED = 1
+DATASETS = ("paper", "restaurant", "product")
+OUTPUT = REPO_ROOT / "BENCH_pruning.json"
+
+
+def reference_similarity() -> SimilarityFunction:
+    """The seed's metric: plain token Jaccard, no view cache, no set
+    metadata — forces the reference engine's text-scoring loop."""
+    return SimilarityFunction("jaccard", token_jaccard)
+
+
+def main() -> int:
+    runs = {}
+    derived = {}
+    for dataset_name in DATASETS:
+        dataset = generate(dataset_name, scale=SCALE, seed=SEED)
+
+        ref_timings = StageTimings()
+        reference = build_candidate_set(
+            dataset.records, reference_similarity(),
+            threshold=PRUNING_THRESHOLD, engine="reference",
+            timings=ref_timings,
+        )
+        runs[f"{dataset_name}/reference"] = run_entry(
+            ref_timings, records=len(dataset.records), pairs=len(reference),
+        )
+
+        join_timings = StageTimings()
+        joined = build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=PRUNING_THRESHOLD, engine="prefix",
+            timings=join_timings,
+        )
+        runs[f"{dataset_name}/prefix"] = run_entry(
+            join_timings, records=len(dataset.records), pairs=len(joined),
+        )
+
+        identical = (
+            reference.pairs == joined.pairs
+            and reference.machine_scores == joined.machine_scores
+        )
+        if not identical:
+            print(f"FAIL: {dataset_name}: engines disagree", file=sys.stderr)
+            return 1
+        speedup = ref_timings.total / max(join_timings.total, 1e-12)
+        derived[f"{dataset_name}/speedup"] = round(speedup, 2)
+        print(
+            f"{dataset_name}: reference {ref_timings.total:.3f}s, "
+            f"prefix {join_timings.total:.3f}s "
+            f"({speedup:.1f}x, {len(joined)} pairs, identical)"
+        )
+
+        if PARALLEL > 1:
+            par_timings = StageTimings()
+            parallel = build_candidate_set(
+                dataset.records, reference_similarity(),
+                threshold=PRUNING_THRESHOLD, engine="reference",
+                parallel=PARALLEL, timings=par_timings,
+            )
+            if parallel.pairs != reference.pairs:
+                print(f"FAIL: {dataset_name}: parallel run disagrees",
+                      file=sys.stderr)
+                return 1
+            runs[f"{dataset_name}/reference-parallel{PARALLEL}"] = run_entry(
+                par_timings, records=len(dataset.records), pairs=len(parallel),
+            )
+
+    derived["min_speedup"] = min(
+        value for key, value in derived.items() if key.endswith("/speedup")
+    )
+    payload = bench_payload(
+        "pruning",
+        config={"scale": SCALE, "seed": SEED, "parallel": PARALLEL,
+                "threshold": PRUNING_THRESHOLD, "datasets": list(DATASETS)},
+        runs=runs,
+        derived=derived,
+    )
+    write_bench_json(OUTPUT, payload)
+    print(f"wrote {OUTPUT} (min speedup {derived['min_speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,9 +7,13 @@ that, e.g., Figures 6, 7 and 8 (three views of the same experiment) only
 run the comparison once per dataset x setting.
 
 Environment knobs:
-    REPRO_BENCH_SCALE   dataset scale (default 1.0 = Table 3 sizes)
-    REPRO_BENCH_REPS    repetitions for randomized methods (default 3;
-                        the paper uses 5)
+    REPRO_BENCH_SCALE     dataset scale (default 1.0 = Table 3 sizes)
+    REPRO_BENCH_REPS      repetitions for randomized methods (default 3;
+                          the paper uses 5)
+    REPRO_BENCH_ENGINE    pruning engine: auto | reference | prefix
+                          (default auto)
+    REPRO_BENCH_PARALLEL  worker processes for reference pruning
+                          (default 0 = serial)
 
 Every benchmark prints its rows (visible with ``pytest -s``) and also
 writes them to ``benchmarks/results/<name>.txt``.
@@ -32,6 +36,8 @@ from repro.experiments.sweeps import EpsilonSweep, epsilon_sweep, threshold_swee
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 REPETITIONS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "auto")
+PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
 SEED = 1
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -43,7 +49,8 @@ SETTINGS = ("3w", "5w")
 @functools.lru_cache(maxsize=None)
 def instance(dataset: str, setting: str) -> Instance:
     """One prepared (dataset, crowd setting) instance, cached per process."""
-    return prepare_instance(dataset, setting, scale=SCALE, seed=SEED)
+    return prepare_instance(dataset, setting, scale=SCALE, seed=SEED,
+                            engine=ENGINE, parallel=PARALLEL)
 
 
 @functools.lru_cache(maxsize=None)

@@ -21,10 +21,12 @@ from typing import List, Optional
 from repro.datasets.registry import dataset_names
 from repro.experiments.runner import (
     ALL_METHODS,
+    Instance,
     prepare_instance,
     run_comparison,
     run_method,
 )
+from repro.pruning.candidate import ENGINES
 from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
 from repro.experiments.tables import (
     format_comparison,
@@ -40,6 +42,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="dataset size multiplier (1.0 = paper size)")
     parser.add_argument("--seed", type=int, default=1,
                         help="dataset/crowd seed")
+    parser.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="pruning engine (prefix join vs reference loop)")
+    parser.add_argument("--parallel", type=int, default=0,
+                        help="worker processes for reference pruning "
+                             "(<= 1 is serial)")
+
+
+def _prepare(args: argparse.Namespace) -> Instance:
+    return prepare_instance(
+        args.dataset, args.setting, scale=args.scale, seed=args.seed,
+        engine=args.engine, parallel=args.parallel,
+    )
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
@@ -136,31 +150,27 @@ def _cmd_datasets(args: argparse.Namespace) -> None:
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
-    instance = prepare_instance(args.dataset, args.setting,
-                                scale=args.scale, seed=args.seed)
+    instance = _prepare(args)
     results = run_comparison(instance, repetitions=args.repetitions)
     print(format_comparison(results))
 
 
 def _cmd_sweep_epsilon(args: argparse.Namespace) -> None:
-    instance = prepare_instance(args.dataset, args.setting,
-                                scale=args.scale, seed=args.seed)
+    instance = _prepare(args)
     print(format_epsilon_sweep(
         epsilon_sweep(instance, repetitions=args.repetitions)
     ))
 
 
 def _cmd_sweep_threshold(args: argparse.Namespace) -> None:
-    instance = prepare_instance(args.dataset, args.setting,
-                                scale=args.scale, seed=args.seed)
+    instance = _prepare(args)
     print(format_threshold_sweep(
         threshold_sweep(instance, repetitions=args.repetitions)
     ))
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
-    instance = prepare_instance(args.dataset, args.setting,
-                                scale=args.scale, seed=args.seed)
+    instance = _prepare(args)
     gcer_budget = None
     if args.method == "GCER":
         acd = run_method("ACD", instance, seed=args.method_seed)
@@ -184,8 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.experiments.report import full_report_for_instance
-    instance = prepare_instance(args.dataset, args.setting,
-                                scale=args.scale, seed=args.seed)
+    instance = _prepare(args)
     text = full_report_for_instance(
         instance, repetitions=args.repetitions,
         include_sweeps=not args.no_sweeps,

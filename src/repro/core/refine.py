@@ -11,7 +11,7 @@ ratio is non-positive.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.clustering import Clustering
 from repro.core.estimator import DEFAULT_NUM_BUCKETS, HistogramEstimator
@@ -57,6 +57,170 @@ def enumerate_operations(clustering: Clustering,
             seen.add(key)
             operations.append(Merge(key[0], key[1]))
     return operations
+
+
+class ClusterVersionTracker:
+    """Monotone per-cluster version counters over a mutating clustering.
+
+    A cluster's version bumps whenever an applied operation changes its
+    membership; created clusters start at version 0 (cluster ids are never
+    reused, so a fresh id can't collide with a stale cached version).  Both
+    the free-operation heap and the costly-operation enumeration cache use
+    these versions to invalidate only what an operation actually touched.
+    """
+
+    def __init__(self, clustering: Clustering):
+        self._versions: Dict[int, int] = {
+            cluster_id: 0 for cluster_id in clustering.cluster_ids
+        }
+
+    def version(self, cluster_id: int) -> Optional[int]:
+        """Current version of a cluster; ``None`` once it is destroyed."""
+        return self._versions.get(cluster_id)
+
+    def snapshot(self, cluster_ids: Iterable[int]) -> Tuple[Tuple[int, int], ...]:
+        """Frozen (cluster, version) view used for staleness checks."""
+        return tuple(
+            (cluster_id, self._versions[cluster_id])
+            for cluster_id in cluster_ids
+        )
+
+    def is_current(self, snapshot: Tuple[Tuple[int, int], ...]) -> bool:
+        return all(
+            self._versions.get(cluster_id) == version
+            for cluster_id, version in snapshot
+        )
+
+    def apply(self, clustering: Clustering, operation: Operation) -> Set[int]:
+        """Apply ``operation`` and update versions.
+
+        Returns the ids of clusters whose cached state is now invalid
+        (changed survivors plus newly created clusters).
+        """
+        before = set(clustering.cluster_ids)
+        apply_operation(clustering, operation)
+        after = set(clustering.cluster_ids)
+        changed = set(operation.touched_clusters) & after
+        created = after - before
+        for cluster_id in changed:
+            self._versions[cluster_id] += 1
+        for cluster_id in created:
+            self._versions[cluster_id] = 0
+        for dead in before - after:
+            self._versions.pop(dead, None)
+        return changed | created
+
+
+class OperationCache:
+    """Version-invalidated cache of :func:`enumerate_operations`.
+
+    ``crowd_refine``'s estimated path re-enumerates every candidate
+    operation on every outer iteration — an O(|S|) scan of the candidate
+    pairs — even when the iteration applied a single operation.  This cache
+    keeps per-cluster split lists and per-cluster-pair merge entries stamped
+    with :class:`ClusterVersionTracker` versions, and rebuilds only the
+    entries whose clusters changed.
+
+    :meth:`operations` returns the *exact* list (contents and order) that
+    ``enumerate_operations`` would produce: splits ascend by (cluster id,
+    record id); mergers ascend by their smallest crossing candidate pair,
+    which is precisely their first-occurrence order in the sorted pair scan.
+    Preserving order matters because the estimated path breaks benefit-ratio
+    ties by enumeration order.
+    """
+
+    def __init__(self, clustering: Clustering, candidates: CandidateSet,
+                 tracker: Optional[ClusterVersionTracker] = None):
+        self._clustering = clustering
+        self._tracker = tracker if tracker is not None else (
+            ClusterVersionTracker(clustering)
+        )
+        self.neighbors: Dict[int, List[int]] = candidate_adjacency(candidates)
+        # cluster id -> (version, splits of that cluster, sorted by record)
+        self._split_entries: Dict[int, Tuple[int, List[Operation]]] = {}
+        # (cluster_a, cluster_b) -> (version_a, version_b, min crossing pair)
+        self._merge_entries: Dict[Tuple[int, int],
+                                  Tuple[int, int, Tuple[int, int]]] = {}
+
+    @property
+    def tracker(self) -> ClusterVersionTracker:
+        return self._tracker
+
+    def apply(self, operation: Operation) -> Set[int]:
+        """Apply an operation through the shared tracker."""
+        return self._tracker.apply(self._clustering, operation)
+
+    def operations(self) -> List[Operation]:
+        """The current operation list, identical to
+        ``enumerate_operations(clustering, candidates)``."""
+        clustering = self._clustering
+        cluster_ids = clustering.cluster_ids  # sorted
+        current: Dict[int, int] = {}
+        for cluster_id in cluster_ids:
+            version = self._tracker.version(cluster_id)
+            assert version is not None, "live cluster missing from tracker"
+            current[cluster_id] = version
+
+        for key in [k for k, (version_a, version_b, _)
+                    in self._merge_entries.items()
+                    if current.get(k[0]) != version_a
+                    or current.get(k[1]) != version_b]:
+            del self._merge_entries[key]
+        for dead in set(self._split_entries) - set(current):
+            del self._split_entries[dead]
+
+        stale = [
+            cluster_id for cluster_id in cluster_ids
+            if self._split_entries.get(cluster_id, (None, None))[0]
+            != current[cluster_id]
+        ]
+        for cluster_id in stale:
+            self._rebuild(cluster_id, current)
+
+        operations: List[Operation] = []
+        for cluster_id in cluster_ids:
+            operations.extend(self._split_entries[cluster_id][1])
+        for key, _ in sorted(self._merge_entries.items(),
+                             key=lambda item: item[1][2]):
+            operations.append(Merge(key[0], key[1]))
+        return operations
+
+    def _rebuild(self, cluster_id: int, current: Mapping[int, int]) -> None:
+        clustering = self._clustering
+        members = clustering.members(cluster_id)
+        splits: List[Operation] = (
+            [Split(record_id, cluster_id) for record_id in sorted(members)]
+            if len(members) >= 2 else []
+        )
+        self._split_entries[cluster_id] = (current[cluster_id], splits)
+
+        # Every candidate edge crossing this cluster has exactly one endpoint
+        # inside it, so scanning members x neighbors sees them all — the
+        # per-merge minimum crossing pair is exact.
+        crossing: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for record_id in members:
+            for neighbor in self.neighbors.get(record_id, ()):
+                other = clustering.cluster_of(neighbor)
+                if other == cluster_id:
+                    continue
+                key = ((cluster_id, other) if cluster_id < other
+                       else (other, cluster_id))
+                pair = ((record_id, neighbor) if record_id < neighbor
+                        else (neighbor, record_id))
+                best = crossing.get(key)
+                if best is None or pair < best:
+                    crossing[key] = pair
+        for key, pair in crossing.items():
+            self._merge_entries[key] = (current[key[0]], current[key[1]], pair)
+
+
+def candidate_adjacency(candidates: CandidateSet) -> Dict[int, List[int]]:
+    """Record-level adjacency of the candidate graph (for merge respawning)."""
+    neighbors: Dict[int, List[int]] = {}
+    for a, b in candidates.pairs:
+        neighbors.setdefault(a, []).append(b)
+        neighbors.setdefault(b, []).append(a)
+    return neighbors
 
 
 def build_estimator(
@@ -116,6 +280,7 @@ def apply_free_operations(
     candidates: CandidateSet,
     oracle: CrowdOracle,
     estimator: HistogramEstimator,
+    cache: Optional[OperationCache] = None,
 ) -> int:
     """Step 1 of Section 5.4 / lines 5-7 of Algorithm 4: repeatedly apply the
     known-benefit operation with the largest positive benefit until none is
@@ -129,34 +294,35 @@ def apply_free_operations(
     to :func:`_apply_free_operations_reference`, which re-enumerates
     everything per step; both pick the maximum-benefit operation with the
     same canonical tie-break.
+
+    Args:
+        cache: Optional shared :class:`OperationCache` (from
+            ``crowd_refine``).  Supplies the initial operation list, the
+            candidate adjacency, and the cluster-version tracker — so the
+            heap seeding reuses cached enumeration state and the applied
+            operations invalidate the caller's cache entries in turn.
     """
     import heapq
 
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
 
-    # Candidate adjacency at the record level, for respawning merges.
-    neighbors: Dict[int, List[int]] = {}
-    for a, b in candidates.pairs:
-        neighbors.setdefault(a, []).append(b)
-        neighbors.setdefault(b, []).append(a)
+    if cache is not None:
+        neighbors = cache.neighbors
+        tracker = cache.tracker
+        initial_operations = cache.operations()
+    else:
+        neighbors = candidate_adjacency(candidates)
+        tracker = ClusterVersionTracker(clustering)
+        initial_operations = enumerate_operations(clustering, candidates)
 
-    versions: Dict[int, int] = {
-        cluster_id: 0 for cluster_id in clustering.cluster_ids
-    }
     heap: List[Tuple[float, Tuple, Operation, Tuple[Tuple[int, int], ...]]] = []
-
-    def snapshot(operation: Operation) -> Tuple[Tuple[int, int], ...]:
-        return tuple(
-            (cluster, versions[cluster])
-            for cluster in operation.touched_clusters
-        )
 
     def push_if_positive(operation: Operation) -> None:
         benefit = evaluator.exact_benefit(operation)
         if benefit is not None and benefit > BENEFIT_TOLERANCE:
             heapq.heappush(heap, (
                 -benefit, _operation_sort_key(operation), operation,
-                snapshot(operation),
+                tracker.snapshot(operation.touched_clusters),
             ))
 
     def operations_touching(cluster_ids: Iterable[int]) -> List[Operation]:
@@ -179,28 +345,18 @@ def apply_free_operations(
                         found.append(Merge(key[0], key[1]))
         return found
 
-    for operation in enumerate_operations(clustering, candidates):
+    for operation in initial_operations:
         push_if_positive(operation)
 
     applied = 0
     while heap:
         negative_benefit, _, operation, snap = heapq.heappop(heap)
         # Stale if any touched cluster changed or vanished.
-        if any(versions.get(cluster) != version for cluster, version in snap):
+        if not tracker.is_current(snap):
             continue
-        before = set(clustering.cluster_ids)
-        apply_operation(clustering, operation)
+        invalidated = tracker.apply(clustering, operation)
         applied += 1
-        after = set(clustering.cluster_ids)
-        changed = set(operation.touched_clusters) & after
-        created = after - before
-        for cluster_id in changed:
-            versions[cluster_id] += 1
-        for cluster_id in created:
-            versions[cluster_id] = 0
-        for dead in before - after:
-            versions.pop(dead, None)
-        for affected in operations_touching(changed | created):
+        for affected in operations_touching(invalidated):
             push_if_positive(affected)
     return applied
 
@@ -232,15 +388,20 @@ def crowd_refine(
     """
     estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+    # One cache for the whole refinement: each outer iteration touches at
+    # most a handful of clusters, so re-enumeration cost drops from O(|S|)
+    # per loop to the few entries those clusters invalidated.
+    cache = OperationCache(clustering, candidates)
 
     while True:
-        applied = apply_free_operations(clustering, candidates, oracle, estimator)
+        applied = apply_free_operations(clustering, candidates, oracle,
+                                        estimator, cache=cache)
         del applied  # the count is only interesting to PC-Refine diagnostics
 
         # Estimated path: best benefit-cost ratio among costly operations.
         best_operation: Optional[Operation] = None
         best_ratio = 0.0
-        for operation in enumerate_operations(clustering, candidates):
+        for operation in cache.operations():
             cost = evaluator.cost(operation)
             if cost == 0:
                 continue  # exact benefit known; the free path already saw it
@@ -255,4 +416,4 @@ def crowd_refine(
         _record_answers(answers, candidates, estimator)
         benefit = evaluator.exact_benefit(best_operation)
         if benefit is not None and benefit > BENEFIT_TOLERANCE:
-            apply_operation(clustering, best_operation)
+            cache.apply(best_operation)

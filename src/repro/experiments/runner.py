@@ -29,6 +29,7 @@ from repro.experiments.configs import (
     crowd_setting,
     difficulty_model,
 )
+from repro.perf.timing import StageTimings
 from repro.pruning.candidate import CandidateSet, build_candidate_set
 from repro.similarity.composite import jaccard_similarity_function
 
@@ -68,6 +69,9 @@ def prepare_instance(
     scale: float = 1.0,
     seed: int = 0,
     threshold: float = PRUNING_THRESHOLD,
+    engine: str = "auto",
+    parallel: int = 0,
+    timings: Optional[StageTimings] = None,
 ) -> Instance:
     """Generate a dataset, run the pruning phase, and open the answer file.
 
@@ -77,11 +81,17 @@ def prepare_instance(
         scale: Dataset size multiplier (1.0 = Table 3 size).
         seed: Dataset generation seed.
         threshold: Pruning threshold τ (paper: 0.3).
+        engine: Pruning engine: 'auto', 'reference', or 'prefix'
+            (see :func:`repro.pruning.candidate.build_candidate_set`).
+        parallel: Worker processes for the reference scoring loop (<= 1
+            runs serially).
+        timings: Optional stage timer recording pruning wall-clock.
     """
     setting = crowd_setting(setting_name)
     dataset = generate(dataset_name, scale=scale, seed=seed)
     candidates = build_candidate_set(
-        dataset.records, jaccard_similarity_function(), threshold=threshold
+        dataset.records, jaccard_similarity_function(), threshold=threshold,
+        engine=engine, parallel=parallel, timings=timings,
     )
     workers = WorkerPool(
         difficulty=difficulty_model(dataset_name),

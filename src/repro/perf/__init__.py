@@ -1,0 +1,19 @@
+"""Performance instrumentation: scoped stage timers and the machine-readable
+``BENCH_*.json`` emitters the benchmark harness regresses against.
+"""
+
+from repro.perf.timing import (
+    StageTimings,
+    bench_payload,
+    read_bench_json,
+    run_entry,
+    write_bench_json,
+)
+
+__all__ = [
+    "StageTimings",
+    "bench_payload",
+    "read_bench_json",
+    "run_entry",
+    "write_bench_json",
+]

@@ -1,0 +1,130 @@
+"""Scoped wall-clock timers and the ``BENCH_*.json`` schema.
+
+The pruning engine and the benchmark harness share one instrumentation
+vocabulary: a :class:`StageTimings` accumulates named stage durations
+(``blocking``, ``scoring``, ``total``, ...) via the :meth:`StageTimings.stage`
+context manager, and :func:`write_bench_json` persists a benchmark run as a
+machine-readable JSON document that future PRs regress against.
+
+BENCH JSON schema (one document per benchmark)::
+
+    {
+      "benchmark": "pruning",              # harness name
+      "schema_version": 1,
+      "created_unix": 1754000000.0,        # time.time() at write
+      "config": {"scale": 2.0, ...},       # harness knobs (env-driven)
+      "runs": {                            # one entry per measured variant
+        "paper/reference": {
+          "stages": {"blocking": 0.41, "scoring": 3.2, "total": 3.61},
+          "meta":   {"records": 600, "pairs": 1234}
+        },
+        ...
+      },
+      "derived": {"speedup": 4.2, ...}     # harness-computed summaries
+    }
+
+Timings are wall-clock seconds from :func:`time.perf_counter`.  Repeated
+entries to the same stage accumulate, so a stage may wrap a loop body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+SCHEMA_VERSION = 1
+
+
+class StageTimings:
+    """Accumulates named wall-clock stage durations.
+
+    >>> timings = StageTimings()
+    >>> with timings.stage("blocking"):
+    ...     pass
+    >>> sorted(timings.as_dict()) == ["blocking"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulating on re-entry)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage ``name``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for stage {name!r}: {seconds}")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one stage (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stages (excluding an explicit 'total' stage)."""
+        return sum(
+            seconds for name, seconds in self._seconds.items() if name != "total"
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage -> seconds mapping, insertion-ordered."""
+        return dict(self._seconds)
+
+    def with_total(self) -> Dict[str, float]:
+        """Stage mapping plus a ``total`` key (explicit total wins if set)."""
+        out = self.as_dict()
+        out.setdefault("total", self.total)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={seconds:.4f}s" for name, seconds in self._seconds.items()
+        )
+        return f"StageTimings({inner})"
+
+
+def bench_payload(
+    benchmark: str,
+    config: Optional[Mapping[str, Any]] = None,
+    runs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    derived: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a BENCH document in the shared schema (see module docstring)."""
+    return {
+        "benchmark": benchmark,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "config": dict(config or {}),
+        "runs": {name: dict(run) for name, run in (runs or {}).items()},
+        "derived": dict(derived or {}),
+    }
+
+
+def run_entry(
+    timings: StageTimings, **meta: Any
+) -> Dict[str, Any]:
+    """One ``runs`` entry: stage timings (with total) plus free-form meta."""
+    return {"stages": timings.with_total(), "meta": dict(meta)}
+
+
+def write_bench_json(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
+    """Write a BENCH document; returns the resolved path."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def read_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a BENCH document back (inverse of :func:`write_bench_json`)."""
+    return json.loads(Path(path).read_text())

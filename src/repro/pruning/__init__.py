@@ -16,10 +16,16 @@ from repro.pruning.analysis import (
 )
 from repro.pruning.candidate import (
     DEFAULT_THRESHOLD,
+    ENGINES,
     CandidateSet,
     build_candidate_set,
 )
 from repro.pruning.graph import CandidateGraph, graph_from_candidates
+from repro.pruning.parallel import score_pairs_parallel
+from repro.pruning.prefix_join import (
+    prefix_filtered_candidates,
+    prefix_length,
+)
 from repro.pruning.minhash import (
     MinHasher,
     lsh_candidate_pairs,
@@ -28,6 +34,7 @@ from repro.pruning.minhash import (
 
 __all__ = [
     "DEFAULT_THRESHOLD",
+    "ENGINES",
     "CandidateGraph",
     "CandidateSet",
     "MinHasher",
@@ -38,6 +45,9 @@ __all__ = [
     "graph_from_candidates",
     "lsh_candidate_pairs",
     "minhash_blocking_pairs",
+    "prefix_filtered_candidates",
+    "prefix_length",
+    "score_pairs_parallel",
     "sorted_neighborhood_pairs",
     "threshold_tradeoff",
     "token_blocking_pairs",

@@ -26,6 +26,12 @@ def token_blocking_pairs(records: Sequence[Record],
     For set-overlap similarities (Jaccard, cosine) this loses no pair with a
     nonzero score.  Each pair is yielded exactly once, in canonical order.
 
+    Deduplication uses the *least-common-token* rule instead of an
+    O(#pairs) ``seen`` set: a pair is emitted only from the
+    lexicographically smallest token the two records share (among tokens
+    whose block survives ``max_block_size``).  Peak memory is then bounded
+    by the record token sets, not by the emitted pair count.
+
     Args:
         records: Records to block.
         max_block_size: If > 0, skip blocks (tokens) whose posting list is
@@ -33,21 +39,38 @@ def token_blocking_pairs(records: Sequence[Record],
             little recall for a lot of speed.  0 disables the cap.
     """
     postings: Dict[str, List[int]] = defaultdict(list)
+    token_sets: Dict[int, Set[str]] = {}
     for record in records:
-        for token in set(word_tokens(record.text)):
+        tokens = set(word_tokens(record.text))
+        token_sets[record.record_id] = tokens
+        for token in tokens:
             postings[token].append(record.record_id)
 
-    seen: Set[Pair] = set()
-    for posting in postings.values():
-        if max_block_size and len(posting) > max_block_size:
+    skipped: Set[str] = set()
+    if max_block_size:
+        skipped = {
+            token for token, posting in postings.items()
+            if len(posting) > max_block_size
+        }
+
+    def smallest_shared(a: int, b: int) -> str:
+        small, large = token_sets[a], token_sets[b]
+        if len(small) > len(large):
+            small, large = large, small
+        return min(
+            token for token in small
+            if token in large and token not in skipped
+        )
+
+    for token in sorted(postings):
+        if token in skipped:
             continue
+        posting = postings[token]
         posting.sort()
         for i, a in enumerate(posting):
             for b in posting[i + 1:]:
-                pair = (a, b)
-                if pair not in seen:
-                    seen.add(pair)
-                    yield pair
+                if smallest_shared(a, b) == token:
+                    yield (a, b)
 
 
 def sorted_neighborhood_pairs(records: Sequence[Record],

@@ -5,20 +5,38 @@ Phase 1 of ACD (Section 3): score record pairs with a machine similarity
 a :class:`CandidateSet` carrying both the surviving pairs and their machine
 scores — the scores feed the refinement phase's histogram estimator and
 several baselines' pair orderings.
+
+Engines
+-------
+``build_candidate_set`` picks among three ways of producing ``S``:
+
+* ``reference`` — the seed implementation: enumerate candidate pairs
+  (token blocking / all pairs / caller-supplied) and score each one.
+* ``prefix`` — the length- and prefix-filtered set-similarity join
+  (:mod:`repro.pruning.prefix_join`); only valid for set-overlap metrics,
+  for which it provably produces the identical :class:`CandidateSet`.
+* ``auto`` (default) — ``prefix`` whenever it is provably equivalent to
+  what ``reference`` would compute, else ``reference``; the opt-in
+  ``parallel=N`` knob fans the reference scoring loop out to worker
+  processes for expensive non-set metrics.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datasets.schema import Record, canonical_pair
+from repro.perf.timing import StageTimings
 from repro.pruning.blocking import all_pairs, token_blocking_pairs
-from repro.similarity.composite import SimilarityFunction
+from repro.similarity.composite import SET_METRIC_FUNCTIONS, SimilarityFunction
 
 Pair = Tuple[int, int]
 
 DEFAULT_THRESHOLD = 0.3
+
+ENGINES = ("auto", "reference", "prefix")
 
 
 @dataclass(frozen=True)
@@ -61,12 +79,34 @@ class CandidateSet:
         )
 
 
+def _prefix_join_eligible(
+    similarity: SimilarityFunction,
+    candidate_pairs: Optional[Iterable[Pair]],
+    use_token_blocking: bool,
+) -> bool:
+    """Whether the prefix join provably reproduces the reference output.
+
+    Caller-supplied pairs restrict scoring arbitrarily — never joinable.
+    With token blocking on, the join is equivalent only when the metric
+    compares *word-token* sets (the blocking domain); with blocking off the
+    join matches all-pairs on any set domain once empty-set pairs are added.
+    """
+    if candidate_pairs is not None or similarity.set_metric is None:
+        return False
+    if use_token_blocking:
+        return similarity.set_domain == "word"
+    return True
+
+
 def build_candidate_set(
     records: Sequence[Record],
     similarity: SimilarityFunction,
     threshold: float = DEFAULT_THRESHOLD,
     candidate_pairs: Optional[Iterable[Pair]] = None,
     use_token_blocking: bool = True,
+    engine: str = "auto",
+    parallel: int = 0,
+    timings: Optional[StageTimings] = None,
 ) -> CandidateSet:
     """Run the pruning phase.
 
@@ -81,31 +121,151 @@ def build_candidate_set(
             ``candidate_pairs`` is not given.  Disable for similarity metrics
             that can score > τ with zero shared word tokens (e.g. q-gram or
             edit-distance metrics).
+        engine: ``auto`` | ``reference`` | ``prefix`` (see module docstring).
+        parallel: Worker processes for the reference scoring loop; <= 1 is
+            serial.  Ignored when the prefix join runs (it is faster still).
+        timings: Optional :class:`~repro.perf.timing.StageTimings`; records
+            ``blocking`` and ``scoring`` stage wall-clock.
 
     Returns:
         The :class:`CandidateSet` ``S``.
     """
     if not 0.0 <= threshold < 1.0:
         raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+    eligible = _prefix_join_eligible(similarity, candidate_pairs,
+                                     use_token_blocking)
+    if engine == "prefix" and not eligible:
+        raise ValueError(
+            "the prefix engine needs a set-overlap similarity, no external "
+            "candidate_pairs, and a blocking domain matching the metric "
+            f"(similarity={similarity.name!r})"
+        )
+    if engine == "prefix" or (engine == "auto" and eligible):
+        surviving, scores = _run_prefix_join(
+            records, similarity, threshold,
+            include_empty_pairs=not use_token_blocking,
+            timings=timings,
+        )
+    else:
+        surviving, scores = _run_reference(
+            records, similarity, threshold, candidate_pairs,
+            use_token_blocking, parallel, timings,
+        )
+    return CandidateSet(pairs=tuple(surviving), machine_scores=scores,
+                        threshold=threshold)
+
+
+@contextmanager
+def _stage(timings: Optional[StageTimings], name: str) -> Iterator[None]:
+    """Record a stage when a timer is attached; free otherwise."""
+    if timings is None:
+        yield
+    else:
+        with timings.stage(name):
+            yield
+
+
+def _run_prefix_join(
+    records: Sequence[Record],
+    similarity: SimilarityFunction,
+    threshold: float,
+    include_empty_pairs: bool,
+    timings: Optional[StageTimings],
+) -> Tuple[List[Pair], Dict[Pair, float]]:
+    from repro.pruning.prefix_join import prefix_filtered_candidates
+
+    assert similarity.set_metric is not None
+    surviving, scores = prefix_filtered_candidates(
+        records,
+        set_of=similarity.set_of,
+        set_function=SET_METRIC_FUNCTIONS[similarity.set_metric],
+        metric=similarity.set_metric,
+        threshold=threshold,
+        include_empty_pairs=include_empty_pairs,
+        timings=timings,
+    )
+    # Keep later phases' memoized reads warm, as the reference loop would.
+    similarity.seed_cache(scores)
+    return surviving, scores
+
+
+def _run_reference(
+    records: Sequence[Record],
+    similarity: SimilarityFunction,
+    threshold: float,
+    candidate_pairs: Optional[Iterable[Pair]],
+    use_token_blocking: bool,
+    parallel: int,
+    timings: Optional[StageTimings],
+) -> Tuple[List[Pair], Dict[Pair, float]]:
     by_id = {record.record_id: record for record in records}
+    # Caller-supplied pair streams may repeat pairs (in either order); the
+    # internal blockers already emit each pair exactly once.
+    needs_dedupe = candidate_pairs is not None
     if candidate_pairs is None:
         if use_token_blocking:
             candidate_pairs = token_blocking_pairs(records)
         else:
             candidate_pairs = all_pairs(records)
 
-    surviving: List[Pair] = []
+    if parallel > 1 or timings is not None:
+        # Materialize the pair stream so blocking and scoring time apart
+        # (and so chunks can be fanned out to workers).
+        with _stage(timings, "blocking"):
+            unique = _canonical_unique(candidate_pairs, needs_dedupe)
+        with _stage(timings, "scoring"):
+            if parallel > 1:
+                from repro.pruning.parallel import score_pairs_parallel
+
+                scores = score_pairs_parallel(
+                    unique,
+                    texts={rid: record.text for rid, record in by_id.items()},
+                    metric=similarity.text_similarity,
+                    threshold=threshold,
+                    processes=parallel,
+                )
+                similarity.seed_cache(scores)
+            else:
+                scores = {}
+                for pair in unique:
+                    score = similarity(by_id[pair[0]], by_id[pair[1]])
+                    if score > threshold:
+                        scores[pair] = score
+            surviving = sorted(scores)
+        return surviving, scores
+
+    surviving = []
     scores: Dict[Pair, float] = {}
+    # Track *all* scored pairs, not just survivors: a duplicate of a
+    # sub-threshold pair must not be scored twice.
+    scored: Set[Pair] = set()
     for raw_pair in candidate_pairs:
-        pair = canonical_pair(*raw_pair)
-        if pair in scores:
-            continue
+        pair = canonical_pair(*raw_pair) if needs_dedupe else raw_pair
+        if needs_dedupe:
+            if pair in scored:
+                continue
+            scored.add(pair)
         score = similarity(by_id[pair[0]], by_id[pair[1]])
         if score > threshold:
             surviving.append(pair)
             scores[pair] = score
     surviving.sort()
-    # Drop scores of pairs that did not survive: keep the mapping minimal.
-    scores = {pair: scores[pair] for pair in surviving}
-    return CandidateSet(pairs=tuple(surviving), machine_scores=scores,
-                        threshold=threshold)
+    return surviving, scores
+
+
+def _canonical_unique(pairs: Iterable[Pair], needs_dedupe: bool) -> List[Pair]:
+    """Canonicalize and (when necessary) deduplicate a pair stream,
+    preserving first-seen order."""
+    if not needs_dedupe:
+        return list(pairs)
+    seen: Set[Pair] = set()
+    unique: List[Pair] = []
+    for raw_pair in pairs:
+        pair = canonical_pair(*raw_pair)
+        if pair not in seen:
+            seen.add(pair)
+            unique.append(pair)
+    return unique

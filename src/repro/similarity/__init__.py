@@ -7,11 +7,16 @@ TF-IDF cosine), q-gram, and phonetic (Soundex/Metaphone) metrics, plus the
 
 from repro.similarity.cosine import TfIdfVectorizer, sparse_cosine, tfidf_cosine
 from repro.similarity.composite import (
+    SET_METRIC_FUNCTIONS,
     SimilarityFunction,
+    cosine_set_similarity_function,
+    dice_similarity_function,
     jaccard_similarity_function,
     jaro_winkler_similarity_function,
     levenshtein_similarity_function,
+    overlap_similarity_function,
     qgram_similarity_function,
+    softtfidf_similarity_function,
     weighted_similarity_function,
 )
 from repro.similarity.fields import (
@@ -22,7 +27,9 @@ from repro.similarity.fields import (
 from repro.similarity.hybrid import (
     dice_coefficient,
     monge_elkan,
+    ochiai_coefficient,
     overlap_coefficient,
+    token_cosine,
     token_dice,
     token_overlap,
 )
@@ -35,6 +42,7 @@ from repro.similarity.levenshtein import (
 )
 from repro.similarity.phonetic import metaphone, phonetic_equal, soundex
 from repro.similarity.softtfidf import SoftTfIdf
+from repro.similarity.views import RecordView, RecordViewCache
 from repro.similarity.tokenize import (
     ngram_shingles,
     normalize,
@@ -47,10 +55,15 @@ from repro.similarity.tokenize import (
 __all__ = [
     "FieldRule",
     "FieldSimilarityConfig",
+    "RecordView",
+    "RecordViewCache",
+    "SET_METRIC_FUNCTIONS",
     "SimilarityFunction",
     "SoftTfIdf",
     "TfIdfVectorizer",
+    "cosine_set_similarity_function",
     "damerau_distance",
+    "dice_similarity_function",
     "exact_match",
     "dice_coefficient",
     "jaccard",
@@ -65,15 +78,19 @@ __all__ = [
     "monge_elkan",
     "ngram_shingles",
     "normalize",
+    "ochiai_coefficient",
     "overlap_coefficient",
+    "overlap_similarity_function",
     "phonetic_equal",
     "qgram_jaccard",
     "qgram_set",
     "qgram_similarity_function",
     "qgrams",
+    "softtfidf_similarity_function",
     "soundex",
     "sparse_cosine",
     "tfidf_cosine",
+    "token_cosine",
     "token_dice",
     "token_jaccard",
     "token_overlap",

@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.similarity.tokenize import word_tokens
 
@@ -25,11 +25,19 @@ class TfIdfVectorizer:
 
     def fit(self, texts: Iterable[str]) -> "TfIdfVectorizer":
         """Compute smoothed IDF weights: ``log((1 + N) / (1 + df)) + 1``."""
+        return self.fit_tokens(word_tokens(text) for text in texts)
+
+    def fit_tokens(
+        self, token_lists: Iterable[Sequence[str]]
+    ) -> "TfIdfVectorizer":
+        """:meth:`fit` from pre-tokenized documents (e.g. cached
+        :class:`~repro.similarity.views.RecordView` tokens), skipping the
+        per-document re-tokenization."""
         document_frequency: Counter = Counter()
         num_docs = 0
-        for text in texts:
+        for tokens in token_lists:
             num_docs += 1
-            document_frequency.update(set(word_tokens(text)))
+            document_frequency.update(set(tokens))
         self._num_docs = num_docs
         self._idf = {
             token: math.log((1 + num_docs) / (1 + df)) + 1.0
@@ -42,9 +50,13 @@ class TfIdfVectorizer:
 
         Tokens unseen during :meth:`fit` get the maximum IDF (treated as df=0).
         """
+        return self.transform_tokens(word_tokens(text))
+
+    def transform_tokens(self, tokens: Sequence[str]) -> Dict[str, float]:
+        """:meth:`transform` from a pre-tokenized document."""
         if self._num_docs == 0:
             raise RuntimeError("vectorizer must be fit before transform")
-        counts = Counter(word_tokens(text))
+        counts = Counter(tokens)
         default_idf = math.log(1 + self._num_docs) + 1.0
         vector = {
             token: count * self._idf.get(token, default_idf)

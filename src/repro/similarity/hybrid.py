@@ -25,6 +25,19 @@ def overlap_coefficient(set_a: FrozenSet[str], set_b: FrozenSet[str]) -> float:
     return len(set_a & set_b) / min(len(set_a), len(set_b))
 
 
+def ochiai_coefficient(set_a: FrozenSet[str], set_b: FrozenSet[str]) -> float:
+    """Set cosine (Ochiai): ``|A ∩ B| / sqrt(|A| * |B|)``.
+
+    The unweighted counterpart of TF-IDF cosine; the threshold algebra of the
+    prefix-filtered similarity join applies to it directly.
+    """
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / (len(set_a) * len(set_b)) ** 0.5
+
+
 def dice_coefficient(set_a: FrozenSet[str], set_b: FrozenSet[str]) -> float:
     """Sørensen-Dice: ``2|A ∩ B| / (|A| + |B|)``."""
     if not set_a and not set_b:
@@ -42,6 +55,11 @@ def token_overlap(text_a: str, text_b: str) -> float:
 def token_dice(text_a: str, text_b: str) -> float:
     """Dice coefficient over word tokens."""
     return dice_coefficient(token_set(text_a), token_set(text_b))
+
+
+def token_cosine(text_a: str, text_b: str) -> float:
+    """Set cosine (Ochiai) over word tokens."""
+    return ochiai_coefficient(token_set(text_a), token_set(text_b))
 
 
 def monge_elkan(

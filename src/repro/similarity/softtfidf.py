@@ -10,10 +10,12 @@ weights scaled by their similarity.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 
+from repro.datasets.schema import Record
 from repro.similarity.cosine import TfIdfVectorizer
 from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.views import RecordViewCache
 
 TextSimilarity = Callable[[str, str], float]
 
@@ -36,15 +38,67 @@ class SoftTfIdf:
         self._vectorizer = TfIdfVectorizer().fit(corpus)
         self._inner = inner
         self._theta = theta
+        self._views: Optional[RecordViewCache] = None
+        self._vector_cache: Dict[int, Mapping[str, float]] = {}
+
+    @staticmethod
+    def from_records(records: Sequence[Record],
+                     views: Optional[RecordViewCache] = None,
+                     inner: TextSimilarity = jaro_winkler_similarity,
+                     theta: float = 0.9) -> "SoftTfIdf":
+        """Fit on a record set through a shared :class:`RecordViewCache`.
+
+        Every record is tokenized exactly once (the cached view's tokens fit
+        the vectorizer), and :meth:`record_similarity` reuses one TF-IDF
+        vector per record across all pairs it participates in.
+        """
+        views = views if views is not None else RecordViewCache()
+        scorer = SoftTfIdf.__new__(SoftTfIdf)
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        scorer._vectorizer = TfIdfVectorizer().fit_tokens(
+            views.tokens(record) for record in records
+        )
+        scorer._inner = inner
+        scorer._theta = theta
+        scorer._views = views
+        scorer._vector_cache = {}
+        return scorer
 
     def __call__(self, text_a: str, text_b: str) -> float:
         """Soft TF-IDF similarity in [0, 1] (symmetrized)."""
-        return (self._directed(text_a, text_b)
-                + self._directed(text_b, text_a)) / 2.0
+        vector_a = self._vectorizer.transform(text_a)
+        vector_b = self._vectorizer.transform(text_b)
+        return self._symmetric(vector_a, vector_b)
 
-    def _directed(self, source: str, target: str) -> float:
-        vector_source = self._vectorizer.transform(source)
-        vector_target = self._vectorizer.transform(target)
+    def record_similarity(self, record_a: Record, record_b: Record) -> float:
+        """Similarity of two records via cached per-record TF-IDF vectors.
+
+        Requires construction through :meth:`from_records` (or an attached
+        view cache); falls back to the text path otherwise.
+        """
+        if self._views is None:
+            return self(record_a.text, record_b.text)
+        return self._symmetric(self._record_vector(record_a),
+                               self._record_vector(record_b))
+
+    def _record_vector(self, record: Record) -> Mapping[str, float]:
+        assert self._views is not None
+        cached = self._vector_cache.get(record.record_id)
+        if cached is None:
+            cached = self._vectorizer.transform_tokens(
+                self._views.tokens(record)
+            )
+            self._vector_cache[record.record_id] = cached
+        return cached
+
+    def _symmetric(self, vector_a: Mapping[str, float],
+                   vector_b: Mapping[str, float]) -> float:
+        return (self._directed_vectors(vector_a, vector_b)
+                + self._directed_vectors(vector_b, vector_a)) / 2.0
+
+    def _directed_vectors(self, vector_source: Mapping[str, float],
+                          vector_target: Mapping[str, float]) -> float:
         if not vector_source or not vector_target:
             return 1.0 if not vector_source and not vector_target else 0.0
         total = 0.0

@@ -1,0 +1,103 @@
+"""The cached operation enumeration must be indistinguishable from the
+from-scratch scan — same operations, same order — across arbitrary
+apply sequences (order matters: the estimated path breaks benefit-ratio
+ties by enumeration order)."""
+
+import random as random_module
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.core.refine import (
+    ClusterVersionTracker,
+    OperationCache,
+    enumerate_operations,
+)
+from repro.core.operations import Merge, Split
+from tests.conftest import make_candidates
+
+
+def random_state(seed):
+    rng = random_module.Random(seed)
+    num_records = rng.randint(4, 20)
+    machine = {}
+    for i in range(num_records):
+        for j in range(i + 1, num_records):
+            if rng.random() < 0.35:
+                machine[(i, j)] = round(rng.uniform(0.31, 0.95), 2)
+    candidates = make_candidates(machine)
+    clustering = Clustering()
+    records = list(range(num_records))
+    rng.shuffle(records)
+    while records:
+        take = min(len(records), rng.randint(1, 4))
+        clustering.add_cluster(records[:take])
+        records = records[take:]
+    return clustering, candidates
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_cache_matches_enumeration_across_mutations(seed):
+    rng = random_module.Random(seed * 1000 + 7)
+    clustering, candidates = random_state(seed)
+    cache = OperationCache(clustering, candidates)
+
+    for _ in range(15):
+        expected = enumerate_operations(clustering, candidates)
+        assert cache.operations() == expected
+        # Re-reading without mutating must stay stable.
+        assert cache.operations() == expected
+        if not expected:
+            break
+        cache.apply(rng.choice(expected))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_cache_with_shared_tracker(seed):
+    """A cache wired to an external tracker sees mutations applied through
+    that tracker (the free-operation heap and the cache share one)."""
+    clustering, candidates = random_state(seed)
+    tracker = ClusterVersionTracker(clustering)
+    cache = OperationCache(clustering, candidates, tracker=tracker)
+    rng = random_module.Random(seed)
+
+    for _ in range(8):
+        expected = enumerate_operations(clustering, candidates)
+        assert cache.operations() == expected
+        if not expected:
+            break
+        tracker.apply(clustering, rng.choice(expected))
+
+
+def test_cache_handles_split_then_merge():
+    clustering = Clustering()
+    c0 = clustering.add_cluster([0, 1])
+    clustering.add_cluster([2])
+    candidates = make_candidates({(0, 1): 0.8, (1, 2): 0.6})
+    cache = OperationCache(clustering, candidates)
+    assert cache.operations() == enumerate_operations(clustering, candidates)
+
+    cache.apply(Split(1, c0))
+    assert cache.operations() == enumerate_operations(clustering, candidates)
+
+    merge = next(op for op in cache.operations() if isinstance(op, Merge))
+    cache.apply(merge)
+    assert cache.operations() == enumerate_operations(clustering, candidates)
+
+
+def test_tracker_versions():
+    clustering = Clustering()
+    c0 = clustering.add_cluster([0, 1])
+    c1 = clustering.add_cluster([2])
+    tracker = ClusterVersionTracker(clustering)
+    assert tracker.version(c0) == 0 and tracker.version(c1) == 0
+
+    snap = tracker.snapshot([c0, c1])
+    assert tracker.is_current(snap)
+
+    invalidated = tracker.apply(clustering, Split(1, c0))
+    assert c0 in invalidated  # shrunk survivor
+    assert len(invalidated) == 2  # plus the created singleton
+    assert tracker.version(c0) == 1
+    assert not tracker.is_current(snap)
+    assert tracker.is_current(tracker.snapshot([c1]))

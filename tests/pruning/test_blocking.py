@@ -45,6 +45,44 @@ class TestTokenBlocking:
                 if token_jaccard(a.text, b.text) > 0:
                     assert (a.record_id, b.record_id) in blocked
 
+    def test_cap_keeps_pairs_with_surviving_shared_token(self):
+        # 'the' is capped away but 0/1 still share the rare token 'cat'.
+        records = recs("the cat", "the cat", "the dog")
+        pairs = set(token_blocking_pairs(records, max_block_size=2))
+        assert pairs == {(0, 1)}
+
+    def test_least_common_token_rule_matches_naive_dedupe(self):
+        """The least-common-token emission must yield exactly the pair set
+        (and multiplicity 1) of the naive seen-set implementation, with and
+        without a block-size cap."""
+        import itertools
+        import random
+
+        from repro.similarity.tokenize import word_tokens
+
+        rng = random.Random(17)
+        vocab = [f"t{i}" for i in range(12)]
+        for trial in range(30):
+            records = recs(*(
+                " ".join(rng.sample(vocab, rng.randint(0, 5)))
+                for _ in range(rng.randint(2, 14))
+            ))
+            for cap in (0, 1, 2, 3):
+                expected = set()
+                postings = {}
+                for record in records:
+                    for token in set(word_tokens(record.text)):
+                        postings.setdefault(token, []).append(record.record_id)
+                for posting in postings.values():
+                    if cap and len(posting) > cap:
+                        continue
+                    for a, b in itertools.combinations(sorted(posting), 2):
+                        expected.add((a, b))
+                emitted = list(token_blocking_pairs(records,
+                                                    max_block_size=cap))
+                assert len(emitted) == len(set(emitted)), "duplicate pair"
+                assert set(emitted) == expected
+
 
 class TestSortedNeighborhood:
     def test_window_pairs(self):

@@ -1,0 +1,270 @@
+"""Equivalence of the fast-path pruning engines with the reference loop.
+
+The prefix-filtered join and the parallel pair scorer are optimizations,
+not approximations: for every supported configuration they must produce a
+byte-identical :class:`CandidateSet` (same pairs, same float scores) as the
+seed's enumerate-and-score loop.  These tests pin that down on the three
+paper datasets, on randomized synthetic records, and on the τ edge cases
+(score == τ excluded; empty-token records).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.registry import generate
+from repro.datasets.schema import Record
+from repro.pruning.candidate import build_candidate_set
+from repro.pruning.parallel import score_pairs_parallel
+from repro.pruning.prefix_join import prefix_length
+from repro.similarity.composite import (
+    SimilarityFunction,
+    cosine_set_similarity_function,
+    dice_similarity_function,
+    jaccard_similarity_function,
+    overlap_similarity_function,
+    qgram_similarity_function,
+)
+from repro.similarity.jaccard import token_jaccard
+
+DATASETS = ("paper", "restaurant", "product")
+
+SET_FACTORIES = (
+    jaccard_similarity_function,
+    cosine_set_similarity_function,
+    dice_similarity_function,
+    overlap_similarity_function,
+)
+
+
+def recs(*texts):
+    return [Record(record_id=i, text=t) for i, t in enumerate(texts)]
+
+
+def reference_similarity():
+    """The seed's pruning metric: plain text Jaccard, no set metadata —
+    guaranteed to take the reference engine's blocking + score loop."""
+    return SimilarityFunction("jaccard", token_jaccard)
+
+
+def assert_identical(left, right):
+    assert left.pairs == right.pairs
+    assert left.machine_scores == right.machine_scores
+    assert left.threshold == right.threshold
+
+
+class TestPrefixJoinOnDatasets:
+    """Acceptance criterion: identical CandidateSet on all three datasets."""
+
+    @pytest.mark.parametrize("dataset_name", DATASETS)
+    def test_identical_to_seed_reference(self, dataset_name):
+        records = generate(dataset_name, scale=0.15, seed=3).records
+        reference = build_candidate_set(records, reference_similarity(),
+                                        threshold=0.3, engine="reference")
+        joined = build_candidate_set(records, jaccard_similarity_function(),
+                                     threshold=0.3, engine="prefix")
+        assert_identical(reference, joined)
+
+    @pytest.mark.parametrize("dataset_name", DATASETS)
+    def test_auto_selects_join_and_matches(self, dataset_name):
+        records = generate(dataset_name, scale=0.1, seed=5).records
+        auto = build_candidate_set(records, jaccard_similarity_function())
+        reference = build_candidate_set(records, reference_similarity(),
+                                        engine="reference")
+        assert_identical(reference, auto)
+
+
+short_texts = st.lists(
+    st.text(alphabet="abcdefg ", min_size=0, max_size=24),
+    min_size=2, max_size=16,
+)
+
+
+class TestPrefixJoinRandomized:
+    @settings(max_examples=60, deadline=None)
+    @given(texts=short_texts,
+           threshold=st.sampled_from([0.0, 0.1, 0.3, 0.5, 1 / 3, 0.9]),
+           factory_index=st.integers(min_value=0,
+                                     max_value=len(SET_FACTORIES) - 1),
+           blocking=st.booleans())
+    def test_matches_reference_on_random_records(self, texts, threshold,
+                                                 factory_index, blocking):
+        records = recs(*texts)
+        factory = SET_FACTORIES[factory_index]
+        reference = build_candidate_set(
+            records, factory(), threshold=threshold,
+            use_token_blocking=blocking, engine="reference",
+        )
+        joined = build_candidate_set(
+            records, factory(), threshold=threshold,
+            use_token_blocking=blocking, engine="prefix",
+        )
+        assert_identical(reference, joined)
+
+    @settings(max_examples=30, deadline=None)
+    @given(texts=short_texts,
+           threshold=st.sampled_from([0.0, 0.2, 0.5]))
+    def test_qgram_join_matches_all_pairs_reference(self, texts, threshold):
+        records = recs(*texts)
+        reference = build_candidate_set(
+            records, qgram_similarity_function(), threshold=threshold,
+            use_token_blocking=False, engine="reference",
+        )
+        joined = build_candidate_set(
+            records, qgram_similarity_function(), threshold=threshold,
+            use_token_blocking=False, engine="prefix",
+        )
+        assert_identical(reference, joined)
+
+
+class TestThresholdEdgeCases:
+    def test_score_equal_to_threshold_excluded(self):
+        # {a,b} vs {b,c}: jaccard exactly 1/3 — must be pruned at τ=1/3 by
+        # both engines (the paper's condition is strict: f > τ).
+        records = recs("a b", "b c")
+        for engine in ("reference", "prefix"):
+            result = build_candidate_set(
+                records, jaccard_similarity_function(),
+                threshold=1 / 3, engine=engine,
+            )
+            assert (0, 1) not in result, engine
+
+    def test_empty_records_with_blocking(self):
+        # Token blocking never pairs empty-token records; the join must not
+        # re-introduce them.
+        records = recs("", "", "a b")
+        for engine in ("reference", "prefix"):
+            result = build_candidate_set(
+                records, jaccard_similarity_function(), engine=engine,
+            )
+            assert (0, 1) not in result, engine
+
+    def test_empty_records_without_blocking(self):
+        # All-pairs scoring gives two empty records jaccard 1.0 > τ; the
+        # join must reproduce that too.
+        records = recs("", "", "a b")
+        reference = build_candidate_set(
+            records, jaccard_similarity_function(),
+            use_token_blocking=False, engine="reference",
+        )
+        joined = build_candidate_set(
+            records, jaccard_similarity_function(),
+            use_token_blocking=False, engine="prefix",
+        )
+        assert (0, 1) in reference and reference.machine_scores[(0, 1)] == 1.0
+        assert_identical(reference, joined)
+
+    def test_threshold_zero_keeps_any_overlap(self):
+        records = recs("a b c d e f g", "g z")
+        reference = build_candidate_set(records, jaccard_similarity_function(),
+                                        threshold=0.0, engine="reference")
+        joined = build_candidate_set(records, jaccard_similarity_function(),
+                                     threshold=0.0, engine="prefix")
+        assert (0, 1) in joined
+        assert_identical(reference, joined)
+
+
+class TestEngineSelection:
+    def test_prefix_engine_rejects_non_set_metric(self):
+        with pytest.raises(ValueError):
+            build_candidate_set(recs("a", "b"), reference_similarity(),
+                                engine="prefix")
+
+    def test_prefix_engine_rejects_external_pairs(self):
+        with pytest.raises(ValueError):
+            build_candidate_set(recs("a", "a"), jaccard_similarity_function(),
+                                candidate_pairs=[(0, 1)], engine="prefix")
+
+    def test_prefix_engine_rejects_qgram_under_token_blocking(self):
+        # Token blocking's word-token domain doesn't match q-gram sets; the
+        # reference path (blocking off or on) is the only faithful one.
+        with pytest.raises(ValueError):
+            build_candidate_set(recs("ab", "cd"), qgram_similarity_function(),
+                                use_token_blocking=True, engine="prefix")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            build_candidate_set(recs("a", "b"), jaccard_similarity_function(),
+                                engine="warp")
+
+    def test_auto_falls_back_for_external_pairs(self):
+        records = recs("a b", "a b", "a b")
+        result = build_candidate_set(records, jaccard_similarity_function(),
+                                     candidate_pairs=[(0, 1)])
+        assert set(result.pairs) == {(0, 1)}
+
+
+class TestPrefixLength:
+    def test_jaccard_prefix_shrinks_with_threshold(self):
+        assert prefix_length("jaccard", 0.0, 10) == 10
+        assert prefix_length("jaccard", 0.9, 10) == 2
+        assert prefix_length("overlap", 0.9, 10) == 10  # no bound
+
+    def test_at_least_one_token_probed(self):
+        assert prefix_length("jaccard", 0.99, 1) == 1
+
+
+class TestParallelScorer:
+    @pytest.mark.parametrize("dataset_name", DATASETS)
+    def test_parallel_matches_serial_on_datasets(self, dataset_name):
+        records = generate(dataset_name, scale=0.1, seed=7).records
+        serial = build_candidate_set(records, reference_similarity(),
+                                     engine="reference")
+        parallel = build_candidate_set(records, reference_similarity(),
+                                       engine="reference", parallel=2)
+        assert_identical(serial, parallel)
+
+    def test_score_pairs_parallel_matches_direct_loop(self):
+        records = recs("a b c", "a b d", "x y", "a y")
+        texts = {r.record_id: r.text for r in records}
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        expected = {
+            pair: token_jaccard(texts[pair[0]], texts[pair[1]])
+            for pair in pairs
+        }
+        expected = {p: min(1.0, max(0.0, s))
+                    for p, s in expected.items() if s > 0.3}
+        scored = score_pairs_parallel(pairs, texts, token_jaccard,
+                                      threshold=0.3, processes=2)
+        assert scored == expected
+
+    def test_serial_fallback_for_single_process(self):
+        records = recs("a b", "a b")
+        texts = {r.record_id: r.text for r in records}
+        scored = score_pairs_parallel([(0, 1)], texts, token_jaccard,
+                                      threshold=0.3, processes=1)
+        assert scored == {(0, 1): 1.0}
+
+
+class TestDuplicatePairScoring:
+    """External candidate_pairs streams may repeat pairs; every pair must be
+    scored exactly once — including sub-threshold ones (seed bug)."""
+
+    class CountingSimilarity(SimilarityFunction):
+        def __init__(self, score):
+            super().__init__("count", lambda a, b: score)
+            self.calls = 0
+
+        def __call__(self, record_a, record_b):
+            self.calls += 1
+            return super().__call__(record_a, record_b)
+
+    def test_sub_threshold_duplicate_not_rescored(self):
+        records = recs("x", "y")
+        similarity = self.CountingSimilarity(0.1)  # below τ
+        result = build_candidate_set(
+            records, similarity, threshold=0.3,
+            candidate_pairs=[(0, 1), (1, 0), (0, 1)],
+        )
+        assert similarity.calls == 1
+        assert len(result) == 0
+
+    def test_surviving_duplicate_emitted_once(self):
+        records = recs("x", "y")
+        similarity = self.CountingSimilarity(0.9)
+        result = build_candidate_set(
+            records, similarity, threshold=0.3,
+            candidate_pairs=[(1, 0), (0, 1)],
+        )
+        assert similarity.calls == 1
+        assert result.pairs == ((0, 1),)
