@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke chaos-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -17,6 +17,13 @@ bench-quick:
 bench-smoke:
 	REPRO_BENCH_SCALE=0.3 python benchmarks/bench_pruning.py
 	REPRO_BENCH_SCALE=0.2 python benchmarks/bench_endtoend.py
+
+# Fault-injection smoke: every pipeline family must terminate under the
+# default hostile crowd (abandonment, timeouts, spammers, early quorum).
+# Regenerates CHAOS_smoke.json at the repo root.
+chaos-smoke:
+	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 5 \
+		--output CHAOS_smoke.json
 
 examples:
 	for script in examples/*.py; do \

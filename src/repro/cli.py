@@ -7,6 +7,9 @@ Usage (also via ``python -m repro``)::
     repro sweep-epsilon restaurant       # Figure 5 series
     repro sweep-threshold paper          # Figure 10 series
     repro run product --method ACD       # one method, one dataset
+    repro run paper --journal run.wal    # crash-safe: journal every batch
+    repro run paper --journal run.wal --resume   # continue a killed run
+    repro chaos --dataset restaurant     # pipelines under injected faults
 
 Every command takes ``--scale`` (dataset size multiplier; 1.0 = Table 3
 sizes) and ``--seed``.
@@ -15,7 +18,10 @@ sizes) and ``--seed``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.datasets.registry import dataset_names
@@ -102,8 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("dataset", choices=dataset_names())
     run.add_argument("--method", choices=ALL_METHODS, default="ACD")
     run.add_argument("--method-seed", type=int, default=7)
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="write-ahead journal: durably record every crowd "
+                          "batch so a killed run can be resumed")
+    run.add_argument("--resume", action="store_true",
+                     help="continue a previous run from its --journal "
+                          "(replays journaled batches at no crowd cost)")
     _add_setting(run)
     _add_common(run)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection suite: every pipeline under an adversarial "
+             "crowd (abandonment, timeouts, spammers, outage-free default)",
+    )
+    chaos.add_argument("--dataset", choices=dataset_names(),
+                       default="restaurant")
+    chaos.add_argument("--scale", type=float, default=0.1,
+                       help="dataset size multiplier (keep small)")
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="number of seeds to sweep (0..N-1)")
+    chaos.add_argument("--output", default=None, metavar="PATH",
+                       help="write the JSON summary to a file "
+                            "(default: stdout)")
 
     report = commands.add_parser(
         "report", help="full markdown report for one dataset"
@@ -171,12 +198,33 @@ def _cmd_sweep_threshold(args: argparse.Namespace) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> None:
     instance = _prepare(args)
+    journaled = None
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    if args.journal:
+        from repro.crowd.persistence import JournalingAnswerFile
+        journal_path = Path(args.journal)
+        if (journal_path.exists() and journal_path.stat().st_size > 0
+                and not args.resume):
+            raise SystemExit(
+                f"journal {journal_path} already exists; pass --resume to "
+                "continue it or choose a fresh path"
+            )
+        journaled = JournalingAnswerFile(instance.answers, journal_path)
+        if args.resume:
+            print(f"resuming from {journal_path}: "
+                  f"{journaled.resumed_answers} answers on record")
+        instance = dataclasses.replace(instance, answers=journaled)
     gcer_budget = None
     if args.method == "GCER":
         acd = run_method("ACD", instance, seed=args.method_seed)
         gcer_budget = int(acd.pairs_issued)
-    result = run_method(args.method, instance, seed=args.method_seed,
-                        gcer_budget=gcer_budget)
+    try:
+        result = run_method(args.method, instance, seed=args.method_seed,
+                            gcer_budget=gcer_budget)
+    finally:
+        if journaled is not None:
+            journaled.close()
     print(format_table(
         ["metric", "value"],
         [
@@ -223,12 +271,30 @@ def _cmd_replicate(args: argparse.Namespace) -> None:
         print(text)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.experiments.chaos import run_chaos_suite
+    summary = run_chaos_suite(
+        dataset_name=args.dataset, scale=args.scale,
+        seeds=range(args.seeds),
+    )
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if not summary["all_completed"]:
+        raise SystemExit("chaos suite: not every pipeline completed")
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "compare": _cmd_compare,
     "sweep-epsilon": _cmd_sweep_epsilon,
     "sweep-threshold": _cmd_sweep_threshold,
     "run": _cmd_run,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "replicate": _cmd_replicate,
 }

@@ -11,7 +11,8 @@ into a single :class:`~repro.crowd.stats.CrowdStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
 
 from repro.core.clustering import Clustering
 from repro.core.estimator import DEFAULT_NUM_BUCKETS
@@ -30,6 +31,7 @@ from repro.core.pivot import crowd_pivot
 from repro.core.refine import crowd_refine
 from repro.crowd.cache import AnswerFile
 from repro.crowd.oracle import CrowdOracle
+from repro.crowd.persistence import JournalingAnswerFile
 from repro.crowd.stats import CrowdStats
 from repro.pruning.candidate import CandidateSet
 
@@ -70,6 +72,7 @@ def run_acd(
     pairs_per_hit: int = 20,
     ranking: str = "ratio",
     max_refinement_pairs: Optional[int] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -93,10 +96,29 @@ def run_acd(
         max_refinement_pairs: Optional hard cap on the refinement phase's
             crowdsourced pairs (parallel mode only) — the anytime/budgeted
             variant.
+        journal_path: Write-ahead journal file making the run crash-safe.
+            Every resolved crowd batch is durably appended before use; a
+            killed run re-invoked with the same journal resumes where it
+            stopped (already-journaled batches cost nothing) and returns a
+            byte-identical :class:`ACDResult`.
 
     Returns:
         The :class:`ACDResult`.
     """
+    if journal_path is not None:
+        journaled = JournalingAnswerFile(answers, journal_path)
+        try:
+            return run_acd(
+                record_ids, candidates, journaled,
+                epsilon=epsilon, threshold_divisor=threshold_divisor,
+                num_buckets=num_buckets, seed=seed, permutation=permutation,
+                refine=refine, parallel=parallel,
+                pairs_per_hit=pairs_per_hit, ranking=ranking,
+                max_refinement_pairs=max_refinement_pairs,
+            )
+        finally:
+            journaled.close()
+
     ids = list(record_ids)
     stats = CrowdStats(pairs_per_hit=pairs_per_hit,
                        num_workers=answers.num_workers)

@@ -9,11 +9,15 @@ replayable simulator:
   memoized set of answers that every method replays;
 - :class:`CrowdOracle` — the only crowd interface algorithms see, with
   per-run cost accounting (:class:`CrowdStats`);
-- HIT packing helpers matching the paper's AMT settings.
+- HIT packing helpers matching the paper's AMT settings;
+- fault tolerance: :class:`FaultModel` fault injection for the platform,
+  :class:`FallbackAnswers` machine-score degradation, and
+  :class:`AnswerJournal` / :class:`JournalingAnswerFile` crash-safe
+  write-ahead persistence with resume.
 """
 
 from repro.crowd.adaptive import AdaptiveAnswerFile
-from repro.crowd.cache import AnswerFile, ScriptedAnswers
+from repro.crowd.cache import AnswerFile, FallbackAnswers, ScriptedAnswers
 from repro.crowd.cluster_hits import (
     ClusterHitPlan,
     RecordGroup,
@@ -21,10 +25,20 @@ from repro.crowd.cluster_hits import (
     hit_cost_comparison,
     pairs_covered_by,
 )
+from repro.crowd.faults import (
+    FaultEvent,
+    FaultModel,
+    UnansweredPairError,
+)
 from repro.crowd.hits import Hit, monetary_cost_cents, num_hits, pack_hits
 from repro.crowd.latency import LatencyModel, format_duration
 from repro.crowd.oracle import CrowdOracle
-from repro.crowd.persistence import load_answers, save_answers
+from repro.crowd.persistence import (
+    AnswerJournal,
+    JournalingAnswerFile,
+    load_answers,
+    save_answers,
+)
 from repro.crowd.platform import (
     Assignment,
     BatchReceipt,
@@ -54,14 +68,19 @@ from repro.crowd.workforce import (
 __all__ = [
     "AdaptiveAnswerFile",
     "AnswerFile",
+    "AnswerJournal",
     "Assignment",
     "BatchReceipt",
     "ClusterHitPlan",
     "CrowdOracle",
     "CrowdStats",
     "DifficultyModel",
+    "FallbackAnswers",
+    "FaultEvent",
+    "FaultModel",
     "Hit",
     "InferredAnswers",
+    "JournalingAnswerFile",
     "LatencyModel",
     "PlatformAnswerFile",
     "PlatformSimulator",
@@ -69,6 +88,7 @@ __all__ = [
     "ScriptedAnswers",
     "SimulatedWorker",
     "TruthInferenceResult",
+    "UnansweredPairError",
     "WorkerEstimate",
     "WorkerPool",
     "Workforce",

@@ -14,7 +14,7 @@ comparison so they see byte-identical answers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Optional, Set, Tuple, Union
 
 from repro.datasets.schema import GoldStandard, canonical_pair
 from repro.crowd.worker import WorkerPool
@@ -120,3 +120,56 @@ class ScriptedAnswers:
     def prefetch(self, pairs: Iterable[Pair]) -> None:
         for a, b in pairs:
             self.confidence(a, b)
+
+
+class FallbackAnswers:
+    """A primary answer source with a machine-score degradation fallback.
+
+    Serves the primary's answer when it has one; when the primary raises
+    :class:`KeyError` (a :class:`ScriptedAnswers` without default, or any
+    source refusing a pair), serves ``fallback(pair)`` instead and flags
+    the pair as *degraded*.  This is the crowd-free counterpart of the
+    platform's repost-budget fallback: the pipeline always terminates,
+    and the caller can see exactly which answers were machine-sourced.
+    """
+
+    def __init__(self, primary,
+                 fallback: Union[Mapping[Pair, float],
+                                 Callable[[Pair], float]],
+                 num_workers: Optional[int] = None):
+        """Args:
+        primary: Any answer source with ``confidence(a, b)``.
+        fallback: Pair -> machine confidence, as a mapping or callable.
+        num_workers: Reported worker count (default: the primary's).
+        """
+        self._primary = primary
+        self._fallback = (fallback if callable(fallback)
+                          else fallback.__getitem__)
+        self.num_workers = (num_workers if num_workers is not None
+                            else primary.num_workers)
+        self._degraded: Set[Pair] = set()
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        try:
+            return self._primary.confidence(record_a, record_b)
+        except KeyError:
+            pair = canonical_pair(record_a, record_b)
+            value = float(self._fallback(pair))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fallback confidence for {pair} must be in [0, 1], "
+                    f"got {value}"
+                )
+            self._degraded.add(pair)
+            return value
+
+    def majority_duplicate(self, record_a: int, record_b: int) -> bool:
+        return self.confidence(record_a, record_b) > 0.5
+
+    def prefetch(self, pairs: Iterable[Pair]) -> None:
+        for a, b in pairs:
+            self.confidence(a, b)
+
+    def degraded_pairs(self) -> Set[Pair]:
+        """Pairs served from the fallback so far (a copy)."""
+        return set(self._degraded)

@@ -1,0 +1,219 @@
+"""The crowd fault model: what a real platform does to your HITs.
+
+The rest of this package simulates a crowd that always answers.  Real
+platforms do not behave that way: CrowdER-style AMT deployments report
+workers abandoning assignments mid-way, spam workers clicking through HITs,
+assignments expiring unclaimed, and the platform itself going away for
+minutes at a time.  :class:`FaultModel` packages those failure modes as one
+declarative, seed-stable object that the
+:class:`~repro.crowd.platform.PlatformSimulator` event loop consults:
+
+- **abandonment** — a per-assignment probability that the worker walks away
+  before submitting (the assignment returns to the queue);
+- **timeout** — a per-assignment deadline; a draw-to-completion slower than
+  the deadline expires and is requeued;
+- **worker personas** — ``spam_fraction`` / ``adversarial_fraction`` of the
+  :class:`~repro.crowd.workforce.Workforce` answer randomly / invert the
+  truth (quality-control literature's "spammers" and "colluders");
+- **outages** — platform-wide windows during which no assignment can start
+  or land (submissions are delayed to the window's end);
+- **retry policy** — failed assignments are requeued with exponential
+  backoff and a bounded per-HIT repost budget;
+- **graceful degradation** — optional early quorum (stop collecting votes
+  once the majority is mathematically unbeatable) and, when a pair's repost
+  budget is exhausted, a machine-score fallback flagged as *degraded*.
+
+All fault randomness is drawn from a dedicated ``stable_rng`` stream that
+is *separate* from the vote/timing stream, so a null fault model reproduces
+the fault-free simulator byte for byte, and every failure scenario replays
+deterministically from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+Pair = Tuple[int, int]
+
+#: Assignment-failure kinds recorded in :class:`FaultEvent`.
+ABANDONED = "abandoned"
+TIMEOUT = "timeout"
+
+FAULT_KINDS = (ABANDONED, TIMEOUT)
+
+
+class UnansweredPairError(KeyError):
+    """A pair exhausted its repost budget and no fallback policy is set."""
+
+    def __init__(self, pair: Pair):
+        super().__init__(pair)
+        self.pair = pair
+
+    def __str__(self) -> str:  # KeyError repr-quotes its args; be readable.
+        return (
+            f"pair {self.pair} exhausted its repost budget with no votes "
+            "collected and no fallback policy is configured"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One assignment-level failure observed by the platform.
+
+    Attributes:
+        batch_index: The batch the failed assignment belonged to.
+        hit_index: HIT index within the batch.
+        worker_id: The worker whose assignment failed.
+        kind: :data:`ABANDONED` or :data:`TIMEOUT`.
+        at: Simulation time the platform learned about the failure.
+    """
+
+    batch_index: int
+    hit_index: int
+    worker_id: int
+    kind: str
+    at: float
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Declarative, seed-stable crowd failure configuration.
+
+    Attributes:
+        abandonment_probability: Per-assignment probability the worker
+            abandons before submitting.
+        timeout_seconds: Per-assignment deadline; assignments whose drawn
+            duration exceeds it expire (``None`` disables timeouts).
+        spam_fraction: Fraction of the workforce answering at chance
+            (applied by :class:`~repro.crowd.workforce.Workforce`).
+        adversarial_fraction: Fraction of the workforce answering
+            adversarially (ditto).
+        outages: Platform-outage windows ``(start, end)`` in simulation
+            seconds; normalized to a sorted tuple.
+        max_reposts: Per-HIT repost budget; once exceeded, the HIT's
+            unfilled slots are given up and its pairs flagged degraded.
+        backoff_base_seconds: First-retry requeue delay.
+        backoff_multiplier: Exponential backoff factor per retry.
+        backoff_cap_seconds: Upper bound on any single requeue delay.
+        early_quorum: Stop collecting a HIT's assignments once every pair's
+            majority verdict is mathematically unbeatable (confidences are
+            then vote fractions over the votes actually collected).
+    """
+
+    abandonment_probability: float = 0.0
+    timeout_seconds: Optional[float] = None
+    spam_fraction: float = 0.0
+    adversarial_fraction: float = 0.0
+    outages: Tuple[Tuple[float, float], ...] = ()
+    max_reposts: int = 3
+    backoff_base_seconds: float = 60.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 3600.0
+    early_quorum: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.abandonment_probability <= 1.0:
+            raise ValueError(
+                "abandonment_probability must be in [0, 1], got "
+                f"{self.abandonment_probability}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        for name in ("spam_fraction", "adversarial_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.spam_fraction + self.adversarial_fraction > 1.0:
+            raise ValueError(
+                "spam_fraction + adversarial_fraction must be <= 1"
+            )
+        if self.max_reposts < 0:
+            raise ValueError(f"max_reposts must be >= 0, got {self.max_reposts}")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        windows = []
+        for window in self.outages:
+            start, end = window
+            if not start < end:
+                raise ValueError(f"outage window {window} must have start < end")
+            windows.append((float(start), float(end)))
+        object.__setattr__(self, "outages", tuple(sorted(windows)))
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """The null model: the platform behaves exactly as without faults."""
+        return cls()
+
+    @classmethod
+    def default(cls) -> "FaultModel":
+        """A moderately hostile crowd: the chaos-smoke configuration.
+
+        Workers abandon 5% of assignments, slow assignments time out after
+        8 simulated minutes, 8% of the workforce spams and 2% answers
+        adversarially, and early quorum is on.
+        """
+        return cls(
+            abandonment_probability=0.05,
+            timeout_seconds=480.0,
+            spam_fraction=0.08,
+            adversarial_fraction=0.02,
+            max_reposts=4,
+            backoff_base_seconds=30.0,
+            early_quorum=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries the event loop makes
+    # ------------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """True iff this model injects no faults at all."""
+        return self == FaultModel.none()
+
+    def assignment_failure(self, rng, duration: float):
+        """Decide one assignment's fate.
+
+        Args:
+            rng: The dedicated fault RNG (never the vote/timing stream).
+            duration: The assignment's drawn work duration in seconds.
+
+        Returns:
+            ``None`` for a successful assignment, else ``(kind, elapsed)``
+            where ``elapsed`` is how long after starting the failure is
+            observed by the platform.
+        """
+        if (self.abandonment_probability > 0.0
+                and rng.random() < self.abandonment_probability):
+            return ABANDONED, duration * rng.uniform(0.1, 0.9)
+        if self.timeout_seconds is not None and duration > self.timeout_seconds:
+            return TIMEOUT, self.timeout_seconds
+        return None
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Requeue delay before repost number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = (self.backoff_base_seconds
+                 * self.backoff_multiplier ** (attempt - 1))
+        return min(self.backoff_cap_seconds, delay)
+
+    def in_outage(self, at: float) -> bool:
+        """True iff the platform is down at simulation time ``at``."""
+        return any(start <= at < end for start, end in self.outages)
+
+    def delay_past_outage(self, at: float) -> float:
+        """The earliest time >= ``at`` at which the platform is up."""
+        for start, end in self.outages:  # sorted; cascade through windows
+            if start <= at < end:
+                at = end
+        return at

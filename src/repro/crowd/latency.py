@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.crowd.hits import num_hits
 from repro.crowd.seeding import stable_rng
@@ -52,18 +52,26 @@ class LatencyModel:
         if self.mean_seconds_per_hit <= 0:
             raise ValueError("mean_seconds_per_hit must be > 0")
 
-    def batch_seconds(self, num_pairs: int, batch_index: int = 0) -> float:
+    def batch_seconds(self, num_pairs: int, batch_index: int = 0,
+                      extra_assignments: int = 0) -> float:
         """Simulated completion time of one crowd iteration.
 
         Assignments (HITs x workers) are processed greedily by the
         ``concurrent_workers`` pool; the batch finishes when the last
-        assignment does.
+        assignment does.  ``extra_assignments`` adds reposted slots —
+        assignments redone after a timeout or abandonment — on top of the
+        planned HITs-times-workers load.
         """
         if num_pairs < 0:
             raise ValueError(f"num_pairs must be >= 0, got {num_pairs}")
+        if extra_assignments < 0:
+            raise ValueError(
+                f"extra_assignments must be >= 0, got {extra_assignments}"
+            )
         if num_pairs == 0:
             return 0.0
-        assignments = num_hits(num_pairs, self.pairs_per_hit) * self.num_workers
+        assignments = (num_hits(num_pairs, self.pairs_per_hit)
+                       * self.num_workers + extra_assignments)
         rng = stable_rng(self.seed, "latency", batch_index, num_pairs)
         # mu chosen so the lognormal mean equals mean_seconds_per_hit.
         mu = math.log(self.mean_seconds_per_hit) - self.sigma ** 2 / 2.0
@@ -75,11 +83,22 @@ class LatencyModel:
             workers[soonest] += duration
         return self.posting_overhead_seconds + max(workers)
 
-    def total_seconds(self, batch_sizes: Iterable[int]) -> float:
-        """Sequentially accumulated latency over a run's crowd iterations."""
+    def total_seconds(self, batch_sizes: Iterable[int],
+                      retries: Optional[Iterable[int]] = None) -> float:
+        """Sequentially accumulated latency over a run's crowd iterations.
+
+        Args:
+            batch_sizes: Fresh pairs per iteration (``CrowdStats.batch_sizes``).
+            retries: Optional reposted-assignment counts, one per batch (or
+                fewer — missing entries count as zero), folding crowd-side
+                failures into the wall-clock estimate.
+        """
+        retry_counts = list(retries) if retries is not None else []
         total = 0.0
         for index, size in enumerate(batch_sizes):
-            total += self.batch_seconds(size, batch_index=index)
+            extra = retry_counts[index] if index < len(retry_counts) else 0
+            total += self.batch_seconds(size, batch_index=index,
+                                        extra_assignments=extra)
         return total
 
 

@@ -74,8 +74,32 @@ class CrowdOracle:
             else:
                 for pair in fresh:
                     self._known[pair] = self._answers.confidence(*pair)
+            self._drain_fault_counters()
         self.stats.record_batch(len(fresh))
         return {pair: self._known[pair] for pair in requested}
+
+    def _drain_fault_counters(self) -> None:
+        """Fold the answer source's crowd-side failures into the stats.
+
+        Fault-injecting sources (a platform with a
+        :class:`~repro.crowd.faults.FaultModel`, or a journaling wrapper
+        replaying one) expose ``drain_fault_counters()``; plain sources
+        don't, and cost nothing here.
+        """
+        drain = getattr(self._answers, "drain_fault_counters", None)
+        if drain is None:
+            return
+        counters = drain()
+        if counters:
+            self.stats.record_faults(**counters)
+
+    def degraded_pairs(self) -> frozenset:
+        """Pairs the answer source served degraded (empty for fault-free
+        sources)."""
+        source = getattr(self._answers, "degraded_pairs", None)
+        if source is None:
+            return frozenset()
+        return frozenset(source())
 
     # ------------------------------------------------------------------
     # The known-answer set A

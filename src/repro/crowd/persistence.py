@@ -6,24 +6,72 @@ every method.  These helpers serialize any answer source (simulated
 hand-scripted answers) to JSON and load it back as a
 :class:`~repro.crowd.cache.ScriptedAnswers`, so an expensive crowd run —
 real or simulated — can be archived and replayed across processes.
+
+Two durability levels:
+
+- :func:`save_answers` / :func:`load_answers` — a one-shot snapshot of a
+  finished answer set.  Writes are atomic (temp file + ``os.replace``), so
+  a crash mid-write can never corrupt an existing file ``F``.
+- :class:`AnswerJournal` + :class:`JournalingAnswerFile` — a write-ahead
+  journal for runs *in flight*.  Every resolved crowd batch is appended as
+  one fsynced line; a crash can tear at most the final line, which replay
+  discards.  Re-opening the journal resumes a killed run: already-answered
+  batches are served from the journal (no crowd cost), the platform's
+  batch counter is fast-forwarded so fresh batches draw the same votes
+  they would have drawn uninterrupted, and the resumed run's result is
+  byte-identical.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Iterable, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.crowd.cache import ScriptedAnswers
+from repro.datasets.schema import canonical_pair
 
 Pair = Tuple[int, int]
 
 _FORMAT_VERSION = 1
+_JOURNAL_VERSION = 1
+
+
+def _atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content lands in a temp file in the destination directory (same
+    filesystem, so the final ``os.replace`` is atomic) and is fsynced
+    before the swap: readers see either the old file or the complete new
+    one, never a torn write.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=str(path.parent), prefix=path.name + ".",
+        suffix=".tmp", delete=False, encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def save_answers(answers, pairs: Iterable[Pair],
                  path: Union[str, Path]) -> int:
     """Materialize and save the answers for ``pairs`` to a JSON file.
+
+    The write is atomic: a crash mid-save leaves any existing file at
+    ``path`` untouched.
 
     Args:
         answers: Any answer source with ``confidence(a, b)`` and
@@ -48,7 +96,7 @@ def save_answers(answers, pairs: Iterable[Pair],
         "num_workers": answers.num_workers,
         "answers": records,
     }
-    Path(path).write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
     return len(records)
 
 
@@ -56,17 +104,396 @@ def load_answers(path: Union[str, Path]) -> ScriptedAnswers:
     """Load a saved answer file as replayable :class:`ScriptedAnswers`.
 
     Raises:
-        ValueError: On an unknown format version or malformed payload.
+        ValueError: On an unknown format version, a malformed payload, a
+            confidence outside [0, 1], or duplicate pairs in the payload.
     """
     payload = json.loads(Path(path).read_text())
     if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
         raise ValueError(f"{path}: not a version-{_FORMAT_VERSION} answer file")
     try:
         num_workers = int(payload["num_workers"])
-        confidences = {
-            (int(a), int(b)): float(confidence)
-            for a, b, confidence in payload["answers"]
-        }
+        entries = [(int(a), int(b), float(confidence))
+                   for a, b, confidence in payload["answers"]]
     except (KeyError, TypeError, ValueError) as error:
         raise ValueError(f"{path}: malformed answer file ({error})") from None
+    confidences: Dict[Pair, float] = {}
+    for a, b, confidence in entries:
+        if a == b:
+            raise ValueError(f"{path}: self-pair ({a}, {b}) in answer file")
+        if not 0.0 <= confidence <= 1.0:
+            raise ValueError(
+                f"{path}: confidence for pair ({a}, {b}) outside [0, 1]: "
+                f"{confidence}"
+            )
+        key = (a, b) if a < b else (b, a)
+        if key in confidences:
+            raise ValueError(f"{path}: duplicate answers for pair {key}")
+        confidences[key] = confidence
     return ScriptedAnswers(confidences, num_workers=num_workers)
+
+
+class AnswerJournal:
+    """An append-only write-ahead journal of resolved crowd batches.
+
+    Line 1 is a JSON header; every further line records one *complete*
+    batch — its answers, which pairs came back degraded, and the fault
+    counters the batch produced — written in a single ``write`` +
+    ``fsync``.  A crash can therefore tear at most the final line; replay
+    truncates a torn tail and raises on corruption anywhere else.
+
+    The journal is the recovery log for :class:`JournalingAnswerFile` and
+    ``run_acd(..., journal_path=...)`` / ``repro run --journal``.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 num_workers: Optional[int] = None):
+        """Open (or create) the journal at ``path``.
+
+        Args:
+            path: Journal file; created when absent, replayed when present.
+            num_workers: Worker count recorded in the header of a *new*
+                journal (an existing journal keeps its own).
+        """
+        self.path = Path(path)
+        self.num_workers = num_workers
+        self._answers: Dict[Pair, float] = {}
+        self._degraded: Set[Pair] = set()
+        self._batch_faults: List[Dict[str, int]] = []
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._replay()
+        else:
+            header = {"journal": _JOURNAL_VERSION, "num_workers": num_workers}
+            self.path.write_text(json.dumps(header) + "\n", encoding="utf-8")
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        raw = self.path.read_bytes()
+        records = []
+        consumed = 0
+        torn = False
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            record = None
+            if stripped:
+                try:
+                    record = json.loads(stripped.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    record = None
+            if (record is None and stripped) or not line.endswith(b"\n"):
+                torn = True
+                break
+            if record is not None:
+                records.append(record)
+            consumed += len(line)
+        if torn:
+            rest = raw[consumed:]
+            # Our writer emits one newline-terminated JSON object per
+            # write, so only the file's final line can legitimately be
+            # torn; garbage with further lines after it means the file was
+            # edited or damaged, not crashed.
+            if b"\n" in rest.rstrip(b"\r\n") or not rest:
+                raise ValueError(f"{self.path}: corrupt journal (mid-file)")
+            with open(self.path, "r+b") as handle:
+                handle.truncate(consumed)
+        if not records or not isinstance(records[0], dict) \
+                or records[0].get("journal") != _JOURNAL_VERSION:
+            raise ValueError(
+                f"{self.path}: not a version-{_JOURNAL_VERSION} answer journal"
+            )
+        header = records[0]
+        recorded_workers = header.get("num_workers")
+        if recorded_workers is not None:
+            recorded_workers = int(recorded_workers)
+            if (self.num_workers is not None
+                    and self.num_workers != recorded_workers):
+                raise ValueError(
+                    f"{self.path}: journal was recorded with "
+                    f"{recorded_workers} workers, not {self.num_workers}"
+                )
+            self.num_workers = recorded_workers
+        for record in records[1:]:
+            self._ingest(record)
+
+    def _ingest(self, record) -> None:
+        try:
+            raw_answers = record["answers"]
+            answers = {(int(a), int(b)): float(confidence)
+                       for a, b, confidence in raw_answers}
+            degraded = {(int(a), int(b))
+                        for a, b in record.get("degraded", [])}
+            faults = {str(key): int(value)
+                      for key, value in record.get("faults", {}).items()}
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"{self.path}: malformed journal record ({error})"
+            ) from None
+        for pair, confidence in answers.items():
+            if pair[0] >= pair[1]:
+                raise ValueError(
+                    f"{self.path}: non-canonical pair {pair} in journal"
+                )
+            if not 0.0 <= confidence <= 1.0:
+                raise ValueError(
+                    f"{self.path}: confidence for {pair} outside [0, 1]"
+                )
+            if pair in self._answers:
+                raise ValueError(
+                    f"{self.path}: pair {pair} journaled twice"
+                )
+        self._answers.update(answers)
+        self._degraded.update(degraded)
+        self._batch_faults.append(faults)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append_batch(self, answers: Mapping[Pair, float],
+                     degraded: Iterable[Pair] = (),
+                     faults: Optional[Mapping[str, int]] = None) -> None:
+        """Durably record one resolved batch (single write + fsync)."""
+        canonical = {canonical_pair(*pair): float(confidence)
+                     for pair, confidence in answers.items()}
+        for pair, confidence in canonical.items():
+            if not 0.0 <= confidence <= 1.0:
+                raise ValueError(
+                    f"confidence for {pair} must be in [0, 1], "
+                    f"got {confidence}"
+                )
+            if pair in self._answers:
+                raise ValueError(f"pair {pair} already journaled")
+        degraded_set = {canonical_pair(*pair) for pair in degraded}
+        fault_counts = {key: int(value)
+                        for key, value in (faults or {}).items() if value}
+        record: Dict[str, object] = {
+            "answers": sorted([a, b, confidence]
+                              for (a, b), confidence in canonical.items()),
+        }
+        if degraded_set:
+            record["degraded"] = sorted([a, b] for a, b in degraded_set)
+        if fault_counts:
+            record["faults"] = fault_counts
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._answers.update(canonical)
+        self._degraded.update(degraded_set)
+        self._batch_faults.append(fault_counts)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return canonical_pair(*pair) in self._answers
+
+    @property
+    def num_batches(self) -> int:
+        """Complete batches on record."""
+        return len(self._batch_faults)
+
+    def get(self, pair: Pair) -> Optional[float]:
+        return self._answers.get(canonical_pair(*pair))
+
+    def answers(self) -> Dict[Pair, float]:
+        """Every journaled answer (a copy)."""
+        return dict(self._answers)
+
+    def degraded_pairs(self) -> Set[Pair]:
+        """Every journaled degraded pair (a copy)."""
+        return set(self._degraded)
+
+    def batch_faults(self, index: int) -> Dict[str, int]:
+        """The fault counters recorded with batch ``index`` (a copy)."""
+        return dict(self._batch_faults[index])
+
+    # ------------------------------------------------------------------
+    # Checkpointing / lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: Union[str, Path]) -> int:
+        """Compact the journal into a version-1 answer file, atomically.
+
+        The checkpoint is a plain :func:`load_answers`-compatible snapshot
+        — the long-term archive format — written with the same temp-file +
+        ``os.replace`` discipline as :func:`save_answers`.
+
+        Returns:
+            The number of pairs written.
+        """
+        if self.num_workers is None:
+            raise ValueError(
+                "cannot checkpoint a journal with unknown num_workers"
+            )
+        records = sorted([a, b, confidence]
+                         for (a, b), confidence in self._answers.items())
+        payload = {
+            "version": _FORMAT_VERSION,
+            "num_workers": self.num_workers,
+            "answers": records,
+        }
+        _atomic_write_text(path, json.dumps(payload))
+        return len(records)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "AnswerJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JournalingAnswerFile:
+    """A write-ahead journaling wrapper around any answer source.
+
+    Every batch resolved through the wrapped source is durably appended to
+    an :class:`AnswerJournal` *before* the caller sees it; pairs already
+    in the journal are served from it without touching the source.  On a
+    platform-backed source the batch counter is fast-forwarded past the
+    journaled batches (see
+    :meth:`~repro.crowd.platform.PlatformSimulator.skip_batches`), so a
+    killed run re-opened on the same journal continues exactly where it
+    stopped and produces a byte-identical result — including the fault
+    counters, which are replayed from the journal for recovered batches.
+    """
+
+    def __init__(self, source,
+                 journal: Union[AnswerJournal, str, Path]):
+        """Args:
+        source: Any answer source (``confidence`` and optionally
+            ``confidence_batch`` / ``drain_fault_counters`` /
+            ``degraded_pairs`` / ``skip_batches``).
+        journal: An open :class:`AnswerJournal` or a path to open.
+
+        Raises:
+            ValueError: If the journal was recorded under a different
+                worker count than the source reports.
+        """
+        if not isinstance(journal, AnswerJournal):
+            journal = AnswerJournal(journal, num_workers=source.num_workers)
+        if journal.num_workers is None:
+            journal.num_workers = source.num_workers
+        elif journal.num_workers != source.num_workers:
+            raise ValueError(
+                f"journal {journal.path} was recorded with "
+                f"{journal.num_workers} workers, but the answer source "
+                f"reports {source.num_workers}"
+            )
+        self._source = source
+        self.journal = journal
+        #: Answers already on record when this wrapper opened the journal —
+        #: the resume inheritance.
+        self.resumed_answers = len(journal)
+        self._resumed_batches = journal.num_batches
+        self._replay_cursor = 0
+        self._pending_faults: Dict[str, int] = {}
+        skip = getattr(source, "skip_batches", None)
+        if skip is not None and self._resumed_batches:
+            skip(self._resumed_batches)
+
+    @property
+    def num_workers(self) -> int:
+        return self._source.num_workers
+
+    def __len__(self) -> int:
+        return len(self.journal)
+
+    # ------------------------------------------------------------------
+    # Answer-source interface
+    # ------------------------------------------------------------------
+
+    def confidence_batch(self, pairs: Sequence[Pair]) -> Dict[Pair, float]:
+        requested = [canonical_pair(*pair) for pair in pairs]
+        missing = sorted({pair for pair in requested
+                          if pair not in self.journal})
+        if missing:
+            resolver = getattr(self._source, "confidence_batch", None)
+            if resolver is not None:
+                resolved = resolver(missing)
+            else:
+                resolved = {pair: self._source.confidence(*pair)
+                            for pair in missing}
+            degraded: Set[Pair] = set()
+            degraded_source = getattr(self._source, "degraded_pairs", None)
+            if degraded_source is not None:
+                degraded = set(degraded_source()) & set(missing)
+            faults: Dict[str, int] = {}
+            drain = getattr(self._source, "drain_fault_counters", None)
+            if drain is not None:
+                faults = drain()
+            self.journal.append_batch(
+                {pair: resolved[pair] for pair in missing},
+                degraded=degraded, faults=faults,
+            )
+            self._merge_faults(faults)
+            # Anything the journal already held counts as replayed.
+            self._replay_cursor = self.journal.num_batches
+        elif requested and self._replay_cursor < self._resumed_batches:
+            # A batch served entirely from the pre-existing journal: this
+            # is the resumed run replaying what the killed run already
+            # collected.  Re-surface the fault counters that batch
+            # recorded so the resumed stats match the uninterrupted run.
+            self._merge_faults(self.journal.batch_faults(self._replay_cursor))
+            self._replay_cursor += 1
+        return {pair: self.journal.get(pair) for pair in requested}
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        return self.confidence_batch([(record_a, record_b)])[
+            canonical_pair(record_a, record_b)
+        ]
+
+    def majority_duplicate(self, record_a: int, record_b: int) -> bool:
+        return self.confidence(record_a, record_b) > 0.5
+
+    def prefetch(self, pairs: Iterable[Pair]) -> None:
+        self.confidence_batch(list(pairs))
+
+    # ------------------------------------------------------------------
+    # Fault-surface passthrough
+    # ------------------------------------------------------------------
+
+    def _merge_faults(self, faults: Mapping[str, int]) -> None:
+        for key, value in faults.items():
+            if value:
+                self._pending_faults[key] = (
+                    self._pending_faults.get(key, 0) + value
+                )
+
+    def drain_fault_counters(self) -> Dict[str, int]:
+        counters = self._pending_faults
+        self._pending_faults = {}
+        return counters
+
+    def degraded_pairs(self) -> Set[Pair]:
+        degraded = self.journal.degraded_pairs()
+        source = getattr(self._source, "degraded_pairs", None)
+        if source is not None:
+            degraded |= set(source())
+        return degraded
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: Union[str, Path]) -> int:
+        """Atomically compact the journal to an answer-file snapshot."""
+        return self.journal.checkpoint(path)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "JournalingAnswerFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

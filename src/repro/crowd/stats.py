@@ -25,6 +25,13 @@ class CrowdStats:
         pairs_per_hit: HIT packing factor (paper: 20 pairs in the 3-worker
             setting, 10 in the 5-worker setting).
         reward_cents_per_hit: Payment per HIT per worker (paper: 2 cents).
+        retries: Assignment slots reposted after a failure.
+        timeouts: Assignments that expired past their deadline.
+        abandonments: Assignments abandoned by their worker.
+        degraded_pairs: Pairs answered degraded (partial votes or machine
+            fallback after the repost budget ran out).
+        quorum_stops: HITs closed early because every majority was
+            mathematically unbeatable.
     """
 
     pairs_per_hit: int = 20
@@ -34,6 +41,11 @@ class CrowdStats:
     iterations: int = 0
     hits: int = 0
     votes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    abandonments: int = 0
+    degraded_pairs: int = 0
+    quorum_stops: int = 0
     batch_sizes: List[int] = field(default_factory=list)
 
     def record_batch(self, new_pairs: int) -> None:
@@ -52,6 +64,28 @@ class CrowdStats:
         self.votes += new_pairs * self.num_workers
         self.batch_sizes.append(new_pairs)
 
+    def record_faults(self, retries: int = 0, timeouts: int = 0,
+                      abandonments: int = 0, degraded_pairs: int = 0,
+                      quorum_stops: int = 0) -> None:
+        """Account for crowd-side failures observed during a batch.
+
+        The counts come from a fault-injecting answer source's
+        ``drain_fault_counters()`` (e.g.
+        :class:`~repro.crowd.platform.PlatformAnswerFile`); a fault-free
+        source never reports any.
+        """
+        for name, count in (("retries", retries), ("timeouts", timeouts),
+                            ("abandonments", abandonments),
+                            ("degraded_pairs", degraded_pairs),
+                            ("quorum_stops", quorum_stops)):
+            if count < 0:
+                raise ValueError(f"{name} must be >= 0, got {count}")
+        self.retries += retries
+        self.timeouts += timeouts
+        self.abandonments += abandonments
+        self.degraded_pairs += degraded_pairs
+        self.quorum_stops += quorum_stops
+
     @property
     def monetary_cost_cents(self) -> float:
         """Total reward paid: HITs x workers x reward per HIT."""
@@ -65,6 +99,11 @@ class CrowdStats:
             "hits": self.hits,
             "votes": self.votes,
             "cost_cents": self.monetary_cost_cents,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "abandonments": self.abandonments,
+            "degraded_pairs": self.degraded_pairs,
+            "quorum_stops": self.quorum_stops,
         }
 
     def merge(self, other: "CrowdStats") -> None:
@@ -74,4 +113,9 @@ class CrowdStats:
         self.iterations += other.iterations
         self.hits += other.hits
         self.votes += other.votes
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.abandonments += other.abandonments
+        self.degraded_pairs += other.degraded_pairs
+        self.quorum_stops += other.quorum_stops
         self.batch_sizes.extend(other.batch_sizes)

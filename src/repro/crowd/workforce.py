@@ -22,7 +22,7 @@ other answer source in this package.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.crowd.seeding import stable_rng
@@ -30,6 +30,15 @@ from repro.crowd.worker import DifficultyModel
 from repro.datasets.schema import GoldStandard, canonical_pair
 
 Pair = Tuple[int, int]
+
+#: Worker personas: honest workers follow their reliability; spammers
+#: answer at chance regardless of the pair; adversarial workers invert the
+#: truth as hard as the simulator's error cap allows.
+HONEST = "honest"
+SPAMMER = "spammer"
+ADVERSARIAL = "adversarial"
+
+PERSONAS = (HONEST, SPAMMER, ADVERSARIAL)
 
 
 @dataclass(frozen=True)
@@ -43,12 +52,14 @@ class SimulatedWorker:
         approved_hits: AMT track record: lifetime approved HITs.
         approval_rate: AMT track record: fraction of submitted work
             approved.
+        persona: :data:`HONEST`, :data:`SPAMMER`, or :data:`ADVERSARIAL`.
     """
 
     worker_id: int
     reliability: float
     approved_hits: int
     approval_rate: float
+    persona: str = HONEST
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.reliability <= 1.0:
@@ -59,6 +70,10 @@ class SimulatedWorker:
             raise ValueError(
                 f"approval_rate must be in [0, 1], got {self.approval_rate}"
             )
+        if self.persona not in PERSONAS:
+            raise ValueError(
+                f"persona must be one of {PERSONAS}, got {self.persona!r}"
+            )
 
     def error_probability(self, pair_difficulty: float) -> float:
         """The worker's error probability on a pair.
@@ -66,7 +81,13 @@ class SimulatedWorker:
         The pair's intrinsic difficulty dominates: a genuinely confusing
         pair (difficulty near 0.5) is confusing even for a reliable worker;
         on easy pairs the worker's own unreliability is what remains.
+        Spammers answer at chance; adversarial workers are wrong as often
+        as the simulator's 0.95 error cap allows.
         """
+        if self.persona == SPAMMER:
+            return 0.5
+        if self.persona == ADVERSARIAL:
+            return 0.95
         own_error = 1.0 - self.reliability
         return min(0.95, max(pair_difficulty, own_error))
 
@@ -80,6 +101,8 @@ class Workforce:
         reliability_alpha: float = 14.0,
         reliability_beta: float = 2.0,
         seed: int = 0,
+        spam_fraction: float = 0.0,
+        adversarial_fraction: float = 0.0,
     ):
         """Args:
         size: Number of workers in the population.
@@ -88,10 +111,26 @@ class Workforce:
             the AMT regime reported in quality-control studies [29, 45]).
         reliability_beta: Beta of the distribution.
         seed: Population seed.
+        spam_fraction: Fraction of workers answering at chance.
+        adversarial_fraction: Fraction answering adversarially.
+
+        Personas are assigned from a *separate* seed stream, so a
+        population with ``spam_fraction=0`` is identical — same ids, same
+        reliabilities — to one built without the argument.
         """
         if size < 1:
             raise ValueError(f"size must be >= 1, got {size}")
+        for name, value in (("spam_fraction", spam_fraction),
+                            ("adversarial_fraction", adversarial_fraction)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if spam_fraction + adversarial_fraction > 1.0:
+            raise ValueError(
+                "spam_fraction + adversarial_fraction must be <= 1"
+            )
         self.seed = seed
+        self.spam_fraction = spam_fraction
+        self.adversarial_fraction = adversarial_fraction
         rng = stable_rng(seed, "workforce")
         self._workers: List[SimulatedWorker] = []
         for worker_id in range(size):
@@ -105,6 +144,19 @@ class Workforce:
                 approved_hits=approved,
                 approval_rate=approval,
             ))
+        num_spam = int(round(size * spam_fraction))
+        num_adversarial = int(round(size * adversarial_fraction))
+        num_spam = min(num_spam, size)
+        num_adversarial = min(num_adversarial, size - num_spam)
+        if num_spam or num_adversarial:
+            persona_rng = stable_rng(seed, "personas", num_spam,
+                                     num_adversarial)
+            flagged = persona_rng.sample(range(size),
+                                         num_spam + num_adversarial)
+            for position, index in enumerate(flagged):
+                persona = SPAMMER if position < num_spam else ADVERSARIAL
+                self._workers[index] = replace(self._workers[index],
+                                               persona=persona)
 
     def __len__(self) -> int:
         return len(self._workers)
@@ -143,11 +195,20 @@ class Workforce:
             raise ValueError("no worker passes the qualification filters")
         filtered = Workforce.__new__(Workforce)
         filtered.seed = self.seed
+        filtered.spam_fraction = self.spam_fraction
+        filtered.adversarial_fraction = self.adversarial_fraction
         filtered._workers = kept
         return filtered
 
     def mean_reliability(self) -> float:
         return sum(w.reliability for w in self._workers) / len(self._workers)
+
+    def persona_counts(self) -> Dict[str, int]:
+        """How many workers hold each persona (zero-filled)."""
+        counts = {persona: 0 for persona in PERSONAS}
+        for worker in self._workers:
+            counts[worker.persona] += 1
+        return counts
 
 
 class WorkforceAnswerFile:

@@ -1,0 +1,156 @@
+"""Chaos suite: the full pipeline stack under an adversarial crowd.
+
+Runs the three pipeline families — ACD (PC-Pivot + PC-Refine), the
+sequential Crowd-Pivot, and the CrowdER+ baseline — against a
+fault-injecting :class:`~repro.crowd.platform.PlatformSimulator`
+(abandonment, timeouts, spammers, adversarial workers, outages, bounded
+reposts) and verifies that every one of them terminates, with degradation
+accounted rather than crashed on.  The output is machine-readable, for
+the ``chaos-smoke`` CI job and for regression tracking in
+``CHAOS_smoke.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.baselines import crowder_plus
+from repro.core.acd import run_acd
+from repro.crowd.faults import FaultModel
+from repro.crowd.oracle import CrowdOracle
+from repro.crowd.platform import PlatformAnswerFile, PlatformSimulator
+from repro.crowd.stats import CrowdStats
+from repro.crowd.workforce import Workforce
+from repro.datasets.registry import generate
+from repro.eval.metrics import pairwise_scores
+from repro.experiments.configs import PRUNING_THRESHOLD, difficulty_model
+from repro.pruning.candidate import build_candidate_set
+from repro.similarity.composite import jaccard_similarity_function
+
+#: The pipelines the suite must drive to completion under faults.
+CHAOS_PIPELINES = ("ACD", "Crowd-Pivot", "CrowdER+")
+
+
+def _platform_answers(dataset_name: str, dataset, candidates, seed: int,
+                      fault_model: FaultModel,
+                      workforce_size: int = 80,
+                      concurrent_workers: int = 12) -> PlatformAnswerFile:
+    workforce = Workforce(
+        size=workforce_size, seed=seed,
+        spam_fraction=fault_model.spam_fraction,
+        adversarial_fraction=fault_model.adversarial_fraction,
+    )
+    platform = PlatformSimulator(
+        workforce=workforce,
+        gold=dataset.gold,
+        difficulty=difficulty_model(dataset_name),
+        concurrent_workers=concurrent_workers,
+        seed=seed,
+        fault_model=fault_model,
+    )
+    # Degradation fallback: the pruning phase's machine similarity score.
+    return PlatformAnswerFile(
+        platform, fallback=lambda pair: candidates.score(*pair)
+    )
+
+
+def run_chaos_pipeline(pipeline: str, dataset_name: str, dataset,
+                       candidates, seed: int,
+                       fault_model: FaultModel) -> Dict[str, object]:
+    """Run one pipeline on a fresh fault-injecting platform; measure it.
+
+    Returns a record with the pipeline's F1, crowd cost snapshot (including
+    the fault counters), the degraded-pair count, and the platform's
+    simulated wall clock and spend.
+    """
+    answers = _platform_answers(dataset_name, dataset, candidates, seed,
+                                fault_model)
+    ids = dataset.record_ids
+    if pipeline == "ACD":
+        result = run_acd(ids, candidates, answers, seed=seed, parallel=True)
+        clustering, stats = result.clustering, result.stats
+        oracle_degraded = answers.degraded_pairs()
+    elif pipeline == "Crowd-Pivot":
+        result = run_acd(ids, candidates, answers, seed=seed, parallel=False,
+                         refine=False)
+        clustering, stats = result.clustering, result.stats
+        oracle_degraded = answers.degraded_pairs()
+    elif pipeline == "CrowdER+":
+        stats = CrowdStats(num_workers=answers.num_workers)
+        oracle = CrowdOracle(answers, stats=stats)
+        clustering = crowder_plus(ids, candidates, oracle)
+        oracle_degraded = oracle.degraded_pairs()
+    else:
+        raise ValueError(f"unknown chaos pipeline {pipeline!r}")
+    scores = pairwise_scores(clustering, dataset.gold)
+    platform = answers.platform
+    return {
+        "pipeline": pipeline,
+        "seed": seed,
+        "f1": round(scores.f1, 4),
+        "stats": stats.snapshot(),
+        "degraded_pairs": len(oracle_degraded),
+        "platform_clock_seconds": round(platform.clock_seconds, 1),
+        "platform_cost_cents": round(platform.total_cost_cents(), 2),
+        "fault_events": len(platform.fault_events()),
+    }
+
+
+def run_chaos_suite(
+    dataset_name: str = "restaurant",
+    scale: float = 0.1,
+    seeds: Iterable[int] = (0, 1, 2),
+    fault_model: Optional[FaultModel] = None,
+    pipelines: Sequence[str] = CHAOS_PIPELINES,
+) -> Dict[str, object]:
+    """Drive every pipeline through the fault-injecting platform.
+
+    Args:
+        dataset_name: Registered dataset ('paper', 'restaurant', 'product').
+        scale: Dataset size multiplier (keep small — every pipeline posts
+            real simulated batches).
+        seeds: One full pipeline sweep per seed.
+        fault_model: Injected fault profile (default:
+            :meth:`FaultModel.default`, the hostile-but-survivable AMT).
+        pipelines: Which pipelines to drive.
+
+    Returns:
+        A machine-readable summary: the fault knobs used, one record per
+        (seed, pipeline), and aggregate fault totals.  Every pipeline that
+        reached its F1 terminated — that is the property under test.
+    """
+    fault = fault_model if fault_model is not None else FaultModel.default()
+    runs = []
+    for seed in seeds:
+        dataset = generate(dataset_name, scale=scale, seed=seed)
+        candidates = build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=PRUNING_THRESHOLD,
+        )
+        for pipeline in pipelines:
+            runs.append(run_chaos_pipeline(
+                pipeline, dataset_name, dataset, candidates, seed, fault,
+            ))
+    totals = {
+        key: sum(run["stats"].get(key, 0) for run in runs)
+        for key in ("retries", "timeouts", "abandonments",
+                    "degraded_pairs", "quorum_stops")
+    }
+    return {
+        "suite": "chaos",
+        "dataset": dataset_name,
+        "scale": scale,
+        "seeds": list(seeds),
+        "fault_model": {
+            "abandonment_probability": fault.abandonment_probability,
+            "timeout_seconds": fault.timeout_seconds,
+            "spam_fraction": fault.spam_fraction,
+            "adversarial_fraction": fault.adversarial_fraction,
+            "outages": [list(window) for window in fault.outages],
+            "max_reposts": fault.max_reposts,
+            "early_quorum": fault.early_quorum,
+        },
+        "runs": runs,
+        "fault_totals": totals,
+        "all_completed": len(runs) == len(list(seeds)) * len(list(pipelines)),
+    }

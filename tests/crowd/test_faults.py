@@ -1,0 +1,433 @@
+"""Fault injection, degradation, and crash-safe persistence.
+
+Covers the robustness surface end to end: the declarative
+:class:`FaultModel`, worker personas, the platform's retry/requeue event
+loop under injected failures, early-quorum degradation, the
+machine-score fallback, the write-ahead :class:`AnswerJournal`, and the
+resume path through :class:`JournalingAnswerFile`.
+"""
+
+import json
+
+import pytest
+
+from repro.crowd.cache import FallbackAnswers, ScriptedAnswers
+from repro.crowd.faults import (
+    ABANDONED,
+    TIMEOUT,
+    FaultModel,
+    UnansweredPairError,
+)
+from repro.crowd.oracle import CrowdOracle
+from repro.crowd.persistence import (
+    AnswerJournal,
+    JournalingAnswerFile,
+    load_answers,
+)
+from repro.crowd.platform import PlatformAnswerFile, PlatformSimulator
+from repro.crowd.stats import CrowdStats
+from repro.crowd.worker import DifficultyModel
+from repro.crowd.workforce import (
+    ADVERSARIAL,
+    HONEST,
+    SPAMMER,
+    SimulatedWorker,
+    Workforce,
+)
+from repro.datasets.schema import GoldStandard
+
+
+def _gold(num_records=12, per_entity=2):
+    return GoldStandard({
+        record: record // per_entity for record in range(num_records)
+    })
+
+
+def _pairs(num_records=12, per_entity=2):
+    gold = _gold(num_records, per_entity)
+    return sorted(
+        (a, b)
+        for a in range(num_records) for b in range(a + 1, num_records)
+        if gold.is_duplicate(a, b) or (a + b) % 3 == 0
+    )
+
+
+def _platform(seed=0, fault_model=None, workforce=None, **kwargs):
+    workforce = workforce if workforce is not None else Workforce(
+        size=30, seed=seed
+    )
+    defaults = dict(pairs_per_hit=4, assignments_per_hit=3,
+                    concurrent_workers=8, seed=seed)
+    defaults.update(kwargs)
+    return PlatformSimulator(
+        workforce=workforce,
+        gold=_gold(),
+        difficulty=DifficultyModel(easy_error=0.1),
+        fault_model=fault_model,
+        **defaults,
+    )
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(abandonment_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(timeout_seconds=0)
+        with pytest.raises(ValueError):
+            FaultModel(spam_fraction=0.6, adversarial_fraction=0.6)
+        with pytest.raises(ValueError):
+            FaultModel(max_reposts=-1)
+        with pytest.raises(ValueError):
+            FaultModel(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            FaultModel(outages=((10.0, 5.0),))
+
+    def test_null_detection(self):
+        assert FaultModel.none().is_null
+        assert not FaultModel.default().is_null
+        assert not FaultModel(abandonment_probability=0.01).is_null
+
+    def test_backoff_is_exponential_and_capped(self):
+        fault = FaultModel(backoff_base_seconds=10.0, backoff_multiplier=3.0,
+                           backoff_cap_seconds=100.0)
+        assert fault.backoff_seconds(1) == 10.0
+        assert fault.backoff_seconds(2) == 30.0
+        assert fault.backoff_seconds(3) == 90.0
+        assert fault.backoff_seconds(4) == 100.0  # capped
+        with pytest.raises(ValueError):
+            fault.backoff_seconds(0)
+
+    def test_outages_sorted_and_cascaded(self):
+        fault = FaultModel(outages=((50.0, 60.0), (10.0, 20.0)))
+        assert fault.outages == ((10.0, 20.0), (50.0, 60.0))
+        assert fault.in_outage(15.0)
+        assert not fault.in_outage(20.0)  # half-open window
+        assert fault.delay_past_outage(15.0) == 20.0
+        assert fault.delay_past_outage(5.0) == 5.0
+        # Windows that chain: landing in one can land you in the next.
+        chained = FaultModel(outages=((0.0, 10.0), (10.0, 30.0)))
+        assert chained.delay_past_outage(5.0) == 30.0
+
+
+class TestPersonas:
+    def test_persona_fractions_materialize(self):
+        workforce = Workforce(size=50, seed=1, spam_fraction=0.2,
+                              adversarial_fraction=0.1)
+        counts = workforce.persona_counts()
+        assert counts[SPAMMER] == 10
+        assert counts[ADVERSARIAL] == 5
+        assert counts[HONEST] == 35
+
+    def test_personas_do_not_disturb_honest_population(self):
+        plain = Workforce(size=40, seed=7)
+        flagged = Workforce(size=40, seed=7, spam_fraction=0.25)
+        for before, after in zip(plain, flagged):
+            assert before.worker_id == after.worker_id
+            assert before.reliability == after.reliability
+
+    def test_zero_fractions_are_identical_population(self):
+        assert (Workforce(size=40, seed=7).workers()
+                == Workforce(size=40, seed=7, spam_fraction=0.0).workers())
+
+    def test_persona_error_probabilities(self):
+        spammer = SimulatedWorker(0, 0.99, 100, 1.0, persona=SPAMMER)
+        adversary = SimulatedWorker(1, 0.99, 100, 1.0, persona=ADVERSARIAL)
+        honest = SimulatedWorker(2, 0.9, 100, 1.0)
+        assert spammer.error_probability(0.05) == 0.5
+        assert adversary.error_probability(0.05) == 0.95
+        assert honest.error_probability(0.05) == pytest.approx(0.1)
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, 0.9, 10, 1.0, persona="robot")
+
+    def test_qualified_view_keeps_fractions(self):
+        workforce = Workforce(size=50, seed=1, spam_fraction=0.2)
+        view = workforce.qualified(min_approval_rate=0.6)
+        assert view.spam_fraction == 0.2
+
+
+class TestPlatformFaultInjection:
+    def test_fault_free_replay_is_deterministic(self):
+        fault = FaultModel(abandonment_probability=0.3, max_reposts=5)
+        receipts = []
+        for _ in range(2):
+            platform = _platform(seed=5, fault_model=fault)
+            receipts.append(platform.post_batch(_pairs()))
+        first, second = receipts
+        assert first.confidences == second.confidences
+        assert first.fault_events == second.fault_events
+        assert first.reposts == second.reposts
+
+    def test_abandonment_produces_fault_events_and_retries(self):
+        fault = FaultModel(abandonment_probability=0.5, max_reposts=10,
+                           backoff_base_seconds=1.0)
+        platform = _platform(seed=2, fault_model=fault)
+        receipt = platform.post_batch(_pairs())
+        assert receipt.reposts > 0
+        assert any(event.kind == ABANDONED for event in receipt.fault_events)
+        # Every pair still got a full verdict: the retries recovered it.
+        assert set(receipt.confidences) == set(receipt.pairs)
+
+    def test_timeouts_fire_on_slow_assignments(self):
+        fault = FaultModel(timeout_seconds=30.0, max_reposts=50,
+                           backoff_base_seconds=1.0)
+        platform = _platform(seed=3, fault_model=fault,
+                             mean_seconds_per_hit=40.0)
+        receipt = platform.post_batch(_pairs())
+        assert any(event.kind == TIMEOUT for event in receipt.fault_events)
+        for event in receipt.fault_events:
+            if event.kind == TIMEOUT:
+                break
+        assert event.at > receipt.posted_at
+
+    def test_outage_delays_the_batch(self):
+        quiet = _platform(seed=4, fault_model=None)
+        baseline = quiet.post_batch(_pairs()).completed_at
+        fault = FaultModel(outages=((0.0, 500.0),))
+        platform = _platform(seed=4, fault_model=fault)
+        receipt = platform.post_batch(_pairs())
+        # Nothing can start before the outage lifts.
+        assert all(a.started_at >= 500.0 for a in receipt.assignments)
+        assert receipt.completed_at >= baseline + 500.0
+
+    def test_budget_exhaustion_degrades_pairs(self):
+        fault = FaultModel(abandonment_probability=1.0, max_reposts=1,
+                           backoff_base_seconds=1.0)
+        platform = _platform(seed=6, fault_model=fault)
+        receipt = platform.post_batch(_pairs())
+        assert set(receipt.unanswered_pairs) == set(receipt.pairs)
+        assert set(receipt.degraded_pairs) == set(receipt.pairs)
+        assert receipt.confidences == {}
+
+    def test_early_quorum_never_flips_a_verdict(self):
+        pairs = _pairs()
+        full = _platform(seed=8, fault_model=None)
+        full_receipt = full.post_batch(pairs)
+        fault = FaultModel(early_quorum=True,
+                           abandonment_probability=1e-12)
+        quorum = _platform(seed=8, fault_model=fault)
+        quorum_receipt = quorum.post_batch(pairs)
+        assert quorum_receipt.quorum_stops > 0
+        for pair in pairs:
+            assert ((full_receipt.confidences[pair] > 0.5)
+                    == (quorum_receipt.confidences[pair] > 0.5)), pair
+
+    def test_timeline_interleaves_faults(self):
+        fault = FaultModel(abandonment_probability=0.5, max_reposts=10,
+                           backoff_base_seconds=1.0)
+        platform = _platform(seed=2, fault_model=fault)
+        receipt = platform.post_batch(_pairs())
+        timeline = receipt.timeline()
+        times = [time for time, _ in timeline]
+        assert times == sorted(times)
+        assert any("requeued" in line for _, line in timeline)
+
+
+class TestDegradationFallback:
+    def _exhausted_platform(self, fallback=None):
+        fault = FaultModel(abandonment_probability=1.0, max_reposts=0,
+                           backoff_base_seconds=1.0)
+        return PlatformAnswerFile(_platform(seed=9, fault_model=fault),
+                                  fallback=fallback)
+
+    def test_unanswered_without_fallback_raises(self):
+        answers = self._exhausted_platform()
+        with pytest.raises(UnansweredPairError) as excinfo:
+            answers.confidence(0, 1)
+        assert excinfo.value.pair == (0, 1)
+
+    def test_fallback_serves_machine_score_flagged_degraded(self):
+        answers = self._exhausted_platform(fallback={(0, 1): 0.7})
+        assert answers.confidence(0, 1) == 0.7
+        assert (0, 1) in answers.degraded_pairs()
+        counters = answers.drain_fault_counters()
+        assert counters["degraded_pairs"] >= 1
+
+    def test_fallback_outside_unit_interval_rejected(self):
+        answers = self._exhausted_platform(fallback=lambda pair: 1.7)
+        with pytest.raises(ValueError):
+            answers.confidence(0, 1)
+
+    def test_fallback_answers_wrapper(self):
+        primary = ScriptedAnswers({(0, 1): 0.9})
+        answers = FallbackAnswers(primary, {(2, 3): 0.2})
+        assert answers.confidence(0, 1) == 0.9
+        assert answers.confidence(2, 3) == 0.2
+        assert answers.degraded_pairs() == {(2, 3)}
+
+    def test_oracle_folds_fault_counters_into_stats(self):
+        fault = FaultModel(abandonment_probability=0.5, max_reposts=10,
+                           backoff_base_seconds=1.0)
+        answers = PlatformAnswerFile(_platform(seed=2, fault_model=fault))
+        stats = CrowdStats(num_workers=answers.num_workers)
+        oracle = CrowdOracle(answers, stats=stats)
+        oracle.ask_batch(_pairs())
+        assert stats.retries > 0
+        assert stats.abandonments > 0
+        snapshot = stats.snapshot()
+        assert snapshot["retries"] == stats.retries
+        assert snapshot["abandonments"] == stats.abandonments
+
+
+class TestAnswerJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.wal"
+        journal = AnswerJournal(path, num_workers=3)
+        journal.append_batch({(0, 1): 0.8, (2, 3): 0.2},
+                             degraded=[(2, 3)],
+                             faults={"retries": 2, "timeouts": 0})
+        journal.append_batch({(4, 5): 1.0})
+        journal.close()
+        replayed = AnswerJournal(path)
+        assert replayed.num_workers == 3
+        assert replayed.num_batches == 2
+        assert replayed.answers() == {(0, 1): 0.8, (2, 3): 0.2, (4, 5): 1.0}
+        assert replayed.degraded_pairs() == {(2, 3)}
+        assert replayed.batch_faults(0) == {"retries": 2}  # zeros dropped
+        assert replayed.batch_faults(1) == {}
+        replayed.close()
+
+    def test_duplicate_pair_rejected_on_append(self, tmp_path):
+        journal = AnswerJournal(tmp_path / "run.wal", num_workers=3)
+        journal.append_batch({(0, 1): 0.8})
+        with pytest.raises(ValueError):
+            journal.append_batch({(1, 0): 0.9})
+        journal.close()
+
+    def test_bad_confidence_rejected(self, tmp_path):
+        journal = AnswerJournal(tmp_path / "run.wal", num_workers=3)
+        with pytest.raises(ValueError):
+            journal.append_batch({(0, 1): 1.8})
+        journal.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "run.wal"
+        journal = AnswerJournal(path, num_workers=3)
+        journal.append_batch({(0, 1): 0.8})
+        journal.append_batch({(2, 3): 0.4})
+        journal.close()
+        # Simulate a crash mid-write: chop the final record in half.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - 9])
+        recovered = AnswerJournal(path)
+        assert recovered.num_batches == 1
+        assert recovered.answers() == {(0, 1): 0.8}
+        # The torn bytes are gone from disk; appends continue cleanly.
+        recovered.append_batch({(2, 3): 0.4})
+        recovered.close()
+        final = AnswerJournal(path)
+        assert final.answers() == {(0, 1): 0.8, (2, 3): 0.4}
+        final.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "run.wal"
+        journal = AnswerJournal(path, num_workers=3)
+        journal.append_batch({(0, 1): 0.8})
+        journal.append_batch({(2, 3): 0.4})
+        journal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"answers": [[0, 1,\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(ValueError):
+            AnswerJournal(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "notajournal.wal"
+        path.write_text(json.dumps({"version": 1, "answers": []}) + "\n")
+        with pytest.raises(ValueError):
+            AnswerJournal(path)
+
+    def test_worker_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.wal"
+        AnswerJournal(path, num_workers=3).close()
+        with pytest.raises(ValueError):
+            AnswerJournal(path, num_workers=5)
+
+    def test_checkpoint_is_a_loadable_answer_file(self, tmp_path):
+        journal = AnswerJournal(tmp_path / "run.wal", num_workers=3)
+        journal.append_batch({(0, 1): 0.8, (2, 3): 0.2})
+        snapshot = tmp_path / "checkpoint.json"
+        assert journal.checkpoint(snapshot) == 2
+        journal.close()
+        answers = load_answers(snapshot)
+        assert answers.confidence(0, 1) == 0.8
+        assert answers.num_workers == 3
+
+
+class _ExplodingSource:
+    """An answer source that must never be consulted."""
+
+    num_workers = 3
+
+    def confidence(self, a, b):
+        raise AssertionError("source consulted for a journaled pair")
+
+    def confidence_batch(self, pairs):
+        raise AssertionError("source consulted for journaled pairs")
+
+
+class TestJournalingAnswerFile:
+    def test_journaled_pairs_never_touch_the_source(self, tmp_path):
+        path = tmp_path / "run.wal"
+        journal = AnswerJournal(path, num_workers=3)
+        journal.append_batch({(0, 1): 0.8, (2, 3): 0.2})
+        journal.close()
+        answers = JournalingAnswerFile(_ExplodingSource(), path)
+        assert answers.resumed_answers == 2
+        assert answers.confidence(0, 1) == 0.8
+        assert answers.confidence_batch([(2, 3)]) == {(2, 3): 0.2}
+        answers.close()
+
+    def test_fresh_batches_are_journaled_durably(self, tmp_path):
+        path = tmp_path / "run.wal"
+        source = ScriptedAnswers({(0, 1): 0.9, (2, 3): 0.1}, num_workers=3)
+        answers = JournalingAnswerFile(source, path)
+        answers.confidence_batch([(0, 1), (2, 3)])
+        answers.close()
+        replayed = AnswerJournal(path)
+        assert replayed.answers() == {(0, 1): 0.9, (2, 3): 0.1}
+        replayed.close()
+
+    def test_platform_batch_counter_fast_forwards(self, tmp_path):
+        fault = FaultModel(abandonment_probability=0.4, max_reposts=8,
+                           backoff_base_seconds=1.0)
+        pairs = _pairs()
+        first, second = pairs[:len(pairs) // 2], pairs[len(pairs) // 2:]
+
+        reference = PlatformAnswerFile(_platform(seed=12, fault_model=fault))
+        expected = {}
+        expected.update(reference.confidence_batch(first))
+        expected.update(reference.confidence_batch(second))
+
+        path = tmp_path / "run.wal"
+        killed = JournalingAnswerFile(
+            PlatformAnswerFile(_platform(seed=12, fault_model=fault)), path)
+        killed.confidence_batch(first)
+        killed.close()  # the crash
+
+        resumed = JournalingAnswerFile(
+            PlatformAnswerFile(_platform(seed=12, fault_model=fault)), path)
+        got = dict(resumed.confidence_batch(first))
+        got.update(resumed.confidence_batch(second))
+        resumed.close()
+        assert got == expected
+
+    def test_replayed_batches_resurface_fault_counters(self, tmp_path):
+        path = tmp_path / "run.wal"
+        journal = AnswerJournal(path, num_workers=3)
+        journal.append_batch({(0, 1): 0.8}, faults={"retries": 3})
+        journal.close()
+        answers = JournalingAnswerFile(_ExplodingSource(), path)
+        answers.confidence_batch([(0, 1)])
+        assert answers.drain_fault_counters() == {"retries": 3}
+        # Drained once; a second drain is empty.
+        assert answers.drain_fault_counters() == {}
+        answers.close()
+
+    def test_worker_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.wal"
+        AnswerJournal(path, num_workers=5).close()
+        with pytest.raises(ValueError):
+            JournalingAnswerFile(_ExplodingSource(), path)

@@ -110,9 +110,243 @@ class TestPersistenceBoundary:
         with pytest.raises(OSError):
             load_answers(tmp_path / "nope.json")
 
+    def test_confidence_outside_unit_interval_rejected(self, tmp_path):
+        import json
+        from repro.crowd.persistence import load_answers
+        path = tmp_path / "bad_conf.json"
+        path.write_text(json.dumps({
+            "version": 1, "num_workers": 3, "answers": [[0, 1, 1.4]],
+        }))
+        with pytest.raises(ValueError, match=r"outside \[0, 1\]"):
+            load_answers(path)
+
+    def test_duplicate_pairs_rejected(self, tmp_path):
+        import json
+        from repro.crowd.persistence import load_answers
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps({
+            "version": 1, "num_workers": 3,
+            "answers": [[0, 1, 0.8], [1, 0, 0.2]],
+        }))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_answers(path)
+
+    def test_self_pair_rejected(self, tmp_path):
+        import json
+        from repro.crowd.persistence import load_answers
+        path = tmp_path / "self.json"
+        path.write_text(json.dumps({
+            "version": 1, "num_workers": 3, "answers": [[2, 2, 0.8]],
+        }))
+        with pytest.raises(ValueError, match="self-pair"):
+            load_answers(path)
+
+    def test_failed_save_leaves_existing_file_untouched(self, tmp_path):
+        from repro.crowd.persistence import load_answers, save_answers
+
+        class Explodes:
+            num_workers = 3
+
+            def confidence(self, a, b):
+                if (a, b) == (2, 3):
+                    raise RuntimeError("crowd went away")
+                return 0.8
+
+        path = tmp_path / "answers.json"
+        save_answers(Explodes(), [(0, 1)], path)
+        before = path.read_text()
+        with pytest.raises(RuntimeError):
+            save_answers(Explodes(), [(0, 1), (2, 3)], path)
+        # Atomic write: the crash mid-save never touched the real file,
+        # and no temp litter replaces it.
+        assert path.read_text() == before
+        assert load_answers(path).confidence(0, 1) == 0.8
+
     def test_dataset_csv_with_blank_text_loads(self, tmp_path):
         from repro.datasets.io import load_dataset
         path = tmp_path / "blank.csv"
         path.write_text("record_id,entity_id,text\n0,0,\n1,0,x\n")
         dataset = load_dataset(path)
         assert dataset.record(0).text == ""
+
+
+def _fault_platform(seed, fault_model, **kwargs):
+    from repro.crowd.platform import PlatformSimulator
+    from repro.crowd.worker import DifficultyModel
+    from repro.crowd.workforce import Workforce
+    defaults = dict(pairs_per_hit=4, assignments_per_hit=3,
+                    concurrent_workers=8, seed=seed)
+    defaults.update(kwargs)
+    return PlatformSimulator(
+        workforce=Workforce(size=30, seed=seed),
+        gold=GoldStandard({record: record // 2 for record in range(12)}),
+        difficulty=DifficultyModel(easy_error=0.1),
+        fault_model=fault_model,
+        **defaults,
+    )
+
+
+_FAULT_PAIRS = [(a, b) for a in range(12) for b in range(a + 1, 12)
+                if a // 2 == b // 2 or (a + b) % 3 == 0]
+
+
+class TestFaultScenarios:
+    """Deterministic fault-injection scenarios (ISSUE: robustness)."""
+
+    def test_abandonment_scenario_is_reproducible(self):
+        from repro.crowd.faults import ABANDONED, FaultModel
+        fault = FaultModel(abandonment_probability=0.5, max_reposts=10,
+                           backoff_base_seconds=1.0)
+        runs = [_fault_platform(2, fault).post_batch(_FAULT_PAIRS)
+                for _ in range(2)]
+        assert runs[0].fault_events == runs[1].fault_events
+        assert any(e.kind == ABANDONED for e in runs[0].fault_events)
+        assert runs[0].confidences == runs[1].confidences
+
+    def test_timeout_scenario_is_reproducible(self):
+        from repro.crowd.faults import TIMEOUT, FaultModel
+        fault = FaultModel(timeout_seconds=30.0, max_reposts=50,
+                           backoff_base_seconds=1.0)
+        runs = [
+            _fault_platform(3, fault, mean_seconds_per_hit=40.0)
+            .post_batch(_FAULT_PAIRS)
+            for _ in range(2)
+        ]
+        assert any(e.kind == TIMEOUT for e in runs[0].fault_events)
+        assert runs[0].fault_events == runs[1].fault_events
+
+    def test_outage_scenario_stalls_all_work(self):
+        from repro.crowd.faults import FaultModel
+        fault = FaultModel(outages=((0.0, 300.0),))
+        receipt = _fault_platform(4, fault).post_batch(_FAULT_PAIRS)
+        assert all(a.started_at >= 300.0 for a in receipt.assignments)
+
+    def test_zero_fault_model_reproduces_platform_byte_for_byte(self):
+        """Property: a null FaultModel is indistinguishable from no model."""
+        from repro.crowd.faults import FaultModel
+        for seed in range(3):
+            for batch in (_FAULT_PAIRS[:7], _FAULT_PAIRS):
+                plain = _fault_platform(seed, None).post_batch(batch)
+                null = _fault_platform(
+                    seed, FaultModel.none()).post_batch(batch)
+                assert plain.confidences == null.confidences
+                assert plain.completed_at == null.completed_at
+                assert plain.cost_cents == null.cost_cents
+                assert plain.assignments == null.assignments
+
+
+class TestCrashResume:
+    def test_killed_run_resumes_to_identical_result(self, tmp_path):
+        """Kill run_acd mid-flight; --resume must reproduce the
+        uninterrupted ACDResult exactly."""
+        from repro.core.acd import run_acd
+        from repro.crowd.faults import FaultModel
+        from repro.crowd.platform import PlatformAnswerFile
+        from repro.datasets.registry import generate
+        from repro.experiments.configs import (
+            PRUNING_THRESHOLD,
+            difficulty_model,
+        )
+        from repro.crowd.platform import PlatformSimulator
+        from repro.crowd.workforce import Workforce
+        from repro.pruning.candidate import build_candidate_set
+        from repro.similarity.composite import jaccard_similarity_function
+
+        dataset = generate("restaurant", scale=0.1, seed=3)
+        candidates = build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=PRUNING_THRESHOLD,
+        )
+        fault = FaultModel.default()
+
+        def make_answers():
+            workforce = Workforce(
+                size=60, seed=3, spam_fraction=fault.spam_fraction,
+                adversarial_fraction=fault.adversarial_fraction,
+            )
+            platform = PlatformSimulator(
+                workforce, dataset.gold, difficulty_model("restaurant"),
+                concurrent_workers=10, seed=3, fault_model=fault,
+            )
+            return PlatformAnswerFile(
+                platform, fallback=lambda pair: candidates.score(*pair)
+            )
+
+        reference = run_acd(dataset.record_ids, candidates, make_answers(),
+                            seed=11)
+
+        class Killed(Exception):
+            pass
+
+        class KillSwitch:
+            """Crash the process (well, the run) after N crowd batches."""
+
+            def __init__(self, inner, batches_before_crash):
+                self._inner = inner
+                self._left = batches_before_crash
+
+            @property
+            def num_workers(self):
+                return self._inner.num_workers
+
+            def confidence_batch(self, pairs):
+                if self._left == 0:
+                    raise Killed()
+                self._left -= 1
+                return self._inner.confidence_batch(pairs)
+
+            def drain_fault_counters(self):
+                return self._inner.drain_fault_counters()
+
+            def degraded_pairs(self):
+                return self._inner.degraded_pairs()
+
+            def skip_batches(self, count):
+                self._inner.skip_batches(count)
+
+        journal = tmp_path / "acd.wal"
+        with pytest.raises(Killed):
+            run_acd(dataset.record_ids, candidates,
+                    KillSwitch(make_answers(), 2), seed=11,
+                    journal_path=journal)
+        assert journal.exists()
+
+        resumed = run_acd(dataset.record_ids, candidates, make_answers(),
+                          seed=11, journal_path=journal)
+        assert (resumed.clustering.as_sets()
+                == reference.clustering.as_sets())
+        assert resumed.stats.snapshot() == reference.stats.snapshot()
+        assert resumed.generation_stats == reference.generation_stats
+        assert resumed.refinement_stats == reference.refinement_stats
+
+    def test_journal_without_resume_changes_nothing(self, tmp_path):
+        """A journaled run produces the same ACDResult as an unjournaled
+        one — the WAL is pure insurance."""
+        from repro.core.acd import run_acd
+        from repro.crowd.cache import AnswerFile
+        from repro.crowd.worker import WorkerPool
+        from repro.datasets.registry import generate
+        from repro.experiments.configs import (
+            PRUNING_THRESHOLD,
+            difficulty_model,
+        )
+        from repro.pruning.candidate import build_candidate_set
+        from repro.similarity.composite import jaccard_similarity_function
+
+        dataset = generate("restaurant", scale=0.1, seed=3)
+        candidates = build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=PRUNING_THRESHOLD,
+        )
+
+        def make_answers():
+            return AnswerFile(dataset.gold, WorkerPool(
+                difficulty=difficulty_model("restaurant"), num_workers=3,
+            ))
+
+        plain = run_acd(dataset.record_ids, candidates, make_answers(),
+                        seed=11)
+        journaled = run_acd(dataset.record_ids, candidates, make_answers(),
+                            seed=11, journal_path=tmp_path / "run.wal")
+        assert journaled.clustering.as_sets() == plain.clustering.as_sets()
+        assert journaled.stats.snapshot() == plain.stats.snapshot()
