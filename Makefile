@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke chaos-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke chaos-smoke trace-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -24,6 +24,14 @@ bench-smoke:
 chaos-smoke:
 	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 5 \
 		--output CHAOS_smoke.json
+
+# Observability smoke: one traced run end to end, then the manifest must
+# validate and the trace must summarize.  Regenerates TRACE_smoke.jsonl
+# and TRACE_smoke.manifest.json at the repo root.
+trace-smoke:
+	python -m repro run restaurant --scale 0.1 --trace TRACE_smoke.jsonl
+	python -m repro trace validate TRACE_smoke.manifest.json
+	python -m repro trace summarize TRACE_smoke.jsonl
 
 examples:
 	for script in examples/*.py; do \

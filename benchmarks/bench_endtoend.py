@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -28,6 +29,7 @@ from repro.experiments.runner import (  # noqa: E402
     prepare_instance,
     run_method,
 )
+from repro.obs import ObsContext  # noqa: E402
 from repro.perf.timing import (  # noqa: E402
     StageTimings,
     bench_payload,
@@ -46,6 +48,8 @@ OUTPUT = REPO_ROOT / "BENCH_endtoend.json"
 
 def main() -> int:
     runs = {}
+    plain_total = 0.0
+    traced_total = 0.0
     for dataset_name in DATASETS:
         timings = StageTimings()
         with timings.stage("pruning"):
@@ -55,6 +59,17 @@ def main() -> int:
             )
         with timings.stage("acd"):
             result = run_method(ACD_METHOD, instance, seed=SEED)
+        # Same run again under full observability (spans + metrics + JSONL
+        # stream to disk) — the delta is the tracing overhead.
+        with tempfile.TemporaryDirectory() as tmpdir:
+            with timings.stage("acd_traced"):
+                with ObsContext.to_path(Path(tmpdir) / "bench.trace.jsonl") as obs:
+                    traced = run_method(ACD_METHOD, instance, seed=SEED,
+                                        obs=obs)
+        assert traced.pairs_issued == result.pairs_issued, \
+            "tracing must not perturb the run"
+        plain_total += timings.seconds("acd")
+        traced_total += timings.seconds("acd_traced")
         runs[dataset_name] = run_entry(
             timings,
             records=len(instance.record_ids),
@@ -64,17 +79,24 @@ def main() -> int:
         )
         print(
             f"{dataset_name}: pruning {timings.seconds('pruning'):.3f}s, "
-            f"acd {timings.seconds('acd'):.3f}s, F1 {result.f1:.3f}"
+            f"acd {timings.seconds('acd'):.3f}s, "
+            f"traced {timings.seconds('acd_traced'):.3f}s, "
+            f"F1 {result.f1:.3f}"
         )
 
+    overhead_pct = ((traced_total - plain_total) / plain_total * 100.0
+                    if plain_total > 0 else 0.0)
     payload = bench_payload(
         "endtoend",
         config={"scale": SCALE, "seed": SEED, "engine": ENGINE,
                 "parallel": PARALLEL, "setting": SETTING,
                 "datasets": list(DATASETS)},
         runs=runs,
+        derived={"trace_overhead_pct": round(overhead_pct, 2)},
     )
     write_bench_json(OUTPUT, payload)
+    print(f"trace overhead: {overhead_pct:+.2f}% "
+          f"(plain {plain_total:.3f}s, traced {traced_total:.3f}s)")
     print(f"wrote {OUTPUT}")
     return 0
 

@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     repro run product --method ACD       # one method, one dataset
     repro run paper --journal run.wal    # crash-safe: journal every batch
     repro run paper --journal run.wal --resume   # continue a killed run
+    repro run paper --trace run.trace.jsonl      # traced: spans + manifest
+    repro trace summarize run.trace.jsonl        # inspect a finished trace
+    repro trace validate run.trace.manifest.json # schema-check a manifest
     repro chaos --dataset restaurant     # pipelines under injected faults
 
 Every command takes ``--scale`` (dataset size multiplier; 1.0 = Table 3
@@ -55,10 +58,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "(<= 1 is serial)")
 
 
-def _prepare(args: argparse.Namespace) -> Instance:
+def _prepare(args: argparse.Namespace, obs=None) -> Instance:
     return prepare_instance(
         args.dataset, args.setting, scale=args.scale, seed=args.seed,
-        engine=args.engine, parallel=args.parallel,
+        engine=args.engine, parallel=args.parallel, obs=obs,
     )
 
 
@@ -114,8 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="continue a previous run from its --journal "
                           "(replays journaled batches at no crowd cost)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="stream a JSONL trace of every span and event to "
+                          "PATH and write a run manifest next to it")
+    run.add_argument("--manifest", default=None, metavar="PATH",
+                     help="override the manifest path (default: derived "
+                          "from --trace)")
+    run.add_argument("--output", default=None, metavar="PATH",
+                     help="also write the result metrics as JSON to PATH")
     _add_setting(run)
     _add_common(run)
+
+    trace = commands.add_parser(
+        "trace", help="inspect observability artifacts from --trace runs"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize", help="span/event/crowd-round totals of a JSONL trace"
+    )
+    summarize.add_argument("path", metavar="TRACE")
+    validate = trace_commands.add_parser(
+        "validate", help="check a run manifest against the schema"
+    )
+    validate.add_argument("path", metavar="MANIFEST")
 
     chaos = commands.add_parser(
         "chaos",
@@ -196,11 +220,113 @@ def _cmd_sweep_threshold(args: argparse.Namespace) -> None:
     ))
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
-    instance = _prepare(args)
-    journaled = None
+def _check_run_paths(args: argparse.Namespace) -> Optional[Path]:
+    """Fail fast on invalid --journal/--trace/--manifest/--output combos.
+
+    Returns the resolved manifest path (``None`` when not tracing).  Every
+    artifact must land in a distinct file — a journal silently overwritten
+    by the trace stream (or vice versa) is unrecoverable.
+    """
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal PATH")
+    if args.manifest and not args.trace:
+        raise SystemExit("--manifest requires --trace PATH")
+    manifest_path: Optional[Path] = None
+    if args.trace:
+        from repro.obs import default_manifest_path
+        manifest_path = (Path(args.manifest) if args.manifest
+                         else default_manifest_path(args.trace))
+    claimed = {}
+    for flag, value in (
+        ("--journal", args.journal),
+        ("--trace", args.trace),
+        ("--manifest", manifest_path),
+        ("--output", args.output),
+    ):
+        if value is None:
+            continue
+        resolved = Path(value).resolve()
+        if resolved in claimed:
+            raise SystemExit(
+                f"{claimed[resolved]} and {flag} point at the same file "
+                f"({value}); every artifact needs its own path"
+            )
+        claimed[resolved] = flag
+    return manifest_path
+
+
+def _result_rollup(result) -> dict:
+    return {
+        "method": result.method,
+        "f1": result.f1,
+        "precision": result.precision,
+        "recall": result.recall,
+        "pairs_issued": result.pairs_issued,
+        "iterations": result.iterations,
+        "hits": result.hits,
+        "num_clusters": result.num_clusters,
+    }
+
+
+def _finalize_cli_manifest(obs, run_config: dict, seeds: dict,
+                           result) -> None:
+    """Write (or amend) the run manifest with the measured result.
+
+    ACD / PC-Pivot runs already wrote a manifest from inside ``run_acd``;
+    this reloads it and adds the F1 rollup.  Baseline methods never enter
+    ``run_acd``, so their manifest is assembled here from the same
+    observability state.
+    """
+    from repro.obs import build_manifest, load_manifest, write_manifest
+    obs.flush()
+    rollup = _result_rollup(result)
+    if obs.manifest_path.exists():
+        manifest = load_manifest(obs.manifest_path)
+        manifest["result"] = rollup
+        manifest["metrics"] = obs.metrics.as_dict()
+        manifest["spans"] = obs.tracer.span_summaries()
+    else:
+        manifest = build_manifest(
+            command="run",
+            config=run_config,
+            seeds=seeds,
+            stats={"pairs_issued": result.pairs_issued,
+                   "iterations": result.iterations,
+                   "hits": result.hits},
+            metrics=obs.metrics.as_dict(),
+            spans=obs.tracer.span_summaries(),
+            dataset=obs.manifest_extra.get("dataset"),
+            result=rollup,
+            trace_path=obs.trace_path,
+        )
+    write_manifest(obs.manifest_path, manifest)
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    manifest_path = _check_run_paths(args)
+    run_config = {
+        "dataset": args.dataset,
+        "setting": args.setting,
+        "scale": args.scale,
+        "seed": args.seed,
+        "method": args.method,
+        "method_seed": args.method_seed,
+    }
+    seeds = {"dataset_seed": args.seed, "method_seed": args.method_seed}
+
+    obs = None
+    if args.trace:
+        from repro.obs import ObsContext, dataset_fingerprint
+        obs = ObsContext.to_path(args.trace, manifest_path=manifest_path)
+
+    instance = _prepare(args, obs=obs)
+    if obs is not None:
+        obs.manifest_extra.update(
+            command="run", config=run_config, seeds=seeds,
+            dataset=dataset_fingerprint(instance.dataset),
+        )
+
+    journaled = None
     if args.journal:
         from repro.crowd.persistence import JournalingAnswerFile
         journal_path = Path(args.journal)
@@ -210,21 +336,37 @@ def _cmd_run(args: argparse.Namespace) -> None:
                 f"journal {journal_path} already exists; pass --resume to "
                 "continue it or choose a fresh path"
             )
-        journaled = JournalingAnswerFile(instance.answers, journal_path)
+        try:
+            journaled = JournalingAnswerFile(instance.answers, journal_path,
+                                             config=run_config)
+        except ValueError as error:
+            raise SystemExit(str(error))
         if args.resume:
             print(f"resuming from {journal_path}: "
                   f"{journaled.resumed_answers} answers on record")
         instance = dataclasses.replace(instance, answers=journaled)
     gcer_budget = None
     if args.method == "GCER":
+        # Budget probe: untraced on purpose, so the trace and manifest
+        # describe only the GCER run itself.
         acd = run_method("ACD", instance, seed=args.method_seed)
         gcer_budget = int(acd.pairs_issued)
     try:
         result = run_method(args.method, instance, seed=args.method_seed,
-                            gcer_budget=gcer_budget)
+                            gcer_budget=gcer_budget, obs=obs)
     finally:
         if journaled is not None:
             journaled.close()
+    if obs is not None:
+        _finalize_cli_manifest(obs, run_config, seeds, result)
+        obs.close()
+        print(f"trace: {obs.trace_path}\nmanifest: {obs.manifest_path}")
+    if args.output:
+        payload = {"config": run_config, "result": _result_rollup(result)}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
     print(format_table(
         ["metric", "value"],
         [
@@ -238,6 +380,27 @@ def _cmd_run(args: argparse.Namespace) -> None:
             ["clusters", f"{result.num_clusters:.0f}"],
         ],
     ))
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    if args.trace_command == "summarize":
+        from repro.obs import format_trace_summary, summarize_trace
+        try:
+            summary = summarize_trace(args.path)
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error))
+        print(format_trace_summary(summary))
+    else:  # validate
+        from repro.obs import load_manifest
+        try:
+            manifest = load_manifest(args.path)
+        except OSError as error:
+            raise SystemExit(str(error))
+        except ValueError as error:
+            raise SystemExit(str(error))
+        print(f"{args.path}: valid manifest "
+              f"(schema v{manifest['schema_version']}, "
+              f"command {manifest['command']!r})")
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
@@ -294,6 +457,7 @@ _COMMANDS = {
     "sweep-epsilon": _cmd_sweep_epsilon,
     "sweep-threshold": _cmd_sweep_threshold,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "report": _cmd_report,
     "replicate": _cmd_replicate,

@@ -33,6 +33,7 @@ from repro.crowd.cache import AnswerFile
 from repro.crowd.oracle import CrowdOracle
 from repro.crowd.persistence import JournalingAnswerFile
 from repro.crowd.stats import CrowdStats
+from repro.obs import ObsContext, maybe_span
 from repro.pruning.candidate import CandidateSet
 
 
@@ -73,6 +74,7 @@ def run_acd(
     ranking: str = "ratio",
     max_refinement_pairs: Optional[int] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    obs: Optional[ObsContext] = None,
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -101,6 +103,13 @@ def run_acd(
             killed run re-invoked with the same journal resumes where it
             stopped (already-journaled batches cost nothing) and returns a
             byte-identical :class:`ACDResult`.
+        obs: Optional :class:`~repro.obs.ObsContext`.  When attached, the
+            run opens an ``acd`` span with ``generation`` / ``refinement``
+            children, every crowd iteration and per-round decision is
+            traced, and — if ``obs.manifest_path`` is set — a run manifest
+            is written atomically on completion.  ``None`` (the default)
+            changes nothing: the result is byte-identical to an
+            unobserved run.
 
     Returns:
         The :class:`ACDResult`.
@@ -115,6 +124,7 @@ def run_acd(
                 refine=refine, parallel=parallel,
                 pairs_per_hit=pairs_per_hit, ranking=ranking,
                 max_refinement_pairs=max_refinement_pairs,
+                obs=obs,
             )
         finally:
             journaled.close()
@@ -122,45 +132,53 @@ def run_acd(
     ids = list(record_ids)
     stats = CrowdStats(pairs_per_hit=pairs_per_hit,
                        num_workers=answers.num_workers)
-    oracle = CrowdOracle(answers, stats=stats)
+    oracle = CrowdOracle(answers, stats=stats, obs=obs)
 
-    pivot_diagnostics: Optional[PCPivotDiagnostics] = None
-    if parallel:
-        pivot_diagnostics = PCPivotDiagnostics()
-        clustering = pc_pivot(
-            ids, candidates, oracle, epsilon=epsilon,
-            permutation=permutation, seed=seed,
-            diagnostics=pivot_diagnostics,
-        )
-    else:
-        clustering = crowd_pivot(
-            ids, candidates, oracle, permutation=permutation, seed=seed
-        )
-    generation_stats = stats.snapshot()
+    with maybe_span(obs, "acd", records=len(ids),
+                    candidate_pairs=len(candidates), parallel=parallel):
+        pivot_diagnostics: Optional[PCPivotDiagnostics] = None
+        with maybe_span(obs, "generation"):
+            if parallel:
+                pivot_diagnostics = PCPivotDiagnostics()
+                clustering = pc_pivot(
+                    ids, candidates, oracle, epsilon=epsilon,
+                    permutation=permutation, seed=seed,
+                    diagnostics=pivot_diagnostics,
+                    obs=obs,
+                )
+            else:
+                clustering = crowd_pivot(
+                    ids, candidates, oracle, permutation=permutation,
+                    seed=seed, obs=obs,
+                )
+        generation_stats = stats.snapshot()
 
-    refine_diagnostics: Optional[PCRefineDiagnostics] = None
-    if refine:
-        if parallel:
-            refine_diagnostics = PCRefineDiagnostics()
-            clustering = pc_refine(
-                clustering, candidates, oracle,
-                num_records=len(ids),
-                threshold_divisor=threshold_divisor,
-                num_buckets=num_buckets,
-                diagnostics=refine_diagnostics,
-                ranking=ranking,
-                max_refinement_pairs=max_refinement_pairs,
-            )
-        else:
-            clustering = crowd_refine(
-                clustering, candidates, oracle, num_buckets=num_buckets
-            )
+        refine_diagnostics: Optional[PCRefineDiagnostics] = None
+        if refine:
+            with maybe_span(obs, "refinement"):
+                if parallel:
+                    refine_diagnostics = PCRefineDiagnostics()
+                    clustering = pc_refine(
+                        clustering, candidates, oracle,
+                        num_records=len(ids),
+                        threshold_divisor=threshold_divisor,
+                        num_buckets=num_buckets,
+                        diagnostics=refine_diagnostics,
+                        ranking=ranking,
+                        max_refinement_pairs=max_refinement_pairs,
+                        obs=obs,
+                    )
+                else:
+                    clustering = crowd_refine(
+                        clustering, candidates, oracle,
+                        num_buckets=num_buckets, obs=obs,
+                    )
 
     total = stats.snapshot()
     refinement_stats = {
         key: total[key] - generation_stats[key] for key in total
     }
-    return ACDResult(
+    result = ACDResult(
         clustering=clustering,
         stats=stats,
         generation_stats=generation_stats,
@@ -168,3 +186,57 @@ def run_acd(
         pivot_diagnostics=pivot_diagnostics,
         refine_diagnostics=refine_diagnostics,
     )
+    if obs is not None:
+        _finalize_obs(
+            obs, result,
+            config={
+                "epsilon": epsilon,
+                "threshold_divisor": threshold_divisor,
+                "num_buckets": num_buckets,
+                "refine": refine,
+                "parallel": parallel,
+                "pairs_per_hit": pairs_per_hit,
+                "ranking": ranking,
+                "max_refinement_pairs": max_refinement_pairs,
+            },
+            seeds={"pivot_seed": seed},
+        )
+    return result
+
+
+def _finalize_obs(obs: ObsContext, result: ACDResult,
+                  config: Dict, seeds: Dict) -> None:
+    """Roll the finished run up into gauges and (optionally) a manifest.
+
+    ``obs.manifest_extra`` — caller context such as the CLI's dataset
+    fingerprint and command-line config — is merged in: its ``config`` /
+    ``seeds`` / ``dataset`` / ``result`` keys override or extend the ones
+    assembled here.
+    """
+    from repro.obs import build_manifest, write_manifest
+
+    gauges = obs.metrics
+    gauges.gauge("clusters", help="Final cluster count").set(
+        len(result.clustering)
+    )
+    gauges.gauge("crowd_cost_cents", help="Total crowd payment").set(
+        result.stats.monetary_cost_cents
+    )
+    if obs.manifest_path is None:
+        return
+    extra = obs.manifest_extra
+    manifest = build_manifest(
+        command=str(extra.get("command", "run_acd")),
+        config={**config, **extra.get("config", {})},
+        seeds={**seeds, **extra.get("seeds", {})},
+        stats=result.stats.snapshot(),
+        metrics=obs.metrics.as_dict(),
+        spans=obs.tracer.span_summaries(),
+        dataset=extra.get("dataset"),
+        generation_stats=result.generation_stats,
+        refinement_stats=result.refinement_stats,
+        result=extra.get("result"),
+        trace_path=obs.trace_path,
+    )
+    obs.flush()
+    write_manifest(obs.manifest_path, manifest)

@@ -29,6 +29,7 @@ class HistogramEstimator:
         self._samples: Dict[Pair, Tuple[float, float]] = {}
         self._upper_bounds: List[float] = []
         self._bucket_means: List[float] = []
+        self._merged_counts: List[int] = []
         self._dirty = True
 
     def __len__(self) -> int:
@@ -53,6 +54,7 @@ class HistogramEstimator:
         observations = sorted(self._samples.values())
         self._upper_bounds = []
         self._bucket_means = []
+        self._merged_counts = []
         if not observations:
             self._dirty = False
             return
@@ -64,15 +66,40 @@ class HistogramEstimator:
             chunk = observations[start:end]
             if not chunk:
                 continue
-            self._upper_bounds.append(chunk[-1][0])
-            self._bucket_means.append(
-                sum(fc for _, fc in chunk) / len(chunk)
-            )
+            upper = chunk[-1][0]
+            if self._upper_bounds and self._upper_bounds[-1] == upper:
+                # Equi-depth cuts can land inside a run of equal machine
+                # scores, producing two buckets with the same upper bound.
+                # bisect_left can only ever select the first of those, so
+                # the second would be dead weight *and* its samples lost to
+                # queries at exactly that score — fold the chunk into the
+                # previous bucket (weighted mean) instead.
+                merged = self._merged_counts[-1] + len(chunk)
+                self._bucket_means[-1] = (
+                    self._bucket_means[-1] * self._merged_counts[-1]
+                    + sum(fc for _, fc in chunk)
+                ) / merged
+                self._merged_counts[-1] = merged
+            else:
+                self._upper_bounds.append(upper)
+                self._bucket_means.append(
+                    sum(fc for _, fc in chunk) / len(chunk)
+                )
+                self._merged_counts.append(len(chunk))
             start = end
         self._dirty = False
 
     def estimate(self, machine_score: float) -> float:
         """Estimated crowd score for a pair with the given machine score.
+
+        Bucket semantics (the ``bisect_left`` contract, made explicit):
+        bucket ``i`` covers machine scores in ``(bounds[i-1], bounds[i]]``
+        — a score exactly equal to a bucket's upper bound belongs to that
+        bucket, because ``bisect_left`` returns the index of the first
+        bound ``>= machine_score``.  Scores above the last bound clamp to
+        the last bucket; scores at or below the first bound fall in bucket
+        0.  Upper bounds are strictly increasing (``_rebuild`` merges
+        chunks sharing a bound), so every bucket is reachable.
 
         With no samples yet, falls back to the machine score itself (the
         "straightforward solution" the paper improves upon); this only

@@ -161,11 +161,13 @@ class OperationEvaluator:
         return merge_benefit(confidences)
 
     def benefit_cost_ratio(self, operation: Operation) -> float:
-        """``b*(o) / c(o)``; requires ``c(o) > 0`` (zero-cost operations have
-        exact benefits and belong on the free path)."""
+        """``b*(o) / c(o)``, made total: a zero-cost operation is *free* —
+        asking the crowd costs nothing — so its ranking key is simply its
+        exact benefit, not an infinite (or undefined) ratio.  This keeps the
+        ranking deterministic and finite for every operation; the refinement
+        loops still route zero-cost operations through the free path first,
+        so in practice this branch only matters to external callers."""
         cost = self.cost(operation)
-        if cost == 0:
-            raise ValueError(
-                "benefit-cost ratio is undefined for zero-cost operations"
-            )
+        if cost <= 0:
+            return self.estimated_benefit(operation)
         return self.estimated_benefit(operation) / cost

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 from repro.core.permutation import Permutation
 from repro.crowd.oracle import CrowdOracle
 from repro.datasets.schema import canonical_pair
+from repro.obs import maybe_span
 from repro.pruning.graph import CandidateGraph
 
 Pair = Tuple[int, int]
@@ -78,6 +79,7 @@ def partial_pivot(
     k: int,
     permutation: Permutation,
     oracle: CrowdOracle,
+    obs=None,
 ) -> PartialPivotResult:
     """Run one Partial-Pivot round, mutating ``graph`` in place.
 
@@ -88,12 +90,30 @@ def partial_pivot(
             vertices.
         permutation: The shared permutation ``M``.
         oracle: Crowd access; all incident edges go out as one batch.
+        obs: Optional :class:`~repro.obs.ObsContext`; the round runs
+            inside a ``pivot.partial`` span so its crowd batch nests
+            under it in the trace.
 
     Returns:
         The clusters formed and bookkeeping for the waste analysis.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    with maybe_span(obs, "pivot.partial", k=k) as span:
+        result = _partial_pivot_round(graph, k, permutation, oracle)
+        if obs is not None:
+            span.set_attr("issued_pairs", len(result.issued_pairs))
+            span.set_attr("clusters", len(result.clusters))
+            span.set_attr("predicted_waste", result.predicted_waste)
+    return result
+
+
+def _partial_pivot_round(
+    graph: CandidateGraph,
+    k: int,
+    permutation: Permutation,
+    oracle: CrowdOracle,
+) -> PartialPivotResult:
     alive = graph.vertices
     if not alive:
         return PartialPivotResult(clusters=(), issued_pairs=(), predicted_waste=0)

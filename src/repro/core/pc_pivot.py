@@ -87,6 +87,7 @@ def pc_pivot(
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
     diagnostics: Optional[PCPivotDiagnostics] = None,
+    obs=None,
 ) -> Clustering:
     """Run PC-Pivot over the candidate graph.
 
@@ -99,6 +100,9 @@ def pc_pivot(
         seed: Seed for the random permutation (ignored if ``permutation``).
         rng: Alternative RNG for the permutation.
         diagnostics: Optional sink for per-round measurements.
+        obs: Optional :class:`~repro.obs.ObsContext`; each round emits a
+            ``pivot.round`` event (chosen ``k``, predicted waste, issued
+            pairs, clusters formed) and bumps the round counter.
 
     Returns:
         The clustering ``C`` (identical in distribution — in fact identical
@@ -110,14 +114,30 @@ def pc_pivot(
     graph = CandidateGraph(ids, candidates.pairs)
     clustering = Clustering()
 
+    round_index = 0
     while not graph.is_empty():
         k = choose_k(graph, permutation, epsilon)
-        result = partial_pivot(graph, k, permutation, oracle)
+        result = partial_pivot(graph, k, permutation, oracle, obs=obs)
         for cluster in result.clusters:
             clustering.add_cluster(cluster)
         if diagnostics is not None:
             diagnostics.ks.append(k)
             diagnostics.predicted_waste.append(result.predicted_waste)
             diagnostics.issued_per_round.append(len(result.issued_pairs))
+        round_index += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "pivot_rounds_total",
+                help="PC-Pivot parallel rounds executed",
+            ).inc()
+            obs.event(
+                "pivot.round",
+                round=round_index,
+                k=k,
+                predicted_waste=result.predicted_waste,
+                issued_pairs=len(result.issued_pairs),
+                clusters=len(result.clusters),
+                remaining_records=len(graph.vertices),
+            )
 
     return clustering

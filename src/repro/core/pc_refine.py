@@ -106,7 +106,7 @@ def _pack_independent_operations(
     scored: List[Tuple[float, int, Operation]] = []
     for operation in enumerate_operations(clustering, candidates):
         cost = evaluator.cost(operation)
-        if cost == 0:
+        if cost <= 0:
             continue  # known benefit; handled by the free path
         benefit = evaluator.estimated_benefit(operation)
         key = benefit / cost if ranking == "ratio" else benefit
@@ -141,6 +141,7 @@ def pc_refine(
     diagnostics: Optional[PCRefineDiagnostics] = None,
     ranking: str = "ratio",
     max_refinement_pairs: Optional[int] = None,
+    obs=None,
 ) -> Clustering:
     """Run PC-Refine; refines ``clustering`` in place and returns it.
 
@@ -160,6 +161,10 @@ def pc_refine(
             With a cap in place the packer only admits operations whose
             costs still fit; free operations keep applying after the cap
             is exhausted.
+        obs: Optional :class:`~repro.obs.ObsContext`; each parallel round
+            emits a ``refine.round`` event (budget ``T``, packed batch,
+            applied count, histogram state) and bumps the round / free
+            counters.
     """
     if num_records is None:
         num_records = clustering.num_records
@@ -171,10 +176,16 @@ def pc_refine(
     estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
 
+    round_index = 0
     while True:
         freed = apply_free_operations(clustering, candidates, oracle, estimator)
         if diagnostics is not None:
             diagnostics.free_operations_applied += freed
+        if obs is not None and freed:
+            obs.metrics.counter(
+                "refine_free_operations_total",
+                help="Zero-cost refinement operations applied",
+            ).inc(freed)
 
         spent = oracle.stats.pairs_issued - pairs_at_start
         if max_refinement_pairs is not None and spent >= max_refinement_pairs:
@@ -217,5 +228,22 @@ def pc_refine(
             diagnostics.batch_sizes.append(len(needed))
             diagnostics.operations_packed.append(len(packed))
             diagnostics.operations_applied.append(applied)
+        round_index += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "refine_rounds_total",
+                help="PC-Refine parallel rounds executed",
+            ).inc()
+            obs.event(
+                "refine.round",
+                round=round_index,
+                budget=budget,
+                batch_pairs=len(needed),
+                packed=len(packed),
+                applied=applied,
+                clusters=len(clustering),
+                histogram_samples=len(estimator),
+                histogram_buckets=estimator.num_buckets,
+            )
         if applied == 0:
             return clustering

@@ -26,6 +26,7 @@ def crowd_pivot(
     permutation: Optional[Permutation] = None,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Clustering:
     """Run Crowd-Pivot over the candidate graph.
 
@@ -39,6 +40,9 @@ def crowd_pivot(
             is drawn (from ``rng``/``seed``).
         seed: Seed for the random permutation (ignored if ``permutation``).
         rng: Alternative RNG for the permutation.
+        obs: Optional :class:`~repro.obs.ObsContext`; each pivot emits a
+            ``pivot.pivot`` event (pivot id, incident edges, cluster
+            size) and bumps the round counter.
 
     Returns:
         The clustering ``C``.
@@ -60,5 +64,17 @@ def crowd_pivot(
                 cluster.add(neighbor)
         clustering.add_cluster(cluster)
         graph.remove_vertices(cluster)
+        if obs is not None:
+            obs.metrics.counter(
+                "pivot_rounds_total",
+                help="Sequential Crowd-Pivot iterations executed",
+            ).inc()
+            obs.event(
+                "pivot.pivot",
+                pivot=pivot,
+                incident_edges=len(neighbors),
+                cluster_size=len(cluster),
+                remaining_records=len(graph.vertices),
+            )
 
     return clustering

@@ -377,6 +377,7 @@ def crowd_refine(
     candidates: CandidateSet,
     oracle: CrowdOracle,
     num_buckets: int = DEFAULT_NUM_BUCKETS,
+    obs=None,
 ) -> Clustering:
     """Run Crowd-Refine; refines ``clustering`` in place and returns it.
 
@@ -385,6 +386,10 @@ def crowd_refine(
         candidates: The candidate set ``S`` with machine scores.
         oracle: Crowd access whose known set is the phase-2 answer set ``A``.
         num_buckets: Histogram granularity ``m`` (paper: 20).
+        obs: Optional :class:`~repro.obs.ObsContext`; each costly
+            iteration emits a ``refine.step`` event (chosen operation, its
+            ratio / cost / confirmed benefit, histogram state) and bumps
+            the step / free-operation counters.
     """
     estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
@@ -393,17 +398,22 @@ def crowd_refine(
     # per loop to the few entries those clusters invalidated.
     cache = OperationCache(clustering, candidates)
 
+    step = 0
     while True:
         applied = apply_free_operations(clustering, candidates, oracle,
                                         estimator, cache=cache)
-        del applied  # the count is only interesting to PC-Refine diagnostics
+        if obs is not None and applied:
+            obs.metrics.counter(
+                "refine_free_operations_total",
+                help="Zero-cost refinement operations applied",
+            ).inc(applied)
 
         # Estimated path: best benefit-cost ratio among costly operations.
         best_operation: Optional[Operation] = None
         best_ratio = 0.0
         for operation in cache.operations():
             cost = evaluator.cost(operation)
-            if cost == 0:
+            if cost <= 0:
                 continue  # exact benefit known; the free path already saw it
             ratio = evaluator.estimated_benefit(operation) / cost
             if best_operation is None or ratio > best_ratio:
@@ -412,8 +422,28 @@ def crowd_refine(
         if best_operation is None or best_ratio <= 0.0:
             return clustering
 
+        cost = evaluator.cost(best_operation)
         answers = oracle.ask_batch(evaluator.unknown_pairs(best_operation))
         _record_answers(answers, candidates, estimator)
         benefit = evaluator.exact_benefit(best_operation)
-        if benefit is not None and benefit > BENEFIT_TOLERANCE:
+        confirmed = benefit is not None and benefit > BENEFIT_TOLERANCE
+        if confirmed:
             cache.apply(best_operation)
+        step += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "refine_steps_total",
+                help="Costly Crowd-Refine iterations executed",
+            ).inc()
+            obs.event(
+                "refine.step",
+                step=step,
+                operation=repr(best_operation),
+                ratio=best_ratio,
+                cost=cost,
+                benefit=benefit,
+                applied=confirmed,
+                clusters=len(clustering),
+                histogram_samples=len(estimator),
+                histogram_buckets=estimator.num_buckets,
+            )

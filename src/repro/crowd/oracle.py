@@ -26,12 +26,22 @@ class CrowdOracle:
     ``A`` as input).
     """
 
-    def __init__(self, answers: AnswerFile, stats: Optional[CrowdStats] = None):
+    def __init__(self, answers: AnswerFile, stats: Optional[CrowdStats] = None,
+                 obs=None):
+        """Args:
+        answers: The shared crowd answer source ``F``.
+        stats: Per-run cost counters (fresh ones when ``None``).
+        obs: Optional :class:`~repro.obs.ObsContext`; when attached,
+            every crowd iteration emits a ``crowd.batch`` trace event and
+            updates the crowd counters in the metrics registry.  ``None``
+            (the default) observes nothing and costs nothing.
+        """
         self._answers = answers
         self.stats = stats if stats is not None else CrowdStats(
             num_workers=answers.num_workers
         )
         self._known: Dict[Pair, float] = {}
+        self._obs = obs
 
     @property
     def num_workers(self) -> int:
@@ -76,7 +86,43 @@ class CrowdOracle:
                     self._known[pair] = self._answers.confidence(*pair)
             self._drain_fault_counters()
         self.stats.record_batch(len(fresh))
+        if self._obs is not None and fresh:
+            self._observe_batch(len(fresh))
         return {pair: self._known[pair] for pair in requested}
+
+    def _observe_batch(self, fresh_pairs: int) -> None:
+        """Mirror one paid crowd iteration into the attached ObsContext.
+
+        The span/metric layer wraps the existing accounting — the numbers
+        are read *from* :class:`CrowdStats` after ``record_batch``, never
+        computed twice — so the rollup in a manifest always equals the
+        stats snapshot.
+        """
+        metrics = self._obs.metrics
+        metrics.counter(
+            "crowd_pairs_issued_total",
+            help="Unique record pairs sent to the crowd",
+        ).inc(fresh_pairs)
+        metrics.counter(
+            "crowd_iterations_total",
+            help="Crowd iterations (HIT batches posted and awaited)",
+        ).inc()
+        hits = metrics.counter("crowd_hits_total", help="HITs posted")
+        hits.inc(self.stats.hits - hits.value)
+        votes = metrics.counter(
+            "crowd_votes_total", help="Worker judgements collected",
+        )
+        votes.inc(self.stats.votes - votes.value)
+        metrics.histogram(
+            "crowd_batch_pairs", help="Fresh pairs per crowd iteration",
+        ).observe(fresh_pairs)
+        self._obs.event(
+            "crowd.batch",
+            pairs=fresh_pairs,
+            iteration=self.stats.iterations,
+            pairs_issued_total=self.stats.pairs_issued,
+            hits_total=self.stats.hits,
+        )
 
     def _drain_fault_counters(self) -> None:
         """Fold the answer source's crowd-side failures into the stats.

@@ -146,24 +146,44 @@ class AnswerJournal:
     """
 
     def __init__(self, path: Union[str, Path],
-                 num_workers: Optional[int] = None):
+                 num_workers: Optional[int] = None,
+                 config: Optional[Mapping[str, object]] = None):
         """Open (or create) the journal at ``path``.
 
         Args:
             path: Journal file; created when absent, replayed when present.
             num_workers: Worker count recorded in the header of a *new*
                 journal (an existing journal keeps its own).
+            config: Optional run-configuration fingerprint (e.g. dataset,
+                scale, seed, method) recorded in the header of a *new*
+                journal.  When an existing journal carries a config and the
+                caller supplies one too, they must match — resuming a run
+                under different settings would silently replay answers from
+                a different experiment.  Journals without a recorded config
+                (older files) accept any caller config.
+
+        Raises:
+            ValueError: On a corrupt journal, a worker-count mismatch, or a
+                config mismatch against an existing journal.
         """
         self.path = Path(path)
         self.num_workers = num_workers
+        self.config: Optional[Dict[str, object]] = (
+            dict(config) if config is not None else None
+        )
         self._answers: Dict[Pair, float] = {}
         self._degraded: Set[Pair] = set()
         self._batch_faults: List[Dict[str, int]] = []
         if self.path.exists() and self.path.stat().st_size > 0:
             self._replay()
         else:
-            header = {"journal": _JOURNAL_VERSION, "num_workers": num_workers}
-            self.path.write_text(json.dumps(header) + "\n", encoding="utf-8")
+            header: Dict[str, object] = {
+                "journal": _JOURNAL_VERSION, "num_workers": num_workers,
+            }
+            if self.config is not None:
+                header["config"] = self.config
+            self.path.write_text(json.dumps(header, sort_keys=True) + "\n",
+                                 encoding="utf-8")
         self._handle = open(self.path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
@@ -215,6 +235,23 @@ class AnswerJournal:
                     f"{recorded_workers} workers, not {self.num_workers}"
                 )
             self.num_workers = recorded_workers
+        recorded_config = header.get("config")
+        if recorded_config is not None:
+            if not isinstance(recorded_config, dict):
+                raise ValueError(
+                    f"{self.path}: malformed journal config header"
+                )
+            if self.config is not None and self.config != recorded_config:
+                differing = sorted(
+                    key for key in set(self.config) | set(recorded_config)
+                    if self.config.get(key) != recorded_config.get(key)
+                )
+                raise ValueError(
+                    f"{self.path}: journal was recorded under a different "
+                    f"run configuration (differs on: {', '.join(differing)}); "
+                    "resuming would replay answers from another experiment"
+                )
+            self.config = recorded_config
         for record in records[1:]:
             self._ingest(record)
 
@@ -368,19 +405,26 @@ class JournalingAnswerFile:
     """
 
     def __init__(self, source,
-                 journal: Union[AnswerJournal, str, Path]):
+                 journal: Union[AnswerJournal, str, Path],
+                 config: Optional[Mapping[str, object]] = None):
         """Args:
         source: Any answer source (``confidence`` and optionally
             ``confidence_batch`` / ``drain_fault_counters`` /
             ``degraded_pairs`` / ``skip_batches``).
         journal: An open :class:`AnswerJournal` or a path to open.
+        config: Optional run-configuration fingerprint forwarded to
+            :class:`AnswerJournal` (ignored when ``journal`` is already
+            open); a mismatch against an existing journal's recorded
+            config raises.
 
         Raises:
             ValueError: If the journal was recorded under a different
-                worker count than the source reports.
+                worker count than the source reports, or under a
+                different run configuration.
         """
         if not isinstance(journal, AnswerJournal):
-            journal = AnswerJournal(journal, num_workers=source.num_workers)
+            journal = AnswerJournal(journal, num_workers=source.num_workers,
+                                    config=config)
         if journal.num_workers is None:
             journal.num_workers = source.num_workers
         elif journal.num_workers != source.num_workers:

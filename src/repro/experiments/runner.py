@@ -23,6 +23,7 @@ from repro.crowd.worker import WorkerPool
 from repro.datasets.registry import generate
 from repro.datasets.schema import Dataset
 from repro.eval.metrics import pairwise_scores
+from repro.obs import maybe_span
 from repro.experiments.configs import (
     CrowdSetting,
     PRUNING_THRESHOLD,
@@ -72,6 +73,7 @@ def prepare_instance(
     engine: str = "auto",
     parallel: int = 0,
     timings: Optional[StageTimings] = None,
+    obs=None,
 ) -> Instance:
     """Generate a dataset, run the pruning phase, and open the answer file.
 
@@ -86,12 +88,14 @@ def prepare_instance(
         parallel: Worker processes for the reference scoring loop (<= 1
             runs serially).
         timings: Optional stage timer recording pruning wall-clock.
+        obs: Optional :class:`~repro.obs.ObsContext`; traces the pruning
+            phase (the dataset generation itself is untimed).
     """
     setting = crowd_setting(setting_name)
     dataset = generate(dataset_name, scale=scale, seed=seed)
     candidates = build_candidate_set(
         dataset.records, jaccard_similarity_function(), threshold=threshold,
-        engine=engine, parallel=parallel, timings=timings,
+        engine=engine, parallel=parallel, timings=timings, obs=obs,
     )
     workers = WorkerPool(
         difficulty=difficulty_model(dataset_name),
@@ -138,13 +142,13 @@ def _result(method: str, instance: Instance, clustering: Clustering,
     )
 
 
-def _fresh_oracle(instance: Instance) -> CrowdOracle:
+def _fresh_oracle(instance: Instance, obs=None) -> CrowdOracle:
     stats = CrowdStats(
         pairs_per_hit=instance.setting.pairs_per_hit,
         reward_cents_per_hit=instance.setting.reward_cents_per_hit,
         num_workers=instance.setting.num_workers,
     )
-    return CrowdOracle(instance.answers, stats=stats)
+    return CrowdOracle(instance.answers, stats=stats, obs=obs)
 
 
 def run_method(
@@ -154,6 +158,7 @@ def run_method(
     gcer_budget: Optional[int] = None,
     epsilon: float = 0.1,
     threshold_divisor: float = 8.0,
+    obs=None,
 ) -> MethodResult:
     """Run one method on an instance and measure it.
 
@@ -164,6 +169,10 @@ def run_method(
         gcer_budget: Pair budget for GCER (required when method is GCER).
         epsilon: PC-Pivot's ε (ACD / PC-Pivot only).
         threshold_divisor: PC-Refine's ``x`` (ACD only).
+        obs: Optional :class:`~repro.obs.ObsContext`.  ACD / PC-Pivot runs
+            get the full phase-level trace from :func:`run_acd`; baseline
+            methods run inside a single ``method`` span with their crowd
+            batches traced through the oracle.
     """
     ids = instance.record_ids
 
@@ -173,25 +182,29 @@ def run_method(
             epsilon=epsilon, threshold_divisor=threshold_divisor,
             seed=seed, refine=(method == ACD_METHOD),
             pairs_per_hit=instance.setting.pairs_per_hit,
+            obs=obs,
         )
         return _result(method, instance, result.clustering, result.stats)
 
-    oracle = _fresh_oracle(instance)
-    if method == CROWD_PIVOT_METHOD:
-        from repro.core.pivot import crowd_pivot
-        clustering = crowd_pivot(ids, instance.candidates, oracle, seed=seed)
-    elif method == CROWDER_METHOD:
-        clustering = crowder_plus(ids, instance.candidates, oracle)
-    elif method == TRANSM_METHOD:
-        clustering = transm(ids, instance.candidates, oracle)
-    elif method == TRANSNODE_METHOD:
-        clustering = transnode(ids, instance.candidates, oracle)
-    elif method == GCER_METHOD:
-        if gcer_budget is None:
-            raise ValueError("GCER needs gcer_budget (ACD's pair count)")
-        clustering = gcer(ids, instance.candidates, oracle, budget=gcer_budget)
-    else:
-        raise ValueError(f"unknown method {method!r}")
+    oracle = _fresh_oracle(instance, obs=obs)
+    with maybe_span(obs, "method", method=method):
+        if method == CROWD_PIVOT_METHOD:
+            from repro.core.pivot import crowd_pivot
+            clustering = crowd_pivot(ids, instance.candidates, oracle,
+                                     seed=seed, obs=obs)
+        elif method == CROWDER_METHOD:
+            clustering = crowder_plus(ids, instance.candidates, oracle)
+        elif method == TRANSM_METHOD:
+            clustering = transm(ids, instance.candidates, oracle)
+        elif method == TRANSNODE_METHOD:
+            clustering = transnode(ids, instance.candidates, oracle)
+        elif method == GCER_METHOD:
+            if gcer_budget is None:
+                raise ValueError("GCER needs gcer_budget (ACD's pair count)")
+            clustering = gcer(ids, instance.candidates, oracle,
+                              budget=gcer_budget)
+        else:
+            raise ValueError(f"unknown method {method!r}")
     return _result(method, instance, clustering, oracle.stats)
 
 

@@ -1,0 +1,159 @@
+"""Pipeline observability: trace spans, metrics, JSONL logs, manifests.
+
+The pipeline's instrumentation sites all accept an optional
+:class:`ObsContext` (default ``None`` — observability is opt-in and the
+disabled path is allocation-free and byte-identical in output to an
+uninstrumented run).  An :class:`ObsContext` bundles:
+
+- a :class:`~repro.obs.trace.Tracer` building the span tree,
+- a :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  histograms,
+- optionally a :class:`~repro.obs.events.JsonlEventLog` that every
+  finished span and emitted event streams into, and
+- optionally a manifest path, in which case
+  :func:`repro.core.acd.run_acd` writes a run manifest atomically when
+  it finishes.
+
+Typical use::
+
+    from repro.obs import ObsContext
+
+    obs = ObsContext.to_path("run.trace.jsonl")
+    result = run_acd(ids, candidates, answers, seed=7, obs=obs)
+    obs.close()          # flushes the JSONL log
+    # -> run.trace.jsonl + run.trace.manifest.json
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.events import JsonlEventLog, read_events
+from repro.obs.exporters import (
+    format_trace_summary,
+    summarize_trace,
+    to_prometheus,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    dataset_fingerprint,
+    default_manifest_path,
+    git_revision,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "ObsContext", "maybe_span",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "JsonlEventLog", "read_events",
+    "to_prometheus", "summarize_trace", "format_trace_summary",
+    "MANIFEST_SCHEMA", "MANIFEST_SCHEMA_VERSION",
+    "build_manifest", "dataset_fingerprint", "default_manifest_path",
+    "git_revision", "load_manifest", "validate_manifest", "write_manifest",
+]
+
+
+_NULL_CONTEXT_SPAN = NULL_TRACER.span("")
+
+
+def maybe_span(obs: Optional["ObsContext"], name: str, **attrs: Any):
+    """A span on ``obs`` — or the shared no-op span when ``obs`` is None.
+
+    The instrumentation idiom for phase-granularity sites::
+
+        with maybe_span(obs, "generation"):
+            ...
+
+    The disabled branch returns one shared null object: no allocation,
+    no timing, nothing recorded.
+    """
+    if obs is None:
+        return _NULL_CONTEXT_SPAN
+    return obs.span(name, **attrs)
+
+
+class ObsContext:
+    """One run's observability bundle: tracer + metrics + optional sinks.
+
+    Attributes:
+        tracer: The span tree builder; its sink is the JSONL log when one
+            is attached.
+        metrics: The run's metric registry.
+        log: The JSONL trace writer, or ``None`` for in-memory-only
+            observation.
+        manifest_path: When set, ``run_acd`` writes its run manifest here
+            (atomically) on completion.
+        manifest_extra: Caller-supplied context merged into that manifest
+            (the CLI stores the dataset fingerprint and CLI config here).
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        log: Optional[JsonlEventLog] = None,
+        manifest_path: Optional[Union[str, Path]] = None,
+    ):
+        self.log = log
+        self.tracer = tracer if tracer is not None else Tracer(
+            sink=log.emit if log is not None else None
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.manifest_path = (
+            Path(manifest_path) if manifest_path is not None else None
+        )
+        self.manifest_extra: Dict[str, Any] = {}
+
+    @classmethod
+    def to_path(cls, trace_path: Union[str, Path],
+                manifest_path: Optional[Union[str, Path]] = None,
+                ) -> "ObsContext":
+        """An ObsContext streaming to a JSONL trace file.
+
+        The manifest lands next to the trace
+        (:func:`~repro.obs.manifest.default_manifest_path`) unless an
+        explicit path is given.
+        """
+        log = JsonlEventLog(trace_path)
+        if manifest_path is None:
+            manifest_path = default_manifest_path(trace_path)
+        return cls(log=log, manifest_path=manifest_path)
+
+    # Convenience pass-throughs so instrumentation sites read naturally.
+
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.event(name, **attrs)
+
+    @property
+    def trace_path(self) -> Optional[Path]:
+        return self.log.path if self.log is not None else None
+
+    def flush(self) -> None:
+        if self.log is not None:
+            self.log.flush()
+
+    def close(self) -> None:
+        if self.log is not None:
+            self.log.close()
+
+    def __enter__(self) -> "ObsContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,64 @@
+"""Append-only JSONL trace log: one JSON object per line.
+
+The writer is deliberately dumb — it serializes whatever record the
+tracer hands it and appends one line.  Unlike the crowd answer journal
+(:mod:`repro.crowd.persistence`), the trace log is *telemetry*, not a
+recovery log: it is not fsynced per record, and a torn final line is
+tolerated by the reader.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+
+class JsonlEventLog:
+    """Writes trace records to ``path`` as JSON lines (truncates on open)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back as a list of records.
+
+    A torn (unterminated, unparseable) final line — a run killed
+    mid-write — is silently dropped; garbage anywhere else raises.
+    """
+    records: List[Dict[str, Any]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except ValueError:
+            if index == len(lines) - 1:
+                break
+            raise ValueError(
+                f"{path}: malformed trace record on line {index + 1}"
+            ) from None
+    return records

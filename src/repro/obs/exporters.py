@@ -1,0 +1,133 @@
+"""Exporters: metrics to Prometheus text format, traces to summaries.
+
+Two render targets for the observability layer's state:
+
+- :func:`to_prometheus` — the standard text exposition format, so a
+  scraper (or a human with ``curl``) can read a run's counters.
+- :func:`summarize_trace` / :func:`format_trace_summary` — fold a JSONL
+  trace back into per-phase wall-clock totals, event counts, and the
+  per-round crowd batch table the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.events import read_events
+from repro.obs.metrics import MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render without a fraction."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sanitize(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for kind, name, instrument in registry.families():
+        metric = prefix + _sanitize(name)
+        if instrument.help:
+            lines.append(f"# HELP {metric} {instrument.help}")
+        lines.append(f"# TYPE {metric} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, instrument.counts):
+                cumulative = count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{metric}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{metric}_count {instrument.count}")
+        else:
+            lines.append(f"{metric} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def summarize_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Aggregate a JSONL trace into a machine-readable summary.
+
+    Returns::
+
+        {
+          "records": <total trace records>,
+          "spans":  [{"name", "count", "total_s"}, ...],
+          "events": {name: count, ...},
+          "crowd_rounds": [{"iteration", "pairs"}, ...],
+          "crowd_pairs_total": <sum of batch sizes>,
+        }
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    span_order: List[str] = []
+    events: Dict[str, int] = {}
+    crowd_rounds: List[Dict[str, Any]] = []
+    records = read_events(path)
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            name = record.get("name", "?")
+            entry = spans.get(name)
+            if entry is None:
+                span_order.append(name)
+                entry = spans[name] = {"name": name, "count": 0,
+                                       "total_s": 0.0}
+            entry["count"] += 1
+            entry["total_s"] += float(record.get("duration_s") or 0.0)
+        elif kind == "event":
+            name = record.get("name", "?")
+            events[name] = events.get(name, 0) + 1
+            if name == "crowd.batch":
+                attrs = record.get("attrs", {})
+                crowd_rounds.append({
+                    "iteration": attrs.get("iteration"),
+                    "pairs": attrs.get("pairs", 0),
+                })
+    return {
+        "records": len(records),
+        "spans": [spans[name] for name in span_order],
+        "events": dict(sorted(events.items())),
+        "crowd_rounds": crowd_rounds,
+        "crowd_pairs_total": sum(r["pairs"] or 0 for r in crowd_rounds),
+    }
+
+
+def format_trace_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace`'s output."""
+    lines: List[str] = [f"trace records: {summary['records']}"]
+    if summary["spans"]:
+        lines.append("")
+        lines.append("spans (wall-clock):")
+        width = max(len(s["name"]) for s in summary["spans"])
+        for span in summary["spans"]:
+            lines.append(
+                f"  {span['name']:<{width}}  x{span['count']:<4d} "
+                f"{span['total_s']:.4f}s"
+            )
+    if summary["events"]:
+        lines.append("")
+        lines.append("events:")
+        width = max(len(name) for name in summary["events"])
+        for name, count in summary["events"].items():
+            lines.append(f"  {name:<{width}}  {count}")
+    if summary["crowd_rounds"]:
+        lines.append("")
+        lines.append(
+            f"crowd rounds: {len(summary['crowd_rounds'])} "
+            f"({summary['crowd_pairs_total']} pairs)"
+        )
+        for row in summary["crowd_rounds"]:
+            lines.append(
+                f"  iteration {row['iteration']}: {row['pairs']} pairs"
+            )
+    return "\n".join(lines)

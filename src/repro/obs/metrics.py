@@ -1,0 +1,160 @@
+"""A small metrics registry: counters, gauges, equal-width histograms.
+
+The pipeline's instrumentation sites increment these as they run; the
+registry's :meth:`MetricsRegistry.as_dict` snapshot lands in the run
+manifest, and :func:`repro.obs.exporters.to_prometheus` renders the same
+state in the Prometheus text exposition format.
+
+The registry deliberately mirrors the Prometheus data model — monotone
+counters, last-write gauges, cumulative-bucket histograms — but stays
+dependency-free and in-process: there is no label support and no
+concurrency, because one registry instruments one pipeline run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+# Batch sizes span a few pairs (one pivot's edges) to thousands (a whole
+# PC-Pivot round); roughly-exponential bounds keep every decade visible.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bound histogram with cumulative bucket counts.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; one implicit
+    overflow bucket (``+Inf``) catches the rest, Prometheus-style.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                 help: str = ""):
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or any(nxt <= prev
+                              for prev, nxt in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing bounds, "
+                f"got {bounds!r}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = ordered
+        self.counts = [0] * len(ordered)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "buckets": {str(bound): count
+                        for bound, count in zip(self.bounds, self.counts)},
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, get-or-create by kind."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: Dict[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with another kind"
+                )
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_free(name, self._counters)
+            counter = self._counters[name] = Counter(name, help=help)
+        return counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_free(name, self._gauges)
+            gauge = self._gauges[name] = Gauge(name, help=help)
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  help: str = "") -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_free(name, self._histograms)
+            histogram = self._histograms[name] = Histogram(
+                name, bounds=bounds or DEFAULT_BUCKETS, help=help,
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def families(self) -> Iterable[Tuple[str, str, Any]]:
+        """(kind, name, instrument) triples in registration order."""
+        for name, counter in self._counters.items():
+            yield "counter", name, counter
+        for name, gauge in self._gauges.items():
+            yield "gauge", name, gauge
+        for name, histogram in self._histograms.items():
+            yield "histogram", name, histogram
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The manifest's ``metrics`` block (JSON-ready)."""
+        return {
+            "counters": {name: counter.value
+                         for name, counter in self._counters.items()},
+            "gauges": {name: gauge.value
+                       for name, gauge in self._gauges.items()},
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram in self._histograms.items()},
+        }

@@ -1,0 +1,223 @@
+"""Trace spans: a lightweight wall-clock span tree plus point events.
+
+A :class:`Tracer` records what the pipeline *did*: phases open
+:class:`Span`\\ s (nested, timed with :func:`time.perf_counter`), and
+decision points emit flat *events* attached to the innermost open span.
+Every finished span and every event is also forwarded to an optional
+``sink`` callable — the hook the JSONL trace writer plugs into — as a
+plain JSON-serializable dict.
+
+Tracing is **off by default** everywhere in the pipeline: instrumentation
+sites take an optional observability context and do nothing when it is
+``None``, so the disabled path allocates nothing and the pipeline output
+is byte-identical to an uninstrumented run (the same null-model
+discipline the fault-injection layer uses).  For library users who want
+an always-valid tracer object, :data:`NULL_TRACER` accepts the full API
+at near-zero cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+Sink = Callable[[Dict[str, Any]], None]
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "events",
+                 "started_unix", "duration_s", "_start")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.events: List[Dict[str, Any]] = []
+        self.started_unix = time.time()
+        self.duration_s: Optional[float] = None
+        self._start = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_s is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute (e.g. a count known only at exit)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict view (children included) for JSON export."""
+        return {
+            "name": self.name,
+            "started_unix": self.started_unix,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self._span, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Collects a span tree and forwards closed spans/events to a sink.
+
+    Not thread-safe by design: one tracer instruments one pipeline run.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Sink] = None):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._sink = sink
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a child span of the innermost open span (``with`` block)."""
+        span = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **attrs: Any) -> Dict[str, Any]:
+        """Record one point event under the innermost open span."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "ts_unix": time.time(),
+            "span": self._stack[-1].name if self._stack else None,
+            "attrs": attrs,
+        }
+        if self._stack:
+            self._stack[-1].events.append(
+                {"name": name, "ts_unix": record["ts_unix"], "attrs": attrs}
+            )
+        if self._sink is not None:
+            self._sink(record)
+        return record
+
+    def _finish(self, span: Span, error: bool = False) -> None:
+        span.duration_s = time.perf_counter() - span._start
+        if error:
+            span.attrs.setdefault("error", True)
+        depth = len(self._stack) - 1
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard (out-of-order exit)
+            self._stack = [s for s in self._stack if s is not span]
+        if self._sink is not None:
+            self._sink({
+                "type": "span",
+                "name": span.name,
+                "depth": depth,
+                "started_unix": span.started_unix,
+                "duration_s": span.duration_s,
+                "attrs": dict(span.attrs),
+            })
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span_summaries(self) -> List[Dict[str, Any]]:
+        """Flat per-name rollup of the finished span tree.
+
+        Each entry: ``{"name", "count", "total_s"}`` — the manifest's
+        phase table.  Depth-first order of first occurrence.
+        """
+        order: List[str] = []
+        totals: Dict[str, Dict[str, Any]] = {}
+
+        def visit(span: Span) -> None:
+            entry = totals.get(span.name)
+            if entry is None:
+                order.append(span.name)
+                entry = totals[span.name] = {
+                    "name": span.name, "count": 0, "total_s": 0.0,
+                }
+            entry["count"] += 1
+            entry["total_s"] += span.duration_s or 0.0
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return [totals[name] for name in order]
+
+
+class _NullSpan:
+    """A reusable no-op span/context-manager (shared singleton)."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    duration_s = None
+    finished = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible tracer that records nothing and allocates nothing.
+
+    ``span`` always returns the same shared null span; ``event`` is a
+    no-op.  The pipeline's own instrumentation guards on the
+    observability context being ``None`` instead, but library users can
+    pass :data:`NULL_TRACER` wherever a tracer is required.
+    """
+
+    __slots__ = ()
+    enabled = False
+    roots: List[Span] = []
+    current = None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def span_summaries(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()

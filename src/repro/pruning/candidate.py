@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datasets.schema import Record, canonical_pair
+from repro.obs import maybe_span
 from repro.perf.timing import StageTimings
 from repro.pruning.blocking import all_pairs, token_blocking_pairs
 from repro.similarity.composite import SET_METRIC_FUNCTIONS, SimilarityFunction
@@ -107,6 +108,7 @@ def build_candidate_set(
     engine: str = "auto",
     parallel: int = 0,
     timings: Optional[StageTimings] = None,
+    obs=None,
 ) -> CandidateSet:
     """Run the pruning phase.
 
@@ -126,6 +128,8 @@ def build_candidate_set(
             serial.  Ignored when the prefix join runs (it is faster still).
         timings: Optional :class:`~repro.perf.timing.StageTimings`; records
             ``blocking`` and ``scoring`` stage wall-clock.
+        obs: Optional :class:`~repro.obs.ObsContext`; the phase runs inside
+            a ``pruning`` span and reports record / survivor gauges.
 
     Returns:
         The :class:`CandidateSet` ``S``.
@@ -143,17 +147,30 @@ def build_candidate_set(
             "candidate_pairs, and a blocking domain matching the metric "
             f"(similarity={similarity.name!r})"
         )
-    if engine == "prefix" or (engine == "auto" and eligible):
-        surviving, scores = _run_prefix_join(
-            records, similarity, threshold,
-            include_empty_pairs=not use_token_blocking,
-            timings=timings,
-        )
-    else:
-        surviving, scores = _run_reference(
-            records, similarity, threshold, candidate_pairs,
-            use_token_blocking, parallel, timings,
-        )
+    chosen = ("prefix" if engine == "prefix" or (engine == "auto" and eligible)
+              else "reference")
+    with maybe_span(obs, "pruning", engine=chosen,
+                    records=len(records), threshold=threshold) as span:
+        if chosen == "prefix":
+            surviving, scores = _run_prefix_join(
+                records, similarity, threshold,
+                include_empty_pairs=not use_token_blocking,
+                timings=timings,
+            )
+        else:
+            surviving, scores = _run_reference(
+                records, similarity, threshold, candidate_pairs,
+                use_token_blocking, parallel, timings,
+            )
+        if obs is not None:
+            span.set_attr("candidate_pairs", len(surviving))
+            obs.metrics.gauge(
+                "pruning_records", help="Records entering the pruning phase"
+            ).set(len(records))
+            obs.metrics.gauge(
+                "pruning_candidate_pairs",
+                help="Pairs surviving the machine-similarity threshold",
+            ).set(len(surviving))
     return CandidateSet(pairs=tuple(surviving), machine_scores=scores,
                         threshold=threshold)
 

@@ -82,6 +82,68 @@ class TestEquiDepth:
         assert estimator.estimate(0.5) == 0.5  # mean over both
 
 
+class TestDuplicateBoundMerge:
+    """Regressions for equi-depth cuts landing inside runs of equal scores.
+
+    Before the fix, two chunks could end on the same machine score and
+    produce two buckets with identical upper bounds; ``bisect_left`` could
+    only ever select the first, so the second bucket's samples were lost
+    to queries at exactly that score.
+    """
+
+    def test_bounds_are_strictly_increasing(self):
+        estimator = HistogramEstimator(num_buckets=4)
+        # Eight samples, all at machine score 0.5 -> every chunk shares the
+        # same upper bound and must collapse into one bucket.
+        for index in range(8):
+            estimator.add_sample((index, index + 100), 0.5, index / 8)
+        table = estimator.bucket_table()
+        bounds = [upper for upper, _ in table]
+        assert bounds == sorted(set(bounds))
+        assert len(table) == 1
+
+    def test_merged_bucket_mean_weights_all_samples(self):
+        estimator = HistogramEstimator(num_buckets=2)
+        # Both equi-depth chunks end at 0.5; the merged bucket's mean must
+        # cover all four crowd scores, not just the first chunk's.
+        crowd_scores = (0.0, 0.2, 0.8, 1.0)
+        for index, crowd in enumerate(crowd_scores):
+            estimator.add_sample((index, index + 100), 0.5, crowd)
+        assert estimator.estimate(0.5) == pytest.approx(
+            sum(crowd_scores) / len(crowd_scores)
+        )
+
+    def test_partial_duplicate_run_keeps_later_buckets(self):
+        estimator = HistogramEstimator(num_buckets=3)
+        # First two chunks share bound 0.4 and merge; the third (0.9) must
+        # survive as its own bucket and stay reachable.
+        samples = [(0.4, 0.1), (0.4, 0.2), (0.4, 0.3), (0.4, 0.4),
+                   (0.9, 1.0), (0.9, 1.0)]
+        for index, (machine, crowd) in enumerate(samples):
+            estimator.add_sample((index, index + 100), machine, crowd)
+        bounds = [upper for upper, _ in estimator.bucket_table()]
+        assert bounds == sorted(set(bounds))
+        assert estimator.estimate(0.9) == pytest.approx(1.0)
+
+    def test_score_equal_to_bound_belongs_to_that_bucket(self):
+        estimator = HistogramEstimator(num_buckets=2)
+        for index in range(5):
+            estimator.add_sample((index, index + 100), 0.2, 0.1)
+        for index in range(5, 10):
+            estimator.add_sample((index, index + 100), 0.8, 0.9)
+        # (bounds[i-1], bounds[i]] semantics: 0.2 is IN the low bucket.
+        assert estimator.estimate(0.2) == pytest.approx(0.1)
+        assert estimator.estimate(0.2 + 1e-9) == pytest.approx(0.9)
+
+    def test_every_bucket_is_reachable(self):
+        estimator = HistogramEstimator(num_buckets=5)
+        for index in range(25):
+            machine = (index % 5) / 5  # heavy ties at 5 distinct scores
+            estimator.add_sample((index, index + 100), machine, machine)
+        for upper, mean in estimator.bucket_table():
+            assert estimator.estimate(upper) == pytest.approx(mean)
+
+
 class TestProperties:
     @given(st.lists(
         st.tuples(st.floats(0, 1), st.floats(0, 1)),
@@ -101,3 +163,17 @@ class TestProperties:
         estimator = HistogramEstimator()
         estimator.add_sample((0, 1), 0.5, 0.75)
         assert 0.0 <= estimator.estimate(query) <= 1.0
+
+    @given(st.lists(
+        st.tuples(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+                  st.floats(0, 1)),
+        min_size=1, max_size=60,
+    ))
+    def test_bounds_strictly_increasing_under_heavy_ties(self, samples):
+        # Machine scores drawn from only five values force duplicate-bound
+        # merges at every bucket count.
+        estimator = HistogramEstimator(num_buckets=7)
+        for index, (machine, crowd) in enumerate(samples):
+            estimator.add_sample((index, index + 1000), machine, crowd)
+        bounds = [upper for upper, _ in estimator.bucket_table()]
+        assert all(nxt > prev for prev, nxt in zip(bounds, bounds[1:]))

@@ -142,10 +142,17 @@ class TestCostAndBenefit:
         ratio = evaluator.benefit_cost_ratio(operation)
         assert ratio == pytest.approx(evaluator.estimated_benefit(operation) / 1)
 
-    def test_ratio_for_zero_cost_rejected(self, setup):
+    def test_ratio_for_zero_cost_is_the_exact_benefit(self, setup):
+        # A zero-cost operation is free, not infinitely attractive: its
+        # ranking key is its (exact) benefit.  This used to raise ValueError,
+        # which made the ratio a partial function external callers had to
+        # guard themselves.
         clustering, _, _, evaluator = setup
-        with pytest.raises(ValueError):
-            evaluator.benefit_cost_ratio(Split(4, clustering.cluster_of(4)))
+        operation = Split(4, clustering.cluster_of(4))
+        assert evaluator.cost(operation) == 0
+        ratio = evaluator.benefit_cost_ratio(operation)
+        assert ratio == pytest.approx(evaluator.estimated_benefit(operation))
+        assert ratio == pytest.approx(evaluator.exact_benefit(operation))
 
     def test_unknown_pairs_listing(self, setup):
         clustering, _, _, evaluator = setup

@@ -181,3 +181,25 @@ class TestEquivalenceWithSequential:
         after = lambda_objective(refined, tiny_product.candidates.pairs, full)
         assert after <= before + 1e-9
         refined.check_invariants()
+
+
+class TestZeroCostOnlyRefinement:
+    def test_all_known_refines_for_free(self):
+        """Regression: when every candidate pair is already crowdsourced,
+        every operation has cost 0 — PC-Refine must drain the free path and
+        terminate without packing (or paying for) anything."""
+        from tests.conftest import make_candidates, scripted_oracle
+        confidences = {(0, 1): 0.9, (1, 2): 0.9, (0, 2): 0.2, (3, 4): 0.8}
+        candidates = make_candidates(confidences)
+        oracle = scripted_oracle(confidences)
+        oracle.ask_batch(list(confidences))
+        pairs_before = oracle.stats.pairs_issued
+
+        diagnostics = PCRefineDiagnostics()
+        refined = pc_refine(Clustering([{0, 1, 2}, {3}, {4}]), candidates,
+                            oracle, num_records=5, diagnostics=diagnostics)
+
+        assert oracle.stats.pairs_issued == pairs_before
+        assert refined.together(3, 4)
+        assert diagnostics.operations_packed in ([], [0])
+        refined.check_invariants()

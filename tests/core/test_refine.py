@@ -186,3 +186,43 @@ class TestRefinementInvariants:
         refined = crowd_refine(clustering, candidates, oracle)
         assert not refined.together(0, 1)
         assert oracle.knows(0, 1)  # it did pay to check
+
+
+class TestZeroCostOnlyRefinement:
+    """Regression: a refinement state where every operation is zero-cost.
+
+    When the whole candidate set is already crowdsourced, every enumerable
+    operation has cost 0.  The loop must drain them through the free path
+    and terminate without crowdsourcing anything — and the benefit-cost
+    ratio must stay a total, finite function over all of them (it used to
+    raise ValueError for zero cost).
+    """
+
+    def test_all_known_refines_for_free(self):
+        confidences = {(0, 1): 0.9, (1, 2): 0.9, (0, 2): 0.2, (3, 4): 0.8}
+        candidates = make_candidates(confidences)
+        oracle = scripted_oracle(confidences)
+        oracle.ask_batch(list(confidences))
+        pairs_before = oracle.stats.pairs_issued
+
+        clustering = Clustering([{0, 1, 2}, {3}, {4}])
+        refined = crowd_refine(clustering, candidates, oracle)
+
+        assert oracle.stats.pairs_issued == pairs_before
+        assert refined.together(3, 4)  # beneficial free merge applied
+        refined.check_invariants()
+
+    def test_ratio_is_total_over_all_zero_cost_operations(self):
+        from repro.core.operations import OperationEvaluator
+        confidences = {(0, 1): 0.9, (1, 2): 0.4, (0, 2): 0.2}
+        candidates = make_candidates(confidences)
+        oracle = scripted_oracle(confidences)
+        oracle.ask_batch(list(confidences))
+        clustering = Clustering([{0, 1}, {2}])
+        estimator = build_estimator(candidates, oracle)
+        evaluator = OperationEvaluator(clustering, candidates, oracle,
+                                       estimator)
+        for operation in enumerate_operations(clustering, candidates):
+            assert evaluator.cost(operation) == 0
+            ratio = evaluator.benefit_cost_ratio(operation)  # must not raise
+            assert ratio == pytest.approx(evaluator.exact_benefit(operation))

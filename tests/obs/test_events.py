@@ -1,0 +1,55 @@
+"""Tests for repro.obs.events: the JSONL trace log and its reader."""
+
+import pytest
+
+from repro.obs.events import JsonlEventLog, read_events
+
+
+class TestJsonlEventLog:
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlEventLog(path) as log:
+            log.emit({"type": "event", "name": "a"})
+            log.emit({"type": "span", "name": "b"})
+        records = read_events(path)
+        assert [record["name"] for record in records] == ["a", "b"]
+
+    def test_records_written_counter(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "trace.jsonl")
+        assert log.records_written == 0
+        log.emit({"x": 1})
+        log.emit({"x": 2})
+        assert log.records_written == 2
+        log.close()
+
+    def test_open_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlEventLog(path) as log:
+            log.emit({"run": 1})
+        with JsonlEventLog(path) as log:
+            log.emit({"run": 2})
+        assert read_events(path) == [{"run": 2}]
+
+    def test_compact_deterministic_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlEventLog(path) as log:
+            log.emit({"b": 1, "a": 2})
+        assert path.read_text() == '{"a":2,"b":1}\n'
+
+
+class TestReadEvents:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok":1}\n{"torn": tr')
+        assert read_events(path) == [{"ok": 1}]
+
+    def test_mid_file_garbage_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok":1}\nnot json\n{"ok":2}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok":1}\n\n{"ok":2}\n')
+        assert read_events(path) == [{"ok": 1}, {"ok": 2}]

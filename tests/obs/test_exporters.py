@@ -1,0 +1,82 @@
+"""Tests for repro.obs.exporters: Prometheus text format, trace summaries."""
+
+from repro.obs.events import JsonlEventLog
+from repro.obs.exporters import (
+    format_trace_summary,
+    summarize_trace,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("pairs_total", help="Pairs issued").inc(42)
+        registry.gauge("clusters").set(7.5)
+        text = to_prometheus(registry)
+        assert "# HELP repro_pairs_total Pairs issued" in text
+        assert "# TYPE repro_pairs_total counter" in text
+        assert "repro_pairs_total 42" in text  # integral floats render as ints
+        assert "repro_clusters 7.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("batch", bounds=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5)
+        histogram.observe(50)
+        text = to_prometheus(registry)
+        assert 'repro_batch_bucket{le="1"} 1' in text
+        assert 'repro_batch_bucket{le="10"} 2' in text
+        assert 'repro_batch_bucket{le="+Inf"} 3' in text
+        assert "repro_batch_sum 55.5" in text
+        assert "repro_batch_count 3" in text
+
+    def test_name_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-1").inc()
+        assert "repro_weird_name_1 1" in to_prometheus(registry)
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert "acme_x 1" in to_prometheus(registry, prefix="acme_")
+
+
+class TestTraceSummary:
+    def _write_trace(self, path):
+        log = JsonlEventLog(path)
+        tracer = Tracer(sink=log.emit)
+        with tracer.span("acd"):
+            with tracer.span("generation"):
+                tracer.event("crowd.batch", pairs=10, iteration=1)
+                tracer.event("crowd.batch", pairs=5, iteration=2)
+            with tracer.span("refinement"):
+                tracer.event("refine.round", round=1)
+        log.close()
+
+    def test_summarize(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace)
+        summary = summarize_trace(trace)
+        assert summary["records"] == 6  # 3 events + 3 spans
+        assert [span["name"] for span in summary["spans"]] == [
+            "generation", "refinement", "acd",
+        ]
+        assert summary["events"] == {"crowd.batch": 2, "refine.round": 1}
+        assert summary["crowd_rounds"] == [
+            {"iteration": 1, "pairs": 10},
+            {"iteration": 2, "pairs": 5},
+        ]
+        assert summary["crowd_pairs_total"] == 15
+
+    def test_format_is_human_readable(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace)
+        text = format_trace_summary(summarize_trace(trace))
+        assert "trace records: 6" in text
+        assert "generation" in text
+        assert "crowd rounds: 2 (15 pairs)" in text

@@ -1,0 +1,131 @@
+"""Tests for repro.obs.manifest: schema, fingerprints, atomic round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.registry import generate
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    dataset_fingerprint,
+    default_manifest_path,
+    git_revision,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _minimal_manifest():
+    return build_manifest(
+        command="test",
+        config={"epsilon": 0.1},
+        seeds={"pivot_seed": 7},
+        stats={"pairs_issued": 10},
+        metrics={"counters": {}, "gauges": {}, "histograms": {}},
+        spans=[{"name": "acd", "count": 1, "total_s": 0.5}],
+    )
+
+
+class TestValidation:
+    def test_built_manifest_is_valid(self):
+        assert validate_manifest(_minimal_manifest()) == []
+
+    def test_missing_required_key(self):
+        manifest = _minimal_manifest()
+        del manifest["stats"]
+        errors = validate_manifest(manifest)
+        assert any("stats" in error for error in errors)
+
+    def test_wrong_type(self):
+        manifest = _minimal_manifest()
+        manifest["command"] = 42
+        errors = validate_manifest(manifest)
+        assert any("command" in error for error in errors)
+
+    def test_bool_is_not_an_integer(self):
+        manifest = _minimal_manifest()
+        manifest["schema_version"] = True
+        assert validate_manifest(manifest)
+
+    def test_span_items_validated(self):
+        manifest = _minimal_manifest()
+        manifest["spans"] = [{"name": "acd"}]
+        errors = validate_manifest(manifest)
+        assert any("spans[0]" in error for error in errors)
+
+    def test_unknown_schema_version(self):
+        manifest = _minimal_manifest()
+        manifest["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        assert validate_manifest(manifest)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        manifest = _minimal_manifest()
+        write_manifest(path, manifest)
+        loaded = load_manifest(path)
+        assert loaded == json.loads(json.dumps(manifest))
+
+    def test_write_refuses_invalid(self, tmp_path):
+        manifest = _minimal_manifest()
+        del manifest["config"]
+        with pytest.raises(ValueError):
+            write_manifest(tmp_path / "bad.json", manifest)
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+    def test_write_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        write_manifest(path, _minimal_manifest())
+        assert [p.name for p in tmp_path.iterdir()] == ["run.manifest.json"]
+
+
+class TestProvenance:
+    def test_git_revision_of_this_repo(self):
+        revision = git_revision(Path(__file__).parent)
+        # The test suite runs inside the repo's work tree.
+        assert revision is None or (
+            len(revision) == 40 and all(c in "0123456789abcdef"
+                                        for c in revision)
+        )
+
+    def test_git_revision_outside_any_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+    def test_dataset_fingerprint_is_stable_and_content_sensitive(self):
+        a = dataset_fingerprint(generate("restaurant", scale=0.05, seed=1))
+        b = dataset_fingerprint(generate("restaurant", scale=0.05, seed=1))
+        c = dataset_fingerprint(generate("restaurant", scale=0.05, seed=2))
+        assert a == b
+        assert a["fingerprint"] != c["fingerprint"]
+        assert a["name"] == "restaurant"
+        assert a["records"] > 0
+
+
+class TestDefaultManifestPath:
+    def test_jsonl_suffix_replaced(self):
+        assert default_manifest_path("run.trace.jsonl") == Path(
+            "run.trace.manifest.json"
+        )
+
+    def test_other_suffix_appended(self):
+        assert default_manifest_path("trace.log") == Path(
+            "trace.log.manifest.json"
+        )
+
+
+class TestSchemaDocSync:
+    def test_docs_copy_matches_source(self):
+        docs = Path(__file__).resolve().parents[2] / "docs"
+        shipped = json.loads((docs / "manifest.schema.json").read_text())
+        assert shipped == json.loads(json.dumps(MANIFEST_SCHEMA))

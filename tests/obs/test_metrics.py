@@ -1,0 +1,99 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_default_bounds_are_valid(self):
+        # Regression: the strictly-increasing validation used to be
+        # inverted and rejected every valid bound sequence, including the
+        # defaults.
+        histogram = Histogram("h")
+        assert histogram.bounds == DEFAULT_BUCKETS
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(3.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_cumulative_counts(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        # counts[i] counts observations <= bounds[i] (cumulative).
+        assert histogram.counts == [2, 3, 4]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(556.5)
+
+    def test_snapshot(self):
+        histogram = Histogram("h", bounds=(2.0, 4.0))
+        histogram.observe(3)
+        snapshot = histogram.snapshot()
+        assert snapshot == {
+            "buckets": {"2.0": 0, "4.0": 1}, "sum": 3.0, "count": 1,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_families_in_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("c1")
+        registry.gauge("g1")
+        registry.histogram("h1")
+        kinds = [(kind, name) for kind, name, _ in registry.families()]
+        assert kinds == [
+            ("counter", "c1"), ("gauge", "g1"), ("histogram", "h1"),
+        ]
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("pairs").inc(5)
+        registry.gauge("clusters").set(3)
+        registry.histogram("sizes", bounds=(10.0,)).observe(2)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"pairs": 5.0}
+        assert snapshot["gauges"] == {"clusters": 3.0}
+        assert snapshot["histograms"]["sizes"]["count"] == 1

@@ -1,0 +1,140 @@
+"""Tests for repro.obs.trace: span trees, events, sinks, null objects."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanTree:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner-a", "inner-b",
+        ]
+        assert [child.name for child in outer.children[1].children] == ["leaf"]
+
+    def test_spans_are_timed(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            assert not span.finished
+        assert span.finished
+        assert span.duration_s >= 0.0
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("phase", k=3) as span:
+            span.set_attr("result", 7)
+        assert span.attrs == {"k": 3, "result": 7}
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.finished
+        assert span.attrs["error"] is True
+        assert tracer.current is None
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a"):
+            assert tracer.current.name == "a"
+            with tracer.span("b"):
+                assert tracer.current.name == "b"
+            assert tracer.current.name == "a"
+        assert tracer.current is None
+
+    def test_to_dict_round_trips_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer", x=1):
+            tracer.event("tick", n=2)
+            with tracer.span("inner"):
+                pass
+        tree = tracer.roots[0].to_dict()
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"x": 1}
+        assert tree["events"][0]["name"] == "tick"
+        assert tree["children"][0]["name"] == "inner"
+
+
+class TestEvents:
+    def test_event_attached_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                record = tracer.event("decision", choice="split")
+        assert record["span"] == "inner"
+        assert tracer.roots[0].children[0].events[0]["attrs"] == {
+            "choice": "split"
+        }
+
+    def test_event_without_open_span(self):
+        tracer = Tracer()
+        record = tracer.event("orphan")
+        assert record["span"] is None
+
+
+class TestSink:
+    def test_sink_sees_events_and_closed_spans_in_order(self):
+        records = []
+        tracer = Tracer(sink=records.append)
+        with tracer.span("outer"):
+            tracer.event("e1")
+            with tracer.span("inner"):
+                pass
+        kinds = [(record["type"], record["name"]) for record in records]
+        # The event streams immediately; spans stream on close, so inner
+        # lands before outer.
+        assert kinds == [
+            ("event", "e1"), ("span", "inner"), ("span", "outer"),
+        ]
+
+    def test_span_record_carries_depth(self):
+        records = []
+        tracer = Tracer(sink=records.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {record["name"]: record for record in records}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+
+
+class TestSummaries:
+    def test_rollup_counts_and_order(self):
+        tracer = Tracer()
+        with tracer.span("acd"):
+            with tracer.span("round"):
+                pass
+            with tracer.span("round"):
+                pass
+        summaries = tracer.span_summaries()
+        assert [entry["name"] for entry in summaries] == ["acd", "round"]
+        assert summaries[1]["count"] == 2
+        assert summaries[1]["total_s"] >= 0.0
+
+
+class TestNullObjects:
+    def test_null_tracer_is_shared_and_free(self):
+        span_a = NULL_TRACER.span("anything", k=1)
+        span_b = NULL_TRACER.span("else")
+        assert span_a is span_b  # one shared object, no allocation
+        with span_a as entered:
+            entered.set_attr("ignored", 1)
+        assert NULL_TRACER.event("nothing") is None
+        assert NULL_TRACER.span_summaries() == []
+        assert NULL_TRACER.roots == []
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NullTracer().enabled is False

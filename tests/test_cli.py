@@ -70,3 +70,106 @@ class TestCommands:
         assert main(["sweep-threshold", "restaurant", "--scale", "0.05",
                      "--repetitions", "1"]) == 0
         assert "N_m/" in capsys.readouterr().out
+
+
+class TestTraceAndManifest:
+    def test_run_with_trace_writes_trace_and_manifest(self, capsys, tmp_path):
+        from repro.obs import load_manifest, read_events, summarize_trace
+        trace = tmp_path / "run.trace.jsonl"
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {trace}" in out
+
+        span_names = {record["name"] for record in read_events(trace)
+                      if record["type"] == "span"}
+        assert {"pruning", "acd", "generation", "refinement"} <= span_names
+        summary = summarize_trace(trace)
+        assert summary["crowd_rounds"]
+
+        manifest = load_manifest(tmp_path / "run.trace.manifest.json")
+        assert manifest["command"] == "run"
+        assert manifest["config"]["dataset"] == "restaurant"
+        assert manifest["dataset"]["name"] == "restaurant"
+        assert manifest["result"]["method"] == "ACD"
+        assert (manifest["stats"]["pairs_issued"]
+                == manifest["result"]["pairs_issued"])
+
+    def test_trace_summarize_and_validate_commands(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.jsonl"
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace records:" in out
+        assert "crowd rounds:" in out
+        assert main(["trace", "validate",
+                     str(tmp_path / "run.trace.manifest.json")]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_invalid(self, capsys, tmp_path):
+        bad = tmp_path / "bad.manifest.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["trace", "validate", str(bad)])
+
+    def test_output_json(self, capsys, tmp_path):
+        import json
+        output = tmp_path / "result.json"
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--method", "TransM", "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["config"]["method"] == "TransM"
+        assert 0.0 <= payload["result"]["f1"] <= 1.0
+
+
+class TestRunFlagValidation:
+    """The fail-fast guards: every bad flag combination must die with a
+    clear message before any crowd work starts (not argparse's exit 2)."""
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit,
+                           match=r"--resume requires --journal"):
+            main(["run", "restaurant", "--scale", "0.05", "--resume"])
+
+    def test_manifest_requires_trace(self, tmp_path):
+        with pytest.raises(SystemExit,
+                           match=r"--manifest requires --trace"):
+            main(["run", "restaurant", "--scale", "0.05",
+                  "--manifest", str(tmp_path / "m.json")])
+
+    def test_journal_and_trace_collision(self, tmp_path):
+        shared = tmp_path / "artifact.jsonl"
+        with pytest.raises(SystemExit, match="same file"):
+            main(["run", "restaurant", "--scale", "0.05",
+                  "--journal", str(shared), "--trace", str(shared)])
+
+    def test_trace_and_output_collision(self, tmp_path):
+        shared = tmp_path / "artifact.json"
+        with pytest.raises(SystemExit, match="same file"):
+            main(["run", "restaurant", "--scale", "0.05",
+                  "--trace", str(shared), "--output", str(shared)])
+
+    def test_journal_config_mismatch_exits_cleanly(self, capsys, tmp_path):
+        journal = tmp_path / "run.wal"
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit,
+                           match="different run configuration"):
+            main(["run", "restaurant", "--scale", "0.1",
+                  "--journal", str(journal), "--resume"])
+
+    def test_journal_resume_same_config_succeeds(self, capsys, tmp_path):
+        journal = tmp_path / "run.wal"
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--journal", str(journal), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming from" in second
+        # Replay is deterministic: the resumed run reports the same F1.
+        f1 = [line for line in first.splitlines() if "F1" in line]
+        assert f1 and f1[0] in second

@@ -350,3 +350,83 @@ class TestCrashResume:
                             seed=11, journal_path=tmp_path / "run.wal")
         assert journaled.clustering.as_sets() == plain.clustering.as_sets()
         assert journaled.stats.snapshot() == plain.stats.snapshot()
+
+
+class TestJournalConfigFingerprint:
+    """Resuming a journal recorded under different run settings must fail
+    fast, before a single replayed answer can leak across experiments."""
+
+    CONFIG = {"dataset": "restaurant", "scale": 0.1, "seed": 3,
+              "method": "ACD"}
+
+    def _new_journal(self, tmp_path, config):
+        from repro.crowd.persistence import AnswerJournal
+        with AnswerJournal(tmp_path / "run.wal", num_workers=3,
+                           config=config) as journal:
+            journal.append_batch({(0, 1): 0.9})
+        return tmp_path / "run.wal"
+
+    def test_matching_config_resumes(self, tmp_path):
+        from repro.crowd.persistence import AnswerJournal
+        path = self._new_journal(tmp_path, self.CONFIG)
+        with AnswerJournal(path, num_workers=3,
+                           config=dict(self.CONFIG)) as journal:
+            assert journal.get((0, 1)) == 0.9
+            assert journal.config == self.CONFIG
+
+    def test_mismatched_config_names_the_differing_keys(self, tmp_path):
+        from repro.crowd.persistence import AnswerJournal
+        path = self._new_journal(tmp_path, self.CONFIG)
+        other = dict(self.CONFIG, scale=0.5, seed=4)
+        with pytest.raises(ValueError, match="scale, seed"):
+            AnswerJournal(path, num_workers=3, config=other)
+
+    def test_extra_or_missing_keys_also_mismatch(self, tmp_path):
+        from repro.crowd.persistence import AnswerJournal
+        path = self._new_journal(tmp_path, self.CONFIG)
+        missing_key = {k: v for k, v in self.CONFIG.items()
+                       if k != "method"}
+        with pytest.raises(ValueError, match="method"):
+            AnswerJournal(path, num_workers=3, config=missing_key)
+
+    def test_headerless_config_journal_accepts_any_caller_config(
+            self, tmp_path):
+        # Journals written before the fingerprint existed carry no config;
+        # they must keep resuming (the operator is on their own there).
+        from repro.crowd.persistence import AnswerJournal
+        path = self._new_journal(tmp_path, config=None)
+        with AnswerJournal(path, num_workers=3,
+                           config=self.CONFIG) as journal:
+            assert journal.get((0, 1)) == 0.9
+
+    def test_caller_without_config_resumes_and_inherits_recorded(
+            self, tmp_path):
+        from repro.crowd.persistence import AnswerJournal
+        path = self._new_journal(tmp_path, self.CONFIG)
+        with AnswerJournal(path, num_workers=3) as journal:
+            assert journal.config == self.CONFIG
+
+    def test_malformed_config_header_rejected(self, tmp_path):
+        import json
+        from repro.crowd.persistence import AnswerJournal
+        path = tmp_path / "bad.wal"
+        path.write_text(json.dumps(
+            {"journal": 1, "num_workers": 3, "config": "not-a-dict"}
+        ) + "\n")
+        with pytest.raises(ValueError, match="config"):
+            AnswerJournal(path, num_workers=3, config=self.CONFIG)
+
+    def test_journaling_answer_file_forwards_config(self, tmp_path):
+        from repro.crowd.persistence import (
+            AnswerJournal,
+            JournalingAnswerFile,
+        )
+        path = self._new_journal(tmp_path, self.CONFIG)
+        source = ScriptedAnswers({(0, 1): 0.9}, num_workers=3)
+        other = dict(self.CONFIG, dataset="paper")
+        with pytest.raises(ValueError, match="dataset"):
+            JournalingAnswerFile(source, path, config=other)
+        wrapped = JournalingAnswerFile(source, path,
+                                       config=dict(self.CONFIG))
+        assert wrapped.resumed_answers == 1
+        wrapped.close()
