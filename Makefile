@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke chaos-smoke trace-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke bench-refine chaos-smoke trace-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -17,6 +17,12 @@ bench-quick:
 bench-smoke:
 	REPRO_BENCH_SCALE=0.3 python benchmarks/bench_pruning.py
 	REPRO_BENCH_SCALE=0.2 python benchmarks/bench_endtoend.py
+
+# Refinement-engine benchmark: fast (incremental, cached) vs reference
+# (full re-evaluation) PC-Refine on every dataset, asserting identical
+# outputs.  Regenerates BENCH_refine.json at the repo root.
+bench-refine:
+	REPRO_BENCH_SCALE=0.5 python benchmarks/bench_refine.py
 
 # Fault-injection smoke: every pipeline family must terminate under the
 # default hostile crowd (abandonment, timeouts, spammers, early quorum).

@@ -9,9 +9,13 @@ Standalone (no pytest)::
     REPRO_BENCH_SCALE=0.3 python benchmarks/bench_endtoend.py
 
 Environment knobs:
-    REPRO_BENCH_SCALE     dataset scale (default 1.0)
-    REPRO_BENCH_ENGINE    pruning engine (default auto)
-    REPRO_BENCH_PARALLEL  reference-scoring worker processes (default 0)
+    REPRO_BENCH_SCALE          dataset scale (default 1.0)
+    REPRO_BENCH_ENGINE         pruning engine (default auto)
+    REPRO_BENCH_PARALLEL       reference-scoring worker processes (default 0)
+    REPRO_BENCH_REFINE_ENGINE  refinement engine for the ``acd`` stage
+                               (default fast; the ``acd_reference`` stage
+                               always runs the reference engine for the
+                               speedup comparison)
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.perf.timing import (  # noqa: E402
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "auto")
 PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+REFINE_ENGINE = os.environ.get("REPRO_BENCH_REFINE_ENGINE", "fast")
 SEED = 1
 SETTING = "3w"
 DATASETS = ("paper", "restaurant", "product")
@@ -50,6 +55,7 @@ def main() -> int:
     runs = {}
     plain_total = 0.0
     traced_total = 0.0
+    reference_total = 0.0
     for dataset_name in DATASETS:
         timings = StageTimings()
         with timings.stage("pruning"):
@@ -57,19 +63,32 @@ def main() -> int:
                 dataset_name, SETTING, scale=SCALE, seed=SEED,
                 engine=ENGINE, parallel=PARALLEL,
             )
+        # Untimed warm-up: the first run populates the lazy answer file,
+        # which would otherwise be billed to whichever stage runs first.
+        run_method(ACD_METHOD, instance, seed=SEED,
+                   refine_engine=REFINE_ENGINE)
         with timings.stage("acd"):
-            result = run_method(ACD_METHOD, instance, seed=SEED)
+            result = run_method(ACD_METHOD, instance, seed=SEED,
+                                refine_engine=REFINE_ENGINE)
+        # The same pipeline under the full-re-evaluation refinement engine:
+        # the delta is the incremental engine's end-to-end win.
+        with timings.stage("acd_reference"):
+            reference = run_method(ACD_METHOD, instance, seed=SEED,
+                                   refine_engine="reference")
+        assert reference.pairs_issued == result.pairs_issued, \
+            "refinement engines must agree"
         # Same run again under full observability (spans + metrics + JSONL
         # stream to disk) — the delta is the tracing overhead.
         with tempfile.TemporaryDirectory() as tmpdir:
             with timings.stage("acd_traced"):
                 with ObsContext.to_path(Path(tmpdir) / "bench.trace.jsonl") as obs:
                     traced = run_method(ACD_METHOD, instance, seed=SEED,
-                                        obs=obs)
+                                        obs=obs, refine_engine=REFINE_ENGINE)
         assert traced.pairs_issued == result.pairs_issued, \
             "tracing must not perturb the run"
         plain_total += timings.seconds("acd")
         traced_total += timings.seconds("acd_traced")
+        reference_total += timings.seconds("acd_reference")
         runs[dataset_name] = run_entry(
             timings,
             records=len(instance.record_ids),
@@ -80,19 +99,23 @@ def main() -> int:
         print(
             f"{dataset_name}: pruning {timings.seconds('pruning'):.3f}s, "
             f"acd {timings.seconds('acd'):.3f}s, "
+            f"reference {timings.seconds('acd_reference'):.3f}s, "
             f"traced {timings.seconds('acd_traced'):.3f}s, "
             f"F1 {result.f1:.3f}"
         )
 
     overhead_pct = ((traced_total - plain_total) / plain_total * 100.0
                     if plain_total > 0 else 0.0)
+    acd_speedup = (reference_total / plain_total if plain_total > 0 else 1.0)
     payload = bench_payload(
         "endtoend",
         config={"scale": SCALE, "seed": SEED, "engine": ENGINE,
                 "parallel": PARALLEL, "setting": SETTING,
+                "refine_engine": REFINE_ENGINE,
                 "datasets": list(DATASETS)},
         runs=runs,
-        derived={"trace_overhead_pct": round(overhead_pct, 2)},
+        derived={"trace_overhead_pct": round(overhead_pct, 2),
+                 "acd_speedup_vs_reference": round(acd_speedup, 2)},
     )
     write_bench_json(OUTPUT, payload)
     print(f"trace overhead: {overhead_pct:+.2f}% "

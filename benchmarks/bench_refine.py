@@ -1,0 +1,152 @@
+"""Refine-phase benchmark: incremental engine vs reference engine.
+
+Runs the generation phase once per dataset/engine (identical by
+construction — the engines only diverge inside PC-Refine), then times the
+refinement phase under both engines and compares the work they performed:
+wall-clock seconds, benefit/cost derivations (`operation_evaluations`), and
+the fast engine's cache hit rate.  Asserts byte-identical outcomes while
+it is at it, then writes ``BENCH_refine.json`` at the repo root in the
+shared BENCH schema.
+
+Standalone (no pytest)::
+
+    REPRO_BENCH_SCALE=0.5 python benchmarks/bench_refine.py
+
+Environment knobs:
+    REPRO_BENCH_SCALE     dataset scale (default 0.5)
+    REPRO_BENCH_SEED      dataset/pivot seed (default 1)
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pc_pivot import pc_pivot  # noqa: E402
+from repro.core.pc_refine import PCRefineDiagnostics, pc_refine  # noqa: E402
+from repro.core.refine import REFINE_ENGINES  # noqa: E402
+from repro.crowd.oracle import CrowdOracle  # noqa: E402
+from repro.crowd.stats import CrowdStats  # noqa: E402
+from repro.experiments.runner import prepare_instance  # noqa: E402
+from repro.perf.timing import (  # noqa: E402
+    StageTimings,
+    bench_payload,
+    run_entry,
+    write_bench_json,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+SETTING = "3w"
+DATASETS = ("paper", "restaurant", "product")
+OUTPUT = REPO_ROOT / "BENCH_refine.json"
+
+
+def _run_engine(instance, engine: str):
+    """One generation + refinement pass; returns (timings, diagnostics,
+    clustering, pairs_issued)."""
+    stats = CrowdStats(
+        pairs_per_hit=instance.setting.pairs_per_hit,
+        reward_cents_per_hit=instance.setting.reward_cents_per_hit,
+        num_workers=instance.setting.num_workers,
+    )
+    oracle = CrowdOracle(instance.answers, stats=stats)
+    timings = StageTimings()
+    with timings.stage("generation"):
+        clustering = pc_pivot(instance.record_ids, instance.candidates,
+                              oracle, seed=SEED)
+    diagnostics = PCRefineDiagnostics()
+    with timings.stage("refine"):
+        pc_refine(clustering, instance.candidates, oracle,
+                  num_records=len(instance.record_ids),
+                  diagnostics=diagnostics, engine=engine)
+    return timings, diagnostics, clustering, stats.pairs_issued
+
+
+def main() -> int:
+    runs = {}
+    reductions = []
+    speedups = []
+    hit_rates = []
+    total_ref_evals = 0
+    total_fast_evals = 0
+    for dataset_name in DATASETS:
+        instance = prepare_instance(dataset_name, SETTING, scale=SCALE,
+                                    seed=SEED)
+        # Untimed warm-up: populate the lazy answer file so neither engine
+        # is billed for first-ask worker-answer generation.
+        _run_engine(instance, "reference")
+        per_engine = {}
+        for engine in REFINE_ENGINES:
+            timings, diagnostics, clustering, pairs = _run_engine(
+                instance, engine
+            )
+            per_engine[engine] = (timings, diagnostics, clustering, pairs)
+            meta = {
+                "records": len(instance.record_ids),
+                "candidate_pairs": len(instance.candidates),
+                "rounds": diagnostics.rounds,
+                "operations_evaluated": diagnostics.operation_evaluations,
+                "free_operations": diagnostics.free_operations_applied,
+                "pairs_issued": pairs,
+            }
+            if diagnostics.evaluation_cache is not None:
+                meta["cache"] = diagnostics.evaluation_cache
+            runs[f"{dataset_name}/{engine}"] = run_entry(timings, **meta)
+
+        fast = per_engine["fast"]
+        reference = per_engine["reference"]
+        # The engines must be interchangeable, not just fast.
+        assert fast[2].as_sets() == reference[2].as_sets(), dataset_name
+        assert fast[3] == reference[3], dataset_name
+
+        ref_evals = reference[1].operation_evaluations
+        fast_evals = max(1, fast[1].operation_evaluations)
+        reduction = ref_evals / fast_evals
+        ref_seconds = reference[0].seconds("refine")
+        fast_seconds = max(1e-9, fast[0].seconds("refine"))
+        speedup = ref_seconds / fast_seconds
+        hit_rate = fast[1].evaluation_cache["hit_rate"]
+        total_ref_evals += ref_evals
+        total_fast_evals += fast_evals
+        reductions.append(reduction)
+        speedups.append(speedup)
+        hit_rates.append(hit_rate)
+        print(
+            f"{dataset_name}: refine {ref_seconds:.3f}s -> "
+            f"{fast_seconds:.3f}s ({speedup:.1f}x), evaluations "
+            f"{ref_evals} -> {fast[1].operation_evaluations} "
+            f"({reduction:.1f}x), hit rate {hit_rate:.2%}"
+        )
+
+    payload = bench_payload(
+        "refine",
+        config={"scale": SCALE, "seed": SEED, "setting": SETTING,
+                "datasets": list(DATASETS), "engines": list(REFINE_ENGINES)},
+        runs=runs,
+        derived={
+            "evaluation_reduction_overall": round(
+                total_ref_evals / max(1, total_fast_evals), 2
+            ),
+            "evaluation_reduction_min": round(min(reductions), 2),
+            "evaluation_reduction_median": round(
+                statistics.median(reductions), 2
+            ),
+            "refine_speedup_median": round(statistics.median(speedups), 2),
+            "cache_hit_rate_mean": round(
+                sum(hit_rates) / len(hit_rates), 4
+            ),
+        },
+    )
+    write_bench_json(OUTPUT, payload)
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     run_comparison,
     run_method,
 )
+from repro.core.refine import REFINE_ENGINES
 from repro.pruning.candidate import ENGINES
 from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
 from repro.experiments.tables import (
@@ -125,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "from --trace)")
     run.add_argument("--output", default=None, metavar="PATH",
                      help="also write the result metrics as JSON to PATH")
+    run.add_argument("--refine-engine", choices=REFINE_ENGINES,
+                     default="fast",
+                     help="refinement evaluation engine: incremental "
+                          "'fast' (default) or full-re-evaluation "
+                          "'reference'; outputs are byte-identical")
     _add_setting(run)
     _add_common(run)
 
@@ -311,6 +317,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "seed": args.seed,
         "method": args.method,
         "method_seed": args.method_seed,
+        "refine_engine": args.refine_engine,
     }
     seeds = {"dataset_seed": args.seed, "method_seed": args.method_seed}
 
@@ -353,7 +360,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         gcer_budget = int(acd.pairs_issued)
     try:
         result = run_method(args.method, instance, seed=args.method_seed,
-                            gcer_budget=gcer_budget, obs=obs)
+                            gcer_budget=gcer_budget, obs=obs,
+                            refine_engine=args.refine_engine)
     finally:
         if journaled is not None:
             journaled.close()

@@ -12,6 +12,7 @@
 from repro.core.acd import ACDResult, run_acd
 from repro.core.clustering import Clustering
 from repro.core.estimator import DEFAULT_NUM_BUCKETS, HistogramEstimator
+from repro.core.evaluation_cache import EvaluationCache, EvaluationStats
 from repro.core.lowerbound import lp_lower_bound, optimality_gap
 from repro.core.objective import (
     lambda_objective,
@@ -48,6 +49,7 @@ from repro.core.permutation import Permutation
 from repro.core.pivot import crowd_pivot
 from repro.core.refine import (
     BENEFIT_TOLERANCE,
+    REFINE_ENGINES,
     build_estimator,
     crowd_refine,
     enumerate_operations,
@@ -60,6 +62,8 @@ __all__ = [
     "DEFAULT_EPSILON",
     "DEFAULT_NUM_BUCKETS",
     "DEFAULT_THRESHOLD_DIVISOR",
+    "EvaluationCache",
+    "EvaluationStats",
     "HistogramEstimator",
     "Merge",
     "Operation",
@@ -68,6 +72,7 @@ __all__ = [
     "PCRefineDiagnostics",
     "PartialPivotResult",
     "Permutation",
+    "REFINE_ENGINES",
     "Split",
     "apply_operation",
     "build_estimator",

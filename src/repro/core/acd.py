@@ -75,6 +75,7 @@ def run_acd(
     max_refinement_pairs: Optional[int] = None,
     journal_path: Optional[Union[str, Path]] = None,
     obs: Optional[ObsContext] = None,
+    refine_engine: str = "fast",
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -110,6 +111,10 @@ def run_acd(
             is written atomically on completion.  ``None`` (the default)
             changes nothing: the result is byte-identical to an
             unobserved run.
+        refine_engine: Phase-3 evaluation engine — "fast" (incremental
+            caching, the default) or "reference" (full re-evaluation).
+            Outputs are byte-identical; see
+            :data:`~repro.core.refine.REFINE_ENGINES`.
 
     Returns:
         The :class:`ACDResult`.
@@ -124,7 +129,7 @@ def run_acd(
                 refine=refine, parallel=parallel,
                 pairs_per_hit=pairs_per_hit, ranking=ranking,
                 max_refinement_pairs=max_refinement_pairs,
-                obs=obs,
+                obs=obs, refine_engine=refine_engine,
             )
         finally:
             journaled.close()
@@ -166,12 +171,13 @@ def run_acd(
                         diagnostics=refine_diagnostics,
                         ranking=ranking,
                         max_refinement_pairs=max_refinement_pairs,
-                        obs=obs,
+                        obs=obs, engine=refine_engine,
                     )
                 else:
                     clustering = crowd_refine(
                         clustering, candidates, oracle,
                         num_buckets=num_buckets, obs=obs,
+                        engine=refine_engine,
                     )
 
     total = stats.snapshot()
@@ -198,6 +204,7 @@ def run_acd(
                 "pairs_per_hit": pairs_per_hit,
                 "ranking": ranking,
                 "max_refinement_pairs": max_refinement_pairs,
+                "refine_engine": refine_engine,
             },
             seeds={"pivot_seed": seed},
         )

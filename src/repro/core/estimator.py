@@ -31,6 +31,18 @@ class HistogramEstimator:
         self._bucket_means: List[float] = []
         self._merged_counts: List[int] = []
         self._dirty = True
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped by every sample ingestion.
+
+        Incremental consumers (:class:`~repro.core.evaluation_cache.
+        EvaluationCache`) compare epochs to learn that the histogram *may*
+        have changed, then diff per-score estimates to find out what
+        actually did.
+        """
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -44,11 +56,13 @@ class HistogramEstimator:
         """
         self._samples[pair] = (machine_score, crowd_score)
         self._dirty = True
+        self._epoch += 1
 
     def add_samples(self, samples: Dict[Pair, Tuple[float, float]]) -> None:
         """Bulk :meth:`add_sample`."""
         self._samples.update(samples)
         self._dirty = True
+        self._epoch += 1
 
     def _rebuild(self) -> None:
         observations = sorted(self._samples.values())

@@ -93,6 +93,11 @@ class OperationEvaluator:
         self._candidates = candidates
         self._oracle = oracle
         self._estimator = estimator
+        #: From-scratch derivations performed (each public value walks
+        #: ``relevant_pairs`` once).  The refine benchmark reads this to
+        #: compare the reference engine's work against the incremental
+        #: :class:`~repro.core.evaluation_cache.EvaluationCache`.
+        self.evaluations = 0
 
     # ------------------------------------------------------------------
     # Pair-level views
@@ -100,6 +105,7 @@ class OperationEvaluator:
 
     def relevant_pairs(self, operation: Operation) -> List[Pair]:
         """The record pairs whose ``f_c`` the operation's benefit needs."""
+        self.evaluations += 1
         if isinstance(operation, Split):
             others = self._clustering.members(operation.cluster_id)
             others.discard(operation.record_id)

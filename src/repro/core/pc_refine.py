@@ -11,19 +11,23 @@ whose confirmed benefit is positive.  ``T = N_m / x`` where
 
 from __future__ import annotations
 
+import heapq
+
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.clustering import Clustering
 from repro.core.estimator import DEFAULT_NUM_BUCKETS
+from repro.core.evaluation_cache import EvaluationCache
 from repro.core.operations import (
     Operation,
     OperationEvaluator,
     apply_operation,
-    independent,
 )
 from repro.core.refine import (
     BENEFIT_TOLERANCE,
+    REFINE_ENGINES,
+    OperationCache,
     apply_free_operations,
     build_estimator,
     enumerate_operations,
@@ -45,12 +49,20 @@ class PCRefineDiagnostics:
         operations_packed: Size of ``O^i`` per round.
         operations_applied: Confirmed-positive operations applied per round.
         free_operations_applied: Zero-cost operations applied in total.
+        operation_evaluations: Benefit/cost derivations the run performed —
+            from-scratch evaluator walks on the reference engine; cache
+            builds + refreshes on the fast engine.  The refine benchmark
+            compares the two.
+        evaluation_cache: Fast-engine :class:`~repro.core.evaluation_cache.
+            EvaluationStats` snapshot (``None`` on the reference engine).
     """
 
     batch_sizes: List[int] = field(default_factory=list)
     operations_packed: List[int] = field(default_factory=list)
     operations_applied: List[int] = field(default_factory=list)
     free_operations_applied: int = 0
+    operation_evaluations: int = 0
+    evaluation_cache: Optional[Dict[str, float]] = None
 
     @property
     def rounds(self) -> int:
@@ -131,54 +143,87 @@ def _pack_independent_operations(
     return packed
 
 
-def pc_refine(
+def _pack_independent_operations_fast(
+    cache: OperationCache,
+    evaluations: EvaluationCache,
+    budget: float,
+    ranking: str = "ratio",
+    hard_budget: bool = False,
+) -> List[Operation]:
+    """Fast-engine packer: identical packing decisions to
+    :func:`_pack_independent_operations`, lazily ordered.
+
+    Scores come from the shared :class:`EvaluationCache` instead of fresh
+    evaluator walks, and the full ``sort`` is replaced by a heapified
+    candidate list popped in exactly the reference's sorted order
+    ``(-key, repr(op))`` — the budget usually exhausts long before the
+    tail, so most of the ordering work is never paid.
+    """
+    if ranking not in ("ratio", "benefit"):
+        raise ValueError(f"ranking must be 'ratio' or 'benefit', got {ranking!r}")
+    by_ratio = ranking == "ratio"
+    scored: List[Tuple[float, str, int, Operation]] = []
+    for operation in cache.operations():
+        if by_ratio:
+            ratio, cost = evaluations.ratio_and_cost(operation)
+            if cost <= 0:
+                continue  # known benefit; handled by the free path
+            key = ratio
+        else:
+            cost = evaluations.cost(operation)
+            if cost <= 0:
+                continue
+            key = evaluations.estimated_benefit(operation)
+        if key > 0.0:
+            scored.append((-key, repr(operation), cost, operation))
+    heapq.heapify(scored)
+
+    packed: List[Operation] = []
+    touched: Set[int] = set()
+    total_cost = 0
+    while scored:
+        if total_cost >= budget:
+            break
+        _, _, cost, operation = heapq.heappop(scored)
+        if hard_budget and total_cost + cost > budget:
+            continue
+        if set(operation.touched_clusters) & touched:
+            continue
+        packed.append(operation)
+        touched.update(operation.touched_clusters)
+        total_cost += cost
+    return packed
+
+
+def _pc_refine_reference(
     clustering: Clustering,
     candidates: CandidateSet,
     oracle: CrowdOracle,
-    num_records: Optional[int] = None,
-    threshold_divisor: float = DEFAULT_THRESHOLD_DIVISOR,
-    num_buckets: int = DEFAULT_NUM_BUCKETS,
-    diagnostics: Optional[PCRefineDiagnostics] = None,
-    ranking: str = "ratio",
-    max_refinement_pairs: Optional[int] = None,
-    obs=None,
+    num_records: int,
+    threshold_divisor: float,
+    num_buckets: int,
+    diagnostics: Optional[PCRefineDiagnostics],
+    ranking: str,
+    max_refinement_pairs: Optional[int],
+    obs,
 ) -> Clustering:
-    """Run PC-Refine; refines ``clustering`` in place and returns it.
-
-    Args:
-        clustering: Phase-2 output ``C`` (mutated).
-        candidates: The candidate set ``S`` with machine scores.
-        oracle: Crowd access carrying the phase-2 answer set ``A``.
-        num_records: ``|R|`` for the budget formula; defaults to the number
-            of records in the clustering.
-        threshold_divisor: The ``x`` in ``T = N_m / x`` (paper: 8).
-        num_buckets: Histogram granularity ``m`` (paper: 20).
-        diagnostics: Optional sink for per-round measurements.
-        ranking: Operation ranking — "ratio" (the paper's benefit-cost
-            ratio) or "benefit" (cost-blind ablation).
-        max_refinement_pairs: Optional hard cap on the pairs this phase may
-            crowdsource (beyond the paper: a practical total-budget knob).
-            With a cap in place the packer only admits operations whose
-            costs still fit; free operations keep applying after the cap
-            is exhausted.
-        obs: Optional :class:`~repro.obs.ObsContext`; each parallel round
-            emits a ``refine.round`` event (budget ``T``, packed batch,
-            applied count, histogram state) and bumps the round / free
-            counters.
-    """
-    if num_records is None:
-        num_records = clustering.num_records
-    if max_refinement_pairs is not None and max_refinement_pairs < 0:
-        raise ValueError(
-            f"max_refinement_pairs must be >= 0, got {max_refinement_pairs}"
-        )
+    """Reference engine: fresh evaluator walks, full re-enumeration and
+    re-sort per round, per-round unknown-pair sweep.  The literal reading
+    of Algorithm 5; kept for equivalence tests and as the benchmark
+    baseline."""
     pairs_at_start = oracle.stats.pairs_issued
     estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
 
+    def finish() -> Clustering:
+        if diagnostics is not None:
+            diagnostics.operation_evaluations = evaluator.evaluations
+        return clustering
+
     round_index = 0
     while True:
-        freed = apply_free_operations(clustering, candidates, oracle, estimator)
+        freed = apply_free_operations(clustering, candidates, oracle,
+                                      estimator, evaluator=evaluator)
         if diagnostics is not None:
             diagnostics.free_operations_applied += freed
         if obs is not None and freed:
@@ -189,7 +234,7 @@ def pc_refine(
 
         spent = oracle.stats.pairs_issued - pairs_at_start
         if max_refinement_pairs is not None and spent >= max_refinement_pairs:
-            return clustering
+            return finish()
 
         num_unknown = sum(
             1 for pair in candidates.pairs if not oracle.knows(*pair)
@@ -205,7 +250,7 @@ def pc_refine(
             hard_budget=max_refinement_pairs is not None,
         )
         if not packed:
-            return clustering
+            return finish()
 
         # One crowd batch resolves every packed operation's unknown pairs.
         needed: Set[Pair] = set()
@@ -246,4 +291,173 @@ def pc_refine(
                 histogram_buckets=estimator.num_buckets,
             )
         if applied == 0:
-            return clustering
+            return finish()
+
+
+def _pc_refine_fast(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_records: int,
+    threshold_divisor: float,
+    num_buckets: int,
+    diagnostics: Optional[PCRefineDiagnostics],
+    ranking: str,
+    max_refinement_pairs: Optional[int],
+    obs,
+) -> Clustering:
+    """Fast engine: one :class:`OperationCache` + :class:`EvaluationCache`
+    shared across rounds (free path included), an incrementally maintained
+    unknown-pair count, and the lazily ordered packer.  Byte-identical to
+    :func:`_pc_refine_reference` — property-tested in
+    ``tests/core/test_refine_engines.py``."""
+    pairs_at_start = oracle.stats.pairs_issued
+    estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
+    cache = OperationCache(clustering, candidates)
+    evaluations = EvaluationCache(clustering, candidates, oracle, estimator,
+                                  cache.tracker)
+
+    # ``N_u``, seeded with one sweep and then maintained from the oracle's
+    # answer log: every pair that transitions unknown -> known inside this
+    # run's batches decrements it (the reference re-sweeps per round).
+    num_unknown = sum(1 for pair in candidates.pairs
+                      if not oracle.knows(*pair))
+    answer_cursor = oracle.answer_epoch
+
+    def finish() -> Clustering:
+        if diagnostics is not None:
+            stats = evaluations.stats
+            diagnostics.operation_evaluations = (stats.evaluations
+                                                 + stats.refreshes)
+            diagnostics.evaluation_cache = stats.as_dict()
+        return clustering
+
+    round_index = 0
+    while True:
+        freed = apply_free_operations(clustering, candidates, oracle,
+                                      estimator, cache=cache,
+                                      evaluations=evaluations)
+        if diagnostics is not None:
+            diagnostics.free_operations_applied += freed
+        if obs is not None and freed:
+            obs.metrics.counter(
+                "refine_free_operations_total",
+                help="Zero-cost refinement operations applied",
+            ).inc(freed)
+
+        spent = oracle.stats.pairs_issued - pairs_at_start
+        if max_refinement_pairs is not None and spent >= max_refinement_pairs:
+            return finish()
+
+        budget = refinement_budget(
+            num_records, max(1, len(clustering)), num_unknown,
+            threshold_divisor=threshold_divisor,
+        )
+        if max_refinement_pairs is not None:
+            budget = min(budget, float(max_refinement_pairs - spent))
+        packed = _pack_independent_operations_fast(
+            cache, evaluations, budget, ranking=ranking,
+            hard_budget=max_refinement_pairs is not None,
+        )
+        if not packed:
+            return finish()
+
+        # One crowd batch resolves every packed operation's unknown pairs.
+        needed: Set[Pair] = set()
+        for operation in packed:
+            needed.update(evaluations.unknown_pairs(operation))
+        answers = oracle.ask_batch(sorted(needed))
+        for pair in oracle.answers_since(answer_cursor):
+            if pair in candidates:
+                num_unknown -= 1
+        answer_cursor = oracle.answer_epoch
+        for pair, crowd_score in answers.items():
+            if pair in candidates:
+                estimator.add_sample(
+                    pair, candidates.machine_scores[pair], crowd_score
+                )
+
+        applied = 0
+        for operation in packed:
+            benefit = evaluations.exact_benefit(operation)
+            if benefit is not None and benefit > BENEFIT_TOLERANCE:
+                cache.apply(operation)
+                applied += 1
+        if diagnostics is not None:
+            diagnostics.batch_sizes.append(len(needed))
+            diagnostics.operations_packed.append(len(packed))
+            diagnostics.operations_applied.append(applied)
+        round_index += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "refine_rounds_total",
+                help="PC-Refine parallel rounds executed",
+            ).inc()
+            obs.event(
+                "refine.round",
+                round=round_index,
+                budget=budget,
+                batch_pairs=len(needed),
+                packed=len(packed),
+                applied=applied,
+                clusters=len(clustering),
+                histogram_samples=len(estimator),
+                histogram_buckets=estimator.num_buckets,
+            )
+        if applied == 0:
+            return finish()
+
+
+def pc_refine(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_records: Optional[int] = None,
+    threshold_divisor: float = DEFAULT_THRESHOLD_DIVISOR,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    diagnostics: Optional[PCRefineDiagnostics] = None,
+    ranking: str = "ratio",
+    max_refinement_pairs: Optional[int] = None,
+    obs=None,
+    engine: str = "fast",
+) -> Clustering:
+    """Run PC-Refine; refines ``clustering`` in place and returns it.
+
+    Args:
+        clustering: Phase-2 output ``C`` (mutated).
+        candidates: The candidate set ``S`` with machine scores.
+        oracle: Crowd access carrying the phase-2 answer set ``A``.
+        num_records: ``|R|`` for the budget formula; defaults to the number
+            of records in the clustering.
+        threshold_divisor: The ``x`` in ``T = N_m / x`` (paper: 8).
+        num_buckets: Histogram granularity ``m`` (paper: 20).
+        diagnostics: Optional sink for per-round measurements.
+        ranking: Operation ranking — "ratio" (the paper's benefit-cost
+            ratio) or "benefit" (cost-blind ablation).
+        max_refinement_pairs: Optional hard cap on the pairs this phase may
+            crowdsource (beyond the paper: a practical total-budget knob).
+            With a cap in place the packer only admits operations whose
+            costs still fit; free operations keep applying after the cap
+            is exhausted.
+        obs: Optional :class:`~repro.obs.ObsContext`; each parallel round
+            emits a ``refine.round`` event (budget ``T``, packed batch,
+            applied count, histogram state) and bumps the round / free
+            counters.
+        engine: One of :data:`~repro.core.refine.REFINE_ENGINES` — "fast"
+            (incremental, default) or "reference" (full re-evaluation);
+            outputs are byte-identical.
+    """
+    if engine not in REFINE_ENGINES:
+        raise ValueError(
+            f"engine must be one of {REFINE_ENGINES}, got {engine!r}"
+        )
+    if num_records is None:
+        num_records = clustering.num_records
+    if max_refinement_pairs is not None and max_refinement_pairs < 0:
+        raise ValueError(
+            f"max_refinement_pairs must be >= 0, got {max_refinement_pairs}"
+        )
+    refine = _pc_refine_fast if engine == "fast" else _pc_refine_reference
+    return refine(clustering, candidates, oracle, num_records,
+                  threshold_divisor, num_buckets, diagnostics, ranking,
+                  max_refinement_pairs, obs)

@@ -11,10 +11,13 @@ ratio is non-positive.
 
 from __future__ import annotations
 
+import heapq
+
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.clustering import Clustering
 from repro.core.estimator import DEFAULT_NUM_BUCKETS, HistogramEstimator
+from repro.core.evaluation_cache import EvaluationCache
 from repro.core.operations import (
     Merge,
     Operation,
@@ -28,6 +31,12 @@ from repro.pruning.candidate import CandidateSet
 # Positivity tolerance: benefits are sums of f_c terms (multiples of
 # 1/num_workers), so any genuine improvement is far above float dust.
 BENEFIT_TOLERANCE = 1e-9
+
+#: Refinement engines: "fast" (incremental EvaluationCache + lazy ranking)
+#: and "reference" (full re-evaluation per iteration, the literal reading of
+#: Algorithms 4-5).  Outputs are byte-identical; "reference" exists for
+#: equivalence testing and as the benchmark baseline.
+REFINE_ENGINES = ("fast", "reference")
 
 
 def enumerate_operations(clustering: Clustering,
@@ -275,12 +284,40 @@ def _apply_free_operations_reference(
         applied += 1
 
 
+def _operations_touching(
+    clustering: Clustering,
+    neighbors: Mapping[int, List[int]],
+    cluster_ids: Iterable[int],
+) -> List[Operation]:
+    """All candidate operations touching the given *live* clusters."""
+    found: List[Operation] = []
+    seen_merges: Set[Tuple[int, int]] = set()
+    for cluster_id in cluster_ids:
+        members = clustering.members(cluster_id)
+        if len(members) >= 2:
+            for record_id in members:
+                found.append(Split(record_id, cluster_id))
+        for record_id in members:
+            for neighbor in neighbors.get(record_id, ()):
+                other = clustering.cluster_of(neighbor)
+                if other == cluster_id:
+                    continue
+                key = (min(cluster_id, other), max(cluster_id, other))
+                if key not in seen_merges:
+                    seen_merges.add(key)
+                    found.append(Merge(key[0], key[1]))
+    return found
+
+
 def apply_free_operations(
     clustering: Clustering,
     candidates: CandidateSet,
     oracle: CrowdOracle,
     estimator: HistogramEstimator,
     cache: Optional[OperationCache] = None,
+    evaluator: Optional[OperationEvaluator] = None,
+    evaluations: Optional[EvaluationCache] = None,
+    invalidated: Optional[Set[int]] = None,
 ) -> int:
     """Step 1 of Section 5.4 / lines 5-7 of Algorithm 4: repeatedly apply the
     known-benefit operation with the largest positive benefit until none is
@@ -301,10 +338,25 @@ def apply_free_operations(
             candidate adjacency, and the cluster-version tracker — so the
             heap seeding reuses cached enumeration state and the applied
             operations invalidate the caller's cache entries in turn.
+        evaluator: Optional caller-owned evaluator to use instead of a
+            private one (lets the caller account all derivations in one
+            counter; values are state-dependent, never caller-dependent).
+        evaluations: Optional :class:`EvaluationCache`; when given, exact
+            benefits are served incrementally from it instead of being
+            re-derived per push (fast-engine path).  Must share the same
+            tracker as ``cache``.
+        invalidated: Optional out-parameter; accumulates the cluster ids
+            each applied operation touched, changed, or created — exactly
+            the set a caller-side ranking structure must re-examine
+            (including destroyed cluster ids).
     """
-    import heapq
-
-    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+    if evaluations is not None:
+        exact_benefit = evaluations.exact_benefit
+    else:
+        if evaluator is None:
+            evaluator = OperationEvaluator(clustering, candidates, oracle,
+                                           estimator)
+        exact_benefit = evaluator.exact_benefit
 
     if cache is not None:
         neighbors = cache.neighbors
@@ -318,32 +370,12 @@ def apply_free_operations(
     heap: List[Tuple[float, Tuple, Operation, Tuple[Tuple[int, int], ...]]] = []
 
     def push_if_positive(operation: Operation) -> None:
-        benefit = evaluator.exact_benefit(operation)
+        benefit = exact_benefit(operation)
         if benefit is not None and benefit > BENEFIT_TOLERANCE:
             heapq.heappush(heap, (
                 -benefit, _operation_sort_key(operation), operation,
                 tracker.snapshot(operation.touched_clusters),
             ))
-
-    def operations_touching(cluster_ids: Iterable[int]) -> List[Operation]:
-        """All candidate operations touching the given clusters."""
-        found: List[Operation] = []
-        seen_merges: Set[Tuple[int, int]] = set()
-        for cluster_id in cluster_ids:
-            members = clustering.members(cluster_id)
-            if len(members) >= 2:
-                for record_id in members:
-                    found.append(Split(record_id, cluster_id))
-            for record_id in members:
-                for neighbor in neighbors.get(record_id, ()):
-                    other = clustering.cluster_of(neighbor)
-                    if other == cluster_id:
-                        continue
-                    key = (min(cluster_id, other), max(cluster_id, other))
-                    if key not in seen_merges:
-                        seen_merges.add(key)
-                        found.append(Merge(key[0], key[1]))
-        return found
 
     for operation in initial_operations:
         push_if_positive(operation)
@@ -354,9 +386,11 @@ def apply_free_operations(
         # Stale if any touched cluster changed or vanished.
         if not tracker.is_current(snap):
             continue
-        invalidated = tracker.apply(clustering, operation)
+        changed = tracker.apply(clustering, operation)
         applied += 1
-        for affected in operations_touching(invalidated):
+        if invalidated is not None:
+            invalidated |= set(operation.touched_clusters) | changed
+        for affected in _operations_touching(clustering, neighbors, changed):
             push_if_positive(affected)
     return applied
 
@@ -372,24 +406,17 @@ def _record_answers(
             estimator.add_sample(pair, candidates.machine_scores[pair], crowd_score)
 
 
-def crowd_refine(
+def _crowd_refine_reference(
     clustering: Clustering,
     candidates: CandidateSet,
     oracle: CrowdOracle,
     num_buckets: int = DEFAULT_NUM_BUCKETS,
     obs=None,
 ) -> Clustering:
-    """Run Crowd-Refine; refines ``clustering`` in place and returns it.
+    """Reference engine: re-evaluates every operation per outer iteration.
 
-    Args:
-        clustering: Phase-2 output ``C`` (mutated).
-        candidates: The candidate set ``S`` with machine scores.
-        oracle: Crowd access whose known set is the phase-2 answer set ``A``.
-        num_buckets: Histogram granularity ``m`` (paper: 20).
-        obs: Optional :class:`~repro.obs.ObsContext`; each costly
-            iteration emits a ``refine.step`` event (chosen operation, its
-            ratio / cost / confirmed benefit, histogram state) and bumps
-            the step / free-operation counters.
+    The literal reading of Algorithm 4's estimated path; kept for
+    equivalence tests and as the ``bench_refine`` baseline.
     """
     estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
     evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
@@ -401,7 +428,8 @@ def crowd_refine(
     step = 0
     while True:
         applied = apply_free_operations(clustering, candidates, oracle,
-                                        estimator, cache=cache)
+                                        estimator, cache=cache,
+                                        evaluator=evaluator)
         if obs is not None and applied:
             obs.metrics.counter(
                 "refine_free_operations_total",
@@ -447,3 +475,239 @@ def crowd_refine(
                 histogram_samples=len(estimator),
                 histogram_buckets=estimator.num_buckets,
             )
+
+
+class _LazyRatioSelector:
+    """Persistent best-ratio selection over the costly operations.
+
+    Replaces the reference engine's full O(ops) rescan per iteration with a
+    lazy max-heap keyed ``(-ratio, enumeration-order key)``.  The
+    enumeration-order key reproduces ``enumerate_operations``' position
+    order (splits ascending by (cluster, record), then merges ascending by
+    their minimum crossing candidate pair), so the heap top is exactly the
+    operation the reference scan's strict ``ratio > best_ratio`` update
+    would select: maximum ratio, earliest enumeration position among ties.
+
+    Staleness is handled lazily: heap entries are discarded on pop when
+    their tracked ratio no longer matches; invalidated clusters respawn
+    their touching operations; answer/estimate deltas arrive through
+    :meth:`EvaluationCache.drain_dirty_operations`.
+    """
+
+    def __init__(self, clustering: Clustering, cache: OperationCache,
+                 evaluations: EvaluationCache):
+        self._clustering = clustering
+        self._cache = cache
+        self._evaluations = evaluations
+        self._heap: List[Tuple[float, Tuple, int, Operation]] = []
+        self._tracked: Dict[Operation, float] = {}
+        self._by_cluster: Dict[int, Set[Operation]] = {}
+        self._pending: Set[int] = set()
+        self._seq = 0
+        for operation in cache.operations():
+            self._consider(operation)
+
+    def invalidate_clusters(self, cluster_ids: Iterable[int]) -> None:
+        """Mark clusters whose membership changed (or that died); their
+        touching operations are re-examined on the next :meth:`select`."""
+        self._pending.update(cluster_ids)
+
+    def select(self) -> Tuple[Optional[Operation], float]:
+        """The costly operation the reference scan would pick, with its
+        ratio; ``(None, 0.0)`` when no costly operation exists."""
+        self._ingest()
+        heap = self._heap
+        if len(heap) > 64 + 4 * len(self._tracked):
+            self._compact()
+        while heap:
+            negative_ratio, _, _, operation = heap[0]
+            current = self._tracked.get(operation)
+            if current is None or -negative_ratio != current:
+                heapq.heappop(heap)  # stale entry
+                continue
+            return operation, current
+        return None, 0.0
+
+    # -- internals ------------------------------------------------------
+
+    def _ingest(self) -> None:
+        dirty = self._evaluations.drain_dirty_operations()
+        pending = self._pending
+        self._pending = set()
+        stale: Set[Operation] = set()
+        for cluster_id in pending:
+            stale |= self._by_cluster.pop(cluster_id, set())
+        tracker = self._cache.tracker
+        live = [cluster_id for cluster_id in pending
+                if tracker.version(cluster_id) is not None]
+        fresh = set(_operations_touching(self._clustering,
+                                         self._cache.neighbors, live))
+        for operation in stale - fresh:
+            self._untrack(operation)
+        for operation in fresh:
+            self._consider(operation)
+        for operation in dirty:
+            # Untracked live operations have cost <= 0 (answers only ever
+            # shrink costs; cost growth requires a cluster change, which
+            # arrives via `fresh`), so only tracked ones can move.
+            if operation not in fresh and operation in self._tracked:
+                self._consider(operation)
+
+    def _consider(self, operation: Operation) -> None:
+        ratio, cost = self._evaluations.ratio_and_cost(operation)
+        if cost <= 0:
+            self._untrack(operation)
+            return
+        for cluster_id in operation.touched_clusters:
+            self._by_cluster.setdefault(cluster_id, set()).add(operation)
+        if self._tracked.get(operation) == ratio:
+            return  # existing heap entry is still valid
+        self._tracked[operation] = ratio
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (-ratio, self._enum_key(operation), self._seq,
+                        operation))
+
+    def _untrack(self, operation: Operation) -> None:
+        if self._tracked.pop(operation, None) is None:
+            return
+        for cluster_id in operation.touched_clusters:
+            ops = self._by_cluster.get(cluster_id)
+            if ops is not None:
+                ops.discard(operation)
+                if not ops:
+                    del self._by_cluster[cluster_id]
+
+    def _compact(self) -> None:
+        self._heap = [
+            (-ratio, self._enum_key(operation), index, operation)
+            for index, (operation, ratio) in enumerate(self._tracked.items())
+        ]
+        heapq.heapify(self._heap)
+        self._seq = len(self._heap)
+
+    def _enum_key(self, operation: Operation) -> Tuple:
+        if isinstance(operation, Split):
+            return (0, operation.cluster_id, operation.record_id)
+        return (1, self._min_crossing_pair(operation))
+
+    def _min_crossing_pair(self, operation: Merge) -> Tuple[int, int]:
+        """The merge's smallest crossing candidate pair — its first
+        occurrence position in ``enumerate_operations``' sorted pair scan."""
+        clustering = self._clustering
+        neighbors = self._cache.neighbors
+        scan, other = operation.cluster_a, operation.cluster_b
+        if clustering.size(other) < clustering.size(scan):
+            scan, other = other, scan
+        best: Optional[Tuple[int, int]] = None
+        for record_id in clustering.members(scan):
+            for neighbor in neighbors.get(record_id, ()):
+                if clustering.cluster_of(neighbor) != other:
+                    continue
+                pair = ((record_id, neighbor) if record_id < neighbor
+                        else (neighbor, record_id))
+                if best is None or pair < best:
+                    best = pair
+        assert best is not None, "merge exists without a crossing edge"
+        return best
+
+
+def _crowd_refine_fast(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    obs=None,
+) -> Clustering:
+    """Fast engine: incremental evaluation + lazy best-ratio selection.
+
+    Byte-identical to :func:`_crowd_refine_reference` (same operations
+    chosen, same crowd batches, same events) — property-tested in
+    ``tests/core/test_refine_engines.py``.
+    """
+    estimator = build_estimator(candidates, oracle, num_buckets=num_buckets)
+    cache = OperationCache(clustering, candidates)
+    evaluations = EvaluationCache(clustering, candidates, oracle, estimator,
+                                  cache.tracker)
+    selector = _LazyRatioSelector(clustering, cache, evaluations)
+
+    step = 0
+    while True:
+        invalidated: Set[int] = set()
+        applied = apply_free_operations(clustering, candidates, oracle,
+                                        estimator, cache=cache,
+                                        evaluations=evaluations,
+                                        invalidated=invalidated)
+        if invalidated:
+            selector.invalidate_clusters(invalidated)
+        if obs is not None and applied:
+            obs.metrics.counter(
+                "refine_free_operations_total",
+                help="Zero-cost refinement operations applied",
+            ).inc(applied)
+
+        best_operation, best_ratio = selector.select()
+        if best_operation is None or best_ratio <= 0.0:
+            return clustering
+
+        cost = evaluations.cost(best_operation)
+        answers = oracle.ask_batch(evaluations.unknown_pairs(best_operation))
+        _record_answers(answers, candidates, estimator)
+        benefit = evaluations.exact_benefit(best_operation)
+        confirmed = benefit is not None and benefit > BENEFIT_TOLERANCE
+        if confirmed:
+            changed = cache.apply(best_operation)
+            selector.invalidate_clusters(
+                set(best_operation.touched_clusters) | changed
+            )
+        step += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "refine_steps_total",
+                help="Costly Crowd-Refine iterations executed",
+            ).inc()
+            obs.event(
+                "refine.step",
+                step=step,
+                operation=repr(best_operation),
+                ratio=best_ratio,
+                cost=cost,
+                benefit=benefit,
+                applied=confirmed,
+                clusters=len(clustering),
+                histogram_samples=len(estimator),
+                histogram_buckets=estimator.num_buckets,
+            )
+
+
+def crowd_refine(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    obs=None,
+    engine: str = "fast",
+) -> Clustering:
+    """Run Crowd-Refine; refines ``clustering`` in place and returns it.
+
+    Args:
+        clustering: Phase-2 output ``C`` (mutated).
+        candidates: The candidate set ``S`` with machine scores.
+        oracle: Crowd access whose known set is the phase-2 answer set ``A``.
+        num_buckets: Histogram granularity ``m`` (paper: 20).
+        obs: Optional :class:`~repro.obs.ObsContext`; each costly
+            iteration emits a ``refine.step`` event (chosen operation, its
+            ratio / cost / confirmed benefit, histogram state) and bumps
+            the step / free-operation counters.
+        engine: One of :data:`REFINE_ENGINES` — "fast" (incremental,
+            default) or "reference" (full re-evaluation); outputs are
+            byte-identical.
+    """
+    if engine not in REFINE_ENGINES:
+        raise ValueError(
+            f"engine must be one of {REFINE_ENGINES}, got {engine!r}"
+        )
+    refine = (_crowd_refine_fast if engine == "fast"
+              else _crowd_refine_reference)
+    return refine(clustering, candidates, oracle, num_buckets=num_buckets,
+                  obs=obs)

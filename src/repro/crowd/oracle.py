@@ -41,6 +41,10 @@ class CrowdOracle:
             num_workers=answers.num_workers
         )
         self._known: Dict[Pair, float] = {}
+        # Append-only log of pairs as they transitioned unknown -> known.
+        # Incremental consumers keep a cursor into it (``answers_since``)
+        # instead of re-scanning the whole of ``A`` for deltas.
+        self._answer_log: List[Pair] = []
         self._obs = obs
 
     @property
@@ -84,6 +88,7 @@ class CrowdOracle:
             else:
                 for pair in fresh:
                     self._known[pair] = self._answers.confidence(*pair)
+            self._answer_log.extend(sorted(fresh))
             self._drain_fault_counters()
         self.stats.record_batch(len(fresh))
         if self._obs is not None and fresh:
@@ -171,4 +176,22 @@ class CrowdOracle:
         """Pre-populate ``A`` without cost (hand-off between phases:
         the refinement phase starts with the generation phase's answers)."""
         for (a, b), confidence in answers.items():
-            self._known[canonical_pair(a, b)] = confidence
+            pair = canonical_pair(a, b)
+            if pair not in self._known:
+                self._answer_log.append(pair)
+            self._known[pair] = confidence
+
+    @property
+    def answer_epoch(self) -> int:
+        """Length of the answer log; grows by one per newly known pair.
+
+        ``A`` is append-only within a run (answers are cached, never
+        revised), so a cursor taken at epoch ``e`` plus
+        :meth:`answers_since` fully reconstructs every later transition.
+        """
+        return len(self._answer_log)
+
+    def answers_since(self, cursor: int) -> List[Pair]:
+        """The pairs that became known after ``cursor`` (a prior
+        :attr:`answer_epoch` value), in arrival order."""
+        return self._answer_log[cursor:]

@@ -159,6 +159,7 @@ def run_method(
     epsilon: float = 0.1,
     threshold_divisor: float = 8.0,
     obs=None,
+    refine_engine: str = "fast",
 ) -> MethodResult:
     """Run one method on an instance and measure it.
 
@@ -173,6 +174,9 @@ def run_method(
             get the full phase-level trace from :func:`run_acd`; baseline
             methods run inside a single ``method`` span with their crowd
             batches traced through the oracle.
+        refine_engine: ACD refinement evaluation engine ("fast" or
+            "reference"; byte-identical outputs) — ignored by the
+            non-ACD baselines.
     """
     ids = instance.record_ids
 
@@ -182,7 +186,7 @@ def run_method(
             epsilon=epsilon, threshold_divisor=threshold_divisor,
             seed=seed, refine=(method == ACD_METHOD),
             pairs_per_hit=instance.setting.pairs_per_hit,
-            obs=obs,
+            obs=obs, refine_engine=refine_engine,
         )
         return _result(method, instance, result.clustering, result.stats)
 

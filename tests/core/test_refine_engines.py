@@ -1,0 +1,248 @@
+"""Fast-vs-reference refinement engine equivalence.
+
+The incremental engine (EvaluationCache + lazy ranking) must be
+indistinguishable from the reference full-re-evaluation engine: identical
+clusterings, identical crowd traffic, identical diagnostics, and identical
+observability event streams — under clean and faulty crowds alike."""
+
+import random as random_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.core.acd import run_acd
+from repro.core.clustering import Clustering
+from repro.core.evaluation_cache import EvaluationCache
+from repro.core.operations import OperationEvaluator, independent
+from repro.core.pc_refine import (
+    PCRefineDiagnostics,
+    _pack_independent_operations,
+    _pack_independent_operations_fast,
+    pc_refine,
+)
+from repro.core.refine import (
+    REFINE_ENGINES,
+    OperationCache,
+    build_estimator,
+    crowd_refine,
+)
+from repro.crowd.cache import ScriptedAnswers
+from repro.crowd.faults import FaultModel
+from repro.crowd.oracle import CrowdOracle
+from repro.datasets.registry import generate
+from repro.experiments.chaos import _platform_answers
+from repro.experiments.configs import PRUNING_THRESHOLD
+from repro.obs import ObsContext
+from repro.pruning.candidate import build_candidate_set
+from repro.similarity.composite import jaccard_similarity_function
+from tests.conftest import make_candidates
+
+
+def random_refine_state(seed):
+    """Random clustering + candidates with *partial* crowd knowledge, so
+    both the free path and the costly (estimated) path have work.  Returns
+    a factory for identically-initialized oracles, one per engine."""
+    rng = random_module.Random(seed)
+    num_records = rng.randint(5, 18)
+    machine = {}
+    confidences = {}
+    for i in range(num_records):
+        for j in range(i + 1, num_records):
+            if rng.random() < 0.4:
+                machine[(i, j)] = round(rng.uniform(0.31, 0.95), 2)
+                confidences[(i, j)] = rng.choice(
+                    (0.0, 1 / 3, 0.5, 2 / 3, 1.0)
+                )
+    candidates = make_candidates(machine)
+    known = [pair for pair in candidates.pairs if rng.random() < 0.55]
+
+    def fresh_oracle():
+        oracle = CrowdOracle(ScriptedAnswers(confidences, num_workers=3))
+        if known:
+            oracle.ask_batch(known)
+        return oracle
+
+    record_ids = list(range(num_records))
+    rng.shuffle(record_ids)
+    clusters = []
+    index = 0
+    while index < num_records:
+        size = min(rng.randint(1, 4), num_records - index)
+        clusters.append(record_ids[index:index + size])
+        index += size
+    return Clustering(clusters), candidates, fresh_oracle
+
+
+def _collected_events(obs):
+    """(name, attrs) of every event in the trace, timestamps dropped."""
+    collected = []
+
+    def walk(span):
+        for event in span.events:
+            collected.append((event["name"], event["attrs"]))
+        for child in span.children:
+            walk(child)
+
+    for root in obs.tracer.roots:
+        walk(root)
+    return collected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_crowd_refine_engines_agree(seed):
+    clustering, candidates, fresh_oracle = random_refine_state(seed)
+    outcomes = {}
+    for engine in REFINE_ENGINES:
+        oracle = fresh_oracle()
+        refined = crowd_refine(clustering.copy(), candidates, oracle,
+                               engine=engine)
+        refined.check_invariants()
+        outcomes[engine] = (refined.as_sets(), oracle.stats.pairs_issued,
+                            oracle.stats.iterations)
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_pc_refine_engines_agree(seed):
+    clustering, candidates, fresh_oracle = random_refine_state(seed)
+    outcomes = {}
+    for engine in REFINE_ENGINES:
+        oracle = fresh_oracle()
+        diagnostics = PCRefineDiagnostics()
+        refined = pc_refine(clustering.copy(), candidates, oracle,
+                            diagnostics=diagnostics, engine=engine)
+        refined.check_invariants()
+        outcomes[engine] = (
+            refined.as_sets(),
+            oracle.stats.pairs_issued,
+            diagnostics.batch_sizes,
+            diagnostics.operations_packed,
+            diagnostics.operations_applied,
+            diagnostics.free_operations_applied,
+        )
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_crowd_refine_event_streams_identical(seed):
+    clustering, candidates, fresh_oracle = random_refine_state(seed)
+    streams = {}
+    for engine in REFINE_ENGINES:
+        obs = ObsContext()
+        with obs.span("refinement"):
+            crowd_refine(clustering.copy(), candidates, fresh_oracle(),
+                         obs=obs, engine=engine)
+        streams[engine] = _collected_events(obs)
+    assert streams["fast"] == streams["reference"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pc_refine_event_streams_identical(seed):
+    clustering, candidates, fresh_oracle = random_refine_state(seed)
+    streams = {}
+    for engine in REFINE_ENGINES:
+        obs = ObsContext()
+        with obs.span("refinement"):
+            pc_refine(clustering.copy(), candidates, fresh_oracle(),
+                      obs=obs, engine=engine)
+        streams[engine] = _collected_events(obs)
+    assert streams["fast"] == streams["reference"]
+
+
+@pytest.mark.parametrize("parallel", (True, False))
+def test_run_acd_engines_agree(tiny_paper, parallel):
+    results = {
+        engine: run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=2, parallel=parallel,
+                        refine_engine=engine)
+        for engine in REFINE_ENGINES
+    }
+    fast, reference = results["fast"], results["reference"]
+    assert fast.clustering.as_sets() == reference.clustering.as_sets()
+    assert fast.stats.pairs_issued == reference.stats.pairs_issued
+    assert fast.stats.iterations == reference.stats.iterations
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_engines_agree_under_faulty_crowd(seed):
+    """Each engine on its own fault-injecting platform (identical seeds):
+    the platforms replay deterministically, so equivalence holds iff the
+    engines issue identical batches in identical order."""
+    dataset = generate("restaurant", scale=0.05, seed=seed)
+    candidates = build_candidate_set(
+        dataset.records, jaccard_similarity_function(),
+        threshold=PRUNING_THRESHOLD,
+    )
+    fault_model = FaultModel(abandonment_probability=0.15, spam_fraction=0.2,
+                             timeout_seconds=240.0)
+    outcomes = {}
+    for engine in REFINE_ENGINES:
+        answers = _platform_answers("restaurant", dataset, candidates, seed,
+                                    fault_model)
+        result = run_acd(dataset.record_ids, candidates, answers, seed=seed,
+                         refine_engine=engine)
+        outcomes[engine] = (result.clustering.as_sets(),
+                            result.stats.pairs_issued)
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fast_packer_matches_reference(seed):
+    """The lazily ordered packer must reproduce the reference packing
+    exactly, and every packed set must be pairwise independent."""
+    clustering, candidates, fresh_oracle = random_refine_state(seed)
+    oracle = fresh_oracle()
+    estimator = build_estimator(candidates, oracle)
+    evaluator = OperationEvaluator(clustering, candidates, oracle, estimator)
+    for ranking in ("ratio", "benefit"):
+        for hard_budget in (False, True):
+            for budget in (0.0, 1.0, 3.0, 10.0):
+                reference = _pack_independent_operations(
+                    clustering, candidates, evaluator, budget,
+                    ranking=ranking, hard_budget=hard_budget,
+                )
+                cache = OperationCache(clustering, candidates)
+                evaluations = EvaluationCache(
+                    clustering, candidates, oracle, estimator, cache.tracker
+                )
+                fast = _pack_independent_operations_fast(
+                    cache, evaluations, budget,
+                    ranking=ranking, hard_budget=hard_budget,
+                )
+                assert fast == reference
+                for i, op_a in enumerate(fast):
+                    for op_b in fast[i + 1:]:
+                        assert independent(op_a, op_b)
+
+
+def test_unknown_engine_rejected():
+    clustering, candidates, fresh_oracle = random_refine_state(0)
+    with pytest.raises(ValueError, match="engine"):
+        crowd_refine(clustering.copy(), candidates, fresh_oracle(),
+                     engine="bogus")
+    with pytest.raises(ValueError, match="engine"):
+        pc_refine(clustering.copy(), candidates, fresh_oracle(),
+                  engine="bogus")
+
+
+class TestCLI:
+    def test_refine_engine_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "restaurant", "--refine-engine", "reference"]
+        )
+        assert args.refine_engine == "reference"
+        assert (build_parser().parse_args(["run", "restaurant"])
+                .refine_engine == "fast")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "restaurant", "--refine-engine", "nope"]
+            )
+
+    def test_run_with_reference_engine(self, capsys):
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--refine-engine", "reference"]) == 0
+        assert "F1" in capsys.readouterr().out
