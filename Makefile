@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke bench-refine chaos-smoke trace-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke bench-refine bench-pivot chaos-smoke trace-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -23,6 +23,13 @@ bench-smoke:
 # outputs.  Regenerates BENCH_refine.json at the repo root.
 bench-refine:
 	REPRO_BENCH_SCALE=0.5 python benchmarks/bench_refine.py
+
+# Pivot-engine benchmark: fast (incremental live order, fused Equation-4
+# scan) vs reference (per-round re-derivation) PC-Pivot on every dataset,
+# asserting identical outputs.  Regenerates BENCH_pivot.json at the repo
+# root.
+bench-pivot:
+	REPRO_BENCH_SCALE=1.0 python benchmarks/bench_pivot.py
 
 # Fault-injection smoke: every pipeline family must terminate under the
 # default hostile crowd (abandonment, timeouts, spammers, early quorum).

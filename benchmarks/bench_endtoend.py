@@ -16,6 +16,10 @@ Environment knobs:
                                (default fast; the ``acd_reference`` stage
                                always runs the reference engine for the
                                speedup comparison)
+    REPRO_BENCH_PIVOT_ENGINE   cluster-generation engine for the ``acd``
+                               stage (default fast; the
+                               ``acd_pivot_reference`` stage always runs
+                               the reference engine for the comparison)
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "auto")
 PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
 REFINE_ENGINE = os.environ.get("REPRO_BENCH_REFINE_ENGINE", "fast")
+PIVOT_ENGINE = os.environ.get("REPRO_BENCH_PIVOT_ENGINE", "fast")
 SEED = 1
 SETTING = "3w"
 DATASETS = ("paper", "restaurant", "product")
@@ -56,6 +61,7 @@ def main() -> int:
     plain_total = 0.0
     traced_total = 0.0
     reference_total = 0.0
+    pivot_reference_total = 0.0
     for dataset_name in DATASETS:
         timings = StageTimings()
         with timings.stage("pruning"):
@@ -66,17 +72,27 @@ def main() -> int:
         # Untimed warm-up: the first run populates the lazy answer file,
         # which would otherwise be billed to whichever stage runs first.
         run_method(ACD_METHOD, instance, seed=SEED,
-                   refine_engine=REFINE_ENGINE)
+                   refine_engine=REFINE_ENGINE, pivot_engine=PIVOT_ENGINE)
         with timings.stage("acd"):
             result = run_method(ACD_METHOD, instance, seed=SEED,
-                                refine_engine=REFINE_ENGINE)
+                                refine_engine=REFINE_ENGINE,
+                                pivot_engine=PIVOT_ENGINE)
         # The same pipeline under the full-re-evaluation refinement engine:
         # the delta is the incremental engine's end-to-end win.
         with timings.stage("acd_reference"):
             reference = run_method(ACD_METHOD, instance, seed=SEED,
-                                   refine_engine="reference")
+                                   refine_engine="reference",
+                                   pivot_engine=PIVOT_ENGINE)
         assert reference.pairs_issued == result.pairs_issued, \
             "refinement engines must agree"
+        # And under the per-round re-derivation pivot engine: the delta is
+        # the incremental pivot order's end-to-end win.
+        with timings.stage("acd_pivot_reference"):
+            pivot_reference = run_method(ACD_METHOD, instance, seed=SEED,
+                                         refine_engine=REFINE_ENGINE,
+                                         pivot_engine="reference")
+        assert pivot_reference.pairs_issued == result.pairs_issued, \
+            "pivot engines must agree"
         # Same run again under full observability (spans + metrics + JSONL
         # stream to disk) — the delta is the tracing overhead.
         with tempfile.TemporaryDirectory() as tmpdir:
@@ -89,6 +105,7 @@ def main() -> int:
         plain_total += timings.seconds("acd")
         traced_total += timings.seconds("acd_traced")
         reference_total += timings.seconds("acd_reference")
+        pivot_reference_total += timings.seconds("acd_pivot_reference")
         runs[dataset_name] = run_entry(
             timings,
             records=len(instance.record_ids),
@@ -100,6 +117,7 @@ def main() -> int:
             f"{dataset_name}: pruning {timings.seconds('pruning'):.3f}s, "
             f"acd {timings.seconds('acd'):.3f}s, "
             f"reference {timings.seconds('acd_reference'):.3f}s, "
+            f"pivot-reference {timings.seconds('acd_pivot_reference'):.3f}s, "
             f"traced {timings.seconds('acd_traced'):.3f}s, "
             f"F1 {result.f1:.3f}"
         )
@@ -107,15 +125,19 @@ def main() -> int:
     overhead_pct = ((traced_total - plain_total) / plain_total * 100.0
                     if plain_total > 0 else 0.0)
     acd_speedup = (reference_total / plain_total if plain_total > 0 else 1.0)
+    pivot_speedup = (pivot_reference_total / plain_total
+                     if plain_total > 0 else 1.0)
     payload = bench_payload(
         "endtoend",
         config={"scale": SCALE, "seed": SEED, "engine": ENGINE,
                 "parallel": PARALLEL, "setting": SETTING,
                 "refine_engine": REFINE_ENGINE,
+                "pivot_engine": PIVOT_ENGINE,
                 "datasets": list(DATASETS)},
         runs=runs,
         derived={"trace_overhead_pct": round(overhead_pct, 2),
-                 "acd_speedup_vs_reference": round(acd_speedup, 2)},
+                 "acd_speedup_vs_reference": round(acd_speedup, 2),
+                 "acd_speedup_vs_pivot_reference": round(pivot_speedup, 2)},
     )
     write_bench_json(OUTPUT, payload)
     print(f"trace overhead: {overhead_pct:+.2f}% "

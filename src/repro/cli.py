@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     run_comparison,
     run_method,
 )
+from repro.core.pivot_engine import PIVOT_ENGINES
 from repro.core.refine import REFINE_ENGINES
 from repro.pruning.candidate import ENGINES
 from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
@@ -130,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default="fast",
                      help="refinement evaluation engine: incremental "
                           "'fast' (default) or full-re-evaluation "
+                          "'reference'; outputs are byte-identical")
+    run.add_argument("--pivot-engine", choices=PIVOT_ENGINES,
+                     default="fast",
+                     help="cluster-generation engine: incremental 'fast' "
+                          "(default) or per-round re-derivation "
                           "'reference'; outputs are byte-identical")
     _add_setting(run)
     _add_common(run)
@@ -318,6 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "method": args.method,
         "method_seed": args.method_seed,
         "refine_engine": args.refine_engine,
+        "pivot_engine": args.pivot_engine,
     }
     seeds = {"dataset_seed": args.seed, "method_seed": args.method_seed}
 
@@ -361,7 +368,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
     try:
         result = run_method(args.method, instance, seed=args.method_seed,
                             gcer_budget=gcer_budget, obs=obs,
-                            refine_engine=args.refine_engine)
+                            refine_engine=args.refine_engine,
+                            pivot_engine=args.pivot_engine)
     finally:
         if journaled is not None:
             journaled.close()

@@ -39,6 +39,11 @@ from repro.core.pc_pivot import (
     choose_k,
     pc_pivot,
 )
+from repro.core.pivot_engine import (
+    PIVOT_ENGINES,
+    LiveVertexOrder,
+    choose_pivots,
+)
 from repro.core.pc_refine import (
     DEFAULT_THRESHOLD_DIVISOR,
     PCRefineDiagnostics,
@@ -65,11 +70,13 @@ __all__ = [
     "EvaluationCache",
     "EvaluationStats",
     "HistogramEstimator",
+    "LiveVertexOrder",
     "Merge",
     "Operation",
     "OperationEvaluator",
     "PCPivotDiagnostics",
     "PCRefineDiagnostics",
+    "PIVOT_ENGINES",
     "PartialPivotResult",
     "Permutation",
     "REFINE_ENGINES",
@@ -77,6 +84,7 @@ __all__ = [
     "apply_operation",
     "build_estimator",
     "choose_k",
+    "choose_pivots",
     "crowd_pivot",
     "crowd_refine",
     "enumerate_operations",

@@ -76,6 +76,7 @@ def run_acd(
     journal_path: Optional[Union[str, Path]] = None,
     obs: Optional[ObsContext] = None,
     refine_engine: str = "fast",
+    pivot_engine: str = "fast",
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -115,6 +116,11 @@ def run_acd(
             caching, the default) or "reference" (full re-evaluation).
             Outputs are byte-identical; see
             :data:`~repro.core.refine.REFINE_ENGINES`.
+        pivot_engine: Phase-2 cluster-generation engine — "fast"
+            (incremental pivot order + fused Equation-4 scan, the
+            default) or "reference" (per-round re-derivation).  Outputs
+            are byte-identical; see
+            :data:`~repro.core.pivot_engine.PIVOT_ENGINES`.
 
     Returns:
         The :class:`ACDResult`.
@@ -130,6 +136,7 @@ def run_acd(
                 pairs_per_hit=pairs_per_hit, ranking=ranking,
                 max_refinement_pairs=max_refinement_pairs,
                 obs=obs, refine_engine=refine_engine,
+                pivot_engine=pivot_engine,
             )
         finally:
             journaled.close()
@@ -149,12 +156,12 @@ def run_acd(
                     ids, candidates, oracle, epsilon=epsilon,
                     permutation=permutation, seed=seed,
                     diagnostics=pivot_diagnostics,
-                    obs=obs,
+                    obs=obs, engine=pivot_engine,
                 )
             else:
                 clustering = crowd_pivot(
                     ids, candidates, oracle, permutation=permutation,
-                    seed=seed, obs=obs,
+                    seed=seed, obs=obs, engine=pivot_engine,
                 )
         generation_stats = stats.snapshot()
 
@@ -205,6 +212,7 @@ def run_acd(
                 "ranking": ranking,
                 "max_refinement_pairs": max_refinement_pairs,
                 "refine_engine": refine_engine,
+                "pivot_engine": pivot_engine,
             },
             seeds={"pivot_seed": seed},
         )

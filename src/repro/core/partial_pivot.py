@@ -13,11 +13,10 @@ pairs* (edges the sequential algorithm would never have asked), and Equation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.permutation import Permutation
 from repro.crowd.oracle import CrowdOracle
-from repro.datasets.schema import canonical_pair
 from repro.obs import maybe_span
 from repro.pruning.graph import CandidateGraph
 
@@ -80,6 +79,9 @@ def partial_pivot(
     permutation: Permutation,
     oracle: CrowdOracle,
     obs=None,
+    *,
+    pivots: Optional[List[int]] = None,
+    predicted_waste: Optional[int] = None,
 ) -> PartialPivotResult:
     """Run one Partial-Pivot round, mutating ``graph`` in place.
 
@@ -93,14 +95,24 @@ def partial_pivot(
         obs: Optional :class:`~repro.obs.ObsContext`; the round runs
             inside a ``pivot.partial`` span so its crowd batch nests
             under it in the trace.
+        pivots: Fast-engine hand-off: the first ``k`` live vertices in
+            permutation order, as already derived by the caller's
+            Equation-4 scan.  Must be given together with
+            ``predicted_waste``; when omitted, both are derived here (the
+            reference path).
+        predicted_waste: Fast-engine hand-off: ``sum(waste_estimates(graph,
+            pivots))`` for those pivots, computed *before* any mutation.
 
     Returns:
         The clusters formed and bookkeeping for the waste analysis.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if (pivots is None) != (predicted_waste is None):
+        raise ValueError("pivots and predicted_waste must be given together")
     with maybe_span(obs, "pivot.partial", k=k) as span:
-        result = _partial_pivot_round(graph, k, permutation, oracle)
+        result = _partial_pivot_round(graph, k, permutation, oracle,
+                                      pivots, predicted_waste)
         if obs is not None:
             span.set_attr("issued_pairs", len(result.issued_pairs))
             span.set_attr("clusters", len(result.clusters))
@@ -113,19 +125,26 @@ def _partial_pivot_round(
     k: int,
     permutation: Permutation,
     oracle: CrowdOracle,
+    pivots: Optional[List[int]] = None,
+    predicted_waste: Optional[int] = None,
 ) -> PartialPivotResult:
-    alive = graph.vertices
-    if not alive:
-        return PartialPivotResult(clusters=(), issued_pairs=(), predicted_waste=0)
-
-    pivots = permutation.ordered(alive)[:k]
-    predicted_waste = sum(waste_estimates(graph, pivots))
+    if pivots is None:
+        alive = graph.vertices
+        if not alive:
+            return PartialPivotResult(clusters=(), issued_pairs=(),
+                                      predicted_waste=0)
+        pivots = permutation.ordered(alive)[:k]
+        predicted_waste = sum(waste_estimates(graph, pivots))
+    elif not pivots:
+        return PartialPivotResult(clusters=(), issued_pairs=(),
+                                  predicted_waste=0)
 
     # All candidate edges incident to any pivot, one crowd batch.
     issued: Set[Pair] = set()
     for pivot in pivots:
         for neighbor in graph.neighbors(pivot):
-            issued.add(canonical_pair(pivot, neighbor))
+            issued.add((pivot, neighbor) if pivot < neighbor
+                       else (neighbor, pivot))
     ordered_pairs = sorted(issued)
     answers = oracle.ask_batch(ordered_pairs)
 

@@ -160,6 +160,7 @@ def run_method(
     threshold_divisor: float = 8.0,
     obs=None,
     refine_engine: str = "fast",
+    pivot_engine: str = "fast",
 ) -> MethodResult:
     """Run one method on an instance and measure it.
 
@@ -177,6 +178,9 @@ def run_method(
         refine_engine: ACD refinement evaluation engine ("fast" or
             "reference"; byte-identical outputs) — ignored by the
             non-ACD baselines.
+        pivot_engine: Cluster-generation engine ("fast" or "reference";
+            byte-identical outputs) for ACD / PC-Pivot / Crowd-Pivot —
+            ignored by the other baselines.
     """
     ids = instance.record_ids
 
@@ -187,6 +191,7 @@ def run_method(
             seed=seed, refine=(method == ACD_METHOD),
             pairs_per_hit=instance.setting.pairs_per_hit,
             obs=obs, refine_engine=refine_engine,
+            pivot_engine=pivot_engine,
         )
         return _result(method, instance, result.clustering, result.stats)
 
@@ -195,7 +200,8 @@ def run_method(
         if method == CROWD_PIVOT_METHOD:
             from repro.core.pivot import crowd_pivot
             clustering = crowd_pivot(ids, instance.candidates, oracle,
-                                     seed=seed, obs=obs)
+                                     seed=seed, obs=obs,
+                                     engine=pivot_engine)
         elif method == CROWDER_METHOD:
             clustering = crowder_plus(ids, instance.candidates, oracle)
         elif method == TRANSM_METHOD:

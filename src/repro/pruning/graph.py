@@ -58,8 +58,11 @@ class CandidateGraph:
         return sorted(n for n in self._adjacency[vertex] if n in self._alive)
 
     def degree(self, vertex: int) -> int:
-        """Number of live neighbors."""
-        return len(self.neighbors(vertex))
+        """Number of live neighbors, in O(deg) without sorting."""
+        if vertex not in self._alive:
+            raise KeyError(f"vertex {vertex} is not in the graph")
+        alive = self._alive
+        return sum(1 for n in self._adjacency[vertex] if n in alive)
 
     def has_edge(self, a: int, b: int) -> bool:
         """True iff both endpoints are live and adjacent."""
@@ -75,7 +78,12 @@ class CandidateGraph:
                     yield (a, b)
 
     def num_edges(self) -> int:
-        return sum(1 for _ in self.edges())
+        """Number of live edges, counted without materializing them."""
+        alive = self._alive
+        return sum(
+            sum(1 for n in self._adjacency[v] if n in alive)
+            for v in alive
+        ) // 2
 
     # ------------------------------------------------------------------
     # Mutation
@@ -91,6 +99,80 @@ class CandidateGraph:
         clone = CandidateGraph.__new__(CandidateGraph)
         clone._adjacency = {v: set(ns) for v, ns in self._adjacency.items()}
         clone._alive = set(self._alive)
+        return clone
+
+
+class EagerCandidateGraph(CandidateGraph):
+    """Fast-path candidate graph: eager edge cleanup and cached queries.
+
+    The lazy base class filters dead vertices out of the *full* adjacency
+    set (and re-sorts the survivors) on every ``neighbors()`` call — fine
+    for a handful of queries, quadratic in spirit for the pivot engines,
+    which walk every live vertex's neighborhood every round.  This variant
+    removes edges eagerly when a vertex dies, so a live vertex's adjacency
+    set contains live neighbors only: ``degree`` is O(1), ``num_edges`` is
+    a cached counter, and ``neighbors()`` serves a memoized sorted list
+    that is invalidated only when an incident vertex is removed.
+
+    Query results are identical to the base class for the same sequence of
+    operations (property-tested in ``tests/pruning/test_graph.py``); only
+    the cost model changes.
+    """
+
+    def __init__(self, vertices: Iterable[int], edges: Iterable[Pair]):
+        super().__init__(vertices, edges)
+        self._sorted: Dict[int, List[int]] = {}
+        self._num_edges = sum(
+            len(ns) for ns in self._adjacency.values()
+        ) // 2
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Live neighbors, sorted; the returned list is a shared cache
+        entry — callers must treat it as read-only."""
+        if vertex not in self._alive:
+            raise KeyError(f"vertex {vertex} is not in the graph")
+        cached = self._sorted.get(vertex)
+        if cached is None:
+            cached = sorted(self._adjacency[vertex])
+            self._sorted[vertex] = cached
+        return cached
+
+    def degree(self, vertex: int) -> int:
+        """Number of live neighbors, in O(1)."""
+        if vertex not in self._alive:
+            raise KeyError(f"vertex {vertex} is not in the graph")
+        return len(self._adjacency[vertex])
+
+    def num_edges(self) -> int:
+        """Number of live edges, in O(1)."""
+        return self._num_edges
+
+    def remove_vertices(self, vertices: Iterable[int]) -> None:
+        """Remove vertices and eagerly drop their incident edges."""
+        removed = {v for v in vertices if v in self._alive}
+        if not removed:
+            return
+        self._alive -= removed
+        adjacency = self._adjacency
+        for vertex in removed:
+            neighbors = adjacency.pop(vertex)
+            self._sorted.pop(vertex, None)
+            # Each edge is decremented exactly once: an edge between two
+            # removed vertices disappears from the second endpoint's set
+            # when the first is processed.
+            self._num_edges -= len(neighbors)
+            for neighbor in neighbors:
+                peer = adjacency.get(neighbor)
+                if peer is not None:
+                    peer.discard(vertex)
+                    self._sorted.pop(neighbor, None)
+
+    def copy(self) -> "EagerCandidateGraph":
+        clone = EagerCandidateGraph.__new__(EagerCandidateGraph)
+        clone._adjacency = {v: set(ns) for v, ns in self._adjacency.items()}
+        clone._alive = set(self._alive)
+        clone._sorted = {}
+        clone._num_edges = self._num_edges
         return clone
 
 

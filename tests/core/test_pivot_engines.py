@@ -1,0 +1,368 @@
+"""Fast-vs-reference pivot engine equivalence.
+
+The incremental engine (LiveVertexOrder + fused early-exiting Equation-4
+scan + eager graph cleanup) must be indistinguishable from the reference
+per-round re-derivation engine: identical clusterings, identical crowd
+batch sequences, identical diagnostics, and identical observability event
+streams — under clean and faulty crowds alike."""
+
+import random as random_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.core.acd import run_acd
+from repro.core.partial_pivot import partial_pivot, waste_estimates
+from repro.core.pc_pivot import PCPivotDiagnostics, choose_k, pc_pivot
+from repro.core.permutation import Permutation
+from repro.core.pivot import crowd_pivot
+from repro.core.pivot_engine import (
+    PIVOT_ENGINES,
+    LiveVertexOrder,
+    choose_pivots,
+)
+from repro.crowd.cache import ScriptedAnswers
+from repro.crowd.faults import FaultModel
+from repro.crowd.oracle import CrowdOracle
+from repro.datasets.registry import generate
+from repro.datasets.schema import canonical_pair
+from repro.experiments.chaos import _platform_answers
+from repro.experiments.configs import PRUNING_THRESHOLD
+from repro.obs import ObsContext
+from repro.pruning.candidate import build_candidate_set
+from repro.pruning.graph import CandidateGraph
+from repro.similarity.composite import jaccard_similarity_function
+from tests.conftest import FIG2_IDS, fig2_candidates, fig2_oracle, \
+    make_candidates
+
+EPSILONS = (0.0, 0.05, 0.1, 0.3, 1.0)
+
+
+class RecordingOracle(CrowdOracle):
+    """A CrowdOracle that logs every batch it is asked, in order.
+
+    Equivalence on ``pairs_issued`` alone would accept engines that issue
+    the same pairs in different rounds; the batch log pins the *sequence*.
+    """
+
+    def __init__(self, answers):
+        super().__init__(answers)
+        self.batches = []
+
+    def ask_batch(self, pairs):
+        batch = list(pairs)
+        self.batches.append(
+            tuple(sorted(canonical_pair(a, b) for a, b in batch))
+        )
+        return super().ask_batch(batch)
+
+
+def random_pivot_state(seed):
+    """Random record set + candidate graph with scripted crowd answers.
+    Returns (ids, candidates, factory for identically-scripted oracles)."""
+    rng = random_module.Random(seed)
+    num_records = rng.randint(4, 18)
+    machine = {}
+    confidences = {}
+    for i in range(num_records):
+        for j in range(i + 1, num_records):
+            if rng.random() < 0.35:
+                machine[(i, j)] = round(rng.uniform(0.31, 0.95), 2)
+                confidences[(i, j)] = rng.choice(
+                    (0.0, 0.25, 0.4, 0.6, 0.75, 1.0)
+                )
+    candidates = make_candidates(machine)
+
+    def fresh_oracle():
+        return RecordingOracle(ScriptedAnswers(confidences, num_workers=3))
+
+    return list(range(num_records)), candidates, fresh_oracle
+
+
+def _collected_events(obs):
+    """(name, attrs) of every event in the trace, timestamps dropped."""
+    collected = []
+
+    def walk(span):
+        for event in span.events:
+            collected.append((event["name"], event["attrs"]))
+        for child in span.children:
+            walk(child)
+
+    for root in obs.tracer.roots:
+        walk(root)
+    return collected
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence (property-tested)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from(EPSILONS))
+def test_pc_pivot_engines_agree(seed, epsilon):
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    outcomes = {}
+    for engine in PIVOT_ENGINES:
+        oracle = fresh_oracle()
+        diagnostics = PCPivotDiagnostics()
+        clustering = pc_pivot(ids, candidates, oracle, epsilon=epsilon,
+                              seed=seed, diagnostics=diagnostics,
+                              engine=engine)
+        clustering.check_invariants()
+        outcomes[engine] = (
+            clustering.as_sets(),
+            oracle.stats.pairs_issued,
+            oracle.stats.iterations,
+            oracle.batches,
+            diagnostics.ks,
+            diagnostics.predicted_waste,
+            diagnostics.issued_per_round,
+        )
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000))
+def test_crowd_pivot_engines_agree(seed):
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    outcomes = {}
+    for engine in PIVOT_ENGINES:
+        oracle = fresh_oracle()
+        clustering = crowd_pivot(ids, candidates, oracle, seed=seed,
+                                 engine=engine)
+        clustering.check_invariants()
+        outcomes[engine] = (clustering.as_sets(), oracle.stats.pairs_issued,
+                            oracle.stats.iterations, oracle.batches)
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from(EPSILONS))
+def test_choose_pivots_matches_reference(seed, epsilon):
+    """The fused early-exiting scan equals choose_k + waste_estimates."""
+    ids, candidates, _ = random_pivot_state(seed)
+    graph = CandidateGraph(ids, candidates.pairs)
+    permutation = Permutation.random(ids, seed=seed + 1)
+    ordered = permutation.ordered(graph.vertices)
+    k, estimates = choose_pivots(graph, ordered, epsilon)
+    assert k == choose_k(graph, permutation, epsilon)
+    assert estimates == waste_estimates(graph, ordered)[:k]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pc_pivot_event_streams_identical(seed):
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    streams = {}
+    for engine in PIVOT_ENGINES:
+        obs = ObsContext()
+        with obs.span("generation"):
+            pc_pivot(ids, candidates, fresh_oracle(), seed=seed, obs=obs,
+                     engine=engine)
+        streams[engine] = _collected_events(obs)
+    assert streams["fast"] == streams["reference"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_crowd_pivot_event_streams_identical(seed):
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    streams = {}
+    for engine in PIVOT_ENGINES:
+        obs = ObsContext()
+        with obs.span("generation"):
+            crowd_pivot(ids, candidates, fresh_oracle(), seed=seed, obs=obs,
+                        engine=engine)
+        streams[engine] = _collected_events(obs)
+    assert streams["fast"] == streams["reference"]
+
+
+@pytest.mark.parametrize("parallel", (True, False))
+def test_run_acd_engines_agree(tiny_paper, parallel):
+    results = {
+        engine: run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=2, parallel=parallel,
+                        pivot_engine=engine)
+        for engine in PIVOT_ENGINES
+    }
+    fast, reference = results["fast"], results["reference"]
+    assert fast.clustering.as_sets() == reference.clustering.as_sets()
+    assert fast.stats.pairs_issued == reference.stats.pairs_issued
+    assert fast.stats.iterations == reference.stats.iterations
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_engines_agree_under_faulty_crowd(seed):
+    """Each engine on its own fault-injecting platform (identical seeds):
+    the platforms replay deterministically, so equivalence holds iff the
+    engines issue identical batches in identical order."""
+    dataset = generate("restaurant", scale=0.05, seed=seed)
+    candidates = build_candidate_set(
+        dataset.records, jaccard_similarity_function(),
+        threshold=PRUNING_THRESHOLD,
+    )
+    fault_model = FaultModel(abandonment_probability=0.15, spam_fraction=0.2,
+                             timeout_seconds=240.0)
+    outcomes = {}
+    for engine in PIVOT_ENGINES:
+        answers = _platform_answers("restaurant", dataset, candidates, seed,
+                                    fault_model)
+        result = run_acd(dataset.record_ids, candidates, answers, seed=seed,
+                         pivot_engine=engine)
+        outcomes[engine] = (result.clustering.as_sets(),
+                            result.stats.pairs_issued)
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+def test_unknown_engine_rejected():
+    ids, candidates, fresh_oracle = random_pivot_state(0)
+    with pytest.raises(ValueError, match="engine"):
+        pc_pivot(ids, candidates, fresh_oracle(), engine="bogus")
+    with pytest.raises(ValueError, match="engine"):
+        crowd_pivot(ids, candidates, fresh_oracle(), engine="bogus")
+
+
+def test_partial_pivot_rejects_half_supplied_precomputation():
+    """pivots and predicted_waste travel together or not at all."""
+    ids, candidates, fresh_oracle = random_pivot_state(3)
+    graph = CandidateGraph(ids, candidates.pairs)
+    permutation = Permutation.random(ids, seed=0)
+    pivots = permutation.ordered(graph.vertices)[:1]
+    with pytest.raises(ValueError, match="together"):
+        partial_pivot(graph, 1, permutation, fresh_oracle(), pivots=pivots)
+    with pytest.raises(ValueError, match="together"):
+        partial_pivot(graph, 1, permutation, fresh_oracle(),
+                      predicted_waste=0)
+
+
+# ---------------------------------------------------------------------------
+# The ε=0 contract and the binding-waste-bound warning
+# ---------------------------------------------------------------------------
+
+# A pivot order over Figure 2 whose second pivot (d) shares two neighbors
+# with the first (a): any ε below 1/3 rejects every prefix past k=1.
+FIG2_BINDING_ORDER = [FIG2_IDS[x] for x in "adbcef"]
+
+
+def test_epsilon_zero_contract():
+    """ε=0 admits only the waste-free prefix (here a single pivot)."""
+    candidates = fig2_candidates()
+    graph = CandidateGraph(sorted(FIG2_IDS.values()), candidates.pairs)
+    permutation = Permutation(FIG2_BINDING_ORDER)
+    assert choose_k(graph, permutation, 0.0) == 1
+    assert choose_pivots(
+        graph, permutation.ordered(graph.vertices), 0.0
+    ) == (1, [0])
+
+
+def _fig2_warning_events(epsilon, engine="fast"):
+    obs = ObsContext()
+    with obs.span("generation"):
+        pc_pivot(sorted(FIG2_IDS.values()), fig2_candidates(), fig2_oracle(),
+                 epsilon=epsilon, permutation=Permutation(FIG2_BINDING_ORDER),
+                 obs=obs, engine=engine)
+    return [attrs for name, attrs in _collected_events(obs)
+            if name == "pivot.waste_bound_binding"]
+
+
+@pytest.mark.parametrize("engine", PIVOT_ENGINES)
+def test_waste_bound_binding_warning_emitted(engine):
+    """A round forced down to k=1 under a positive ε warns that the waste
+    bound is binding (the round runs sequentially)."""
+    warnings = _fig2_warning_events(0.01, engine=engine)
+    assert warnings
+    first = warnings[0]
+    assert first["round"] == 1
+    assert first["epsilon"] == 0.01
+    assert first["live_records"] == 6
+
+
+def test_waste_bound_warning_absent_when_not_binding():
+    # A generous budget parallelizes the round: no warning.
+    assert _fig2_warning_events(10.0) == []
+    # ε=0 degrades by contract, not pathology: no warning either.
+    assert _fig2_warning_events(0.0) == []
+
+
+# ---------------------------------------------------------------------------
+# LiveVertexOrder
+# ---------------------------------------------------------------------------
+
+
+class TestLiveVertexOrder:
+    def test_orders_by_permutation_rank(self):
+        permutation = Permutation([3, 1, 4, 0, 2])
+        order = LiveVertexOrder(permutation, [0, 1, 2, 3, 4])
+        assert order.live() == [3, 1, 4, 0, 2]
+        assert len(order) == 5
+
+    def test_subset_of_permutation(self):
+        permutation = Permutation([3, 1, 4, 0, 2])
+        order = LiveVertexOrder(permutation, [4, 2, 3])
+        assert order.live() == [3, 4, 2]
+
+    def test_rejects_vertices_missing_from_permutation(self):
+        with pytest.raises(ValueError, match="missing"):
+            LiveVertexOrder(Permutation([0, 1]), [0, 1, 7])
+
+    def test_discard_compacts_lazily(self):
+        order = LiveVertexOrder(Permutation([3, 1, 4, 0, 2]),
+                                [0, 1, 2, 3, 4])
+        order.discard([1, 0])
+        assert len(order) == 3
+        assert order.live() == [3, 4, 2]
+        order.discard([3])
+        assert order.live() == [4, 2]
+
+    def test_first_advances_past_dead(self):
+        order = LiveVertexOrder(Permutation([3, 1, 4, 0, 2]),
+                                [0, 1, 2, 3, 4])
+        assert order.first() == 3
+        order.discard([3, 1, 4])
+        assert order.first() == 0
+        order.discard([0, 2])
+        assert order.first() is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_matches_reference_sort_under_random_discards(self, seed):
+        rng = random_module.Random(seed)
+        ids = list(range(rng.randint(1, 30)))
+        permutation = Permutation.random(ids, seed=seed)
+        order = LiveVertexOrder(permutation, ids)
+        alive = set(ids)
+        while alive:
+            assert order.live() == permutation.ordered(alive)
+            assert order.first() == permutation.first(alive)
+            doomed = set(rng.sample(sorted(alive),
+                                    rng.randint(1, len(alive))))
+            order.discard(doomed)
+            alive -= doomed
+        assert order.live() == []
+        assert order.first() is None
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_pivot_engine_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "restaurant", "--pivot-engine", "reference"]
+        )
+        assert args.pivot_engine == "reference"
+        assert (build_parser().parse_args(["run", "restaurant"])
+                .pivot_engine == "fast")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "restaurant", "--pivot-engine", "nope"]
+            )
+
+    def test_run_with_reference_engine(self, capsys):
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--pivot-engine", "reference"]) == 0
+        assert "F1" in capsys.readouterr().out

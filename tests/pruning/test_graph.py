@@ -1,14 +1,24 @@
 """Tests for repro.pruning.graph."""
 
-import pytest
+import random
 
-from repro.pruning.graph import CandidateGraph, graph_from_candidates
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.graph import (
+    CandidateGraph,
+    EagerCandidateGraph,
+    graph_from_candidates,
+)
+
+TAIL_EDGES = [(0, 1), (1, 2), (0, 2), (2, 3)]
 
 
 @pytest.fixture
 def triangle_plus_tail():
     # 0-1-2 triangle, 2-3 tail, 4 isolated.
-    return CandidateGraph(range(5), [(0, 1), (1, 2), (0, 2), (2, 3)])
+    return CandidateGraph(range(5), TAIL_EDGES)
 
 
 class TestConstruction:
@@ -87,3 +97,84 @@ class TestCopy:
         triangle_plus_tail.remove_vertices([0, 1])
         assert len(clone) == 5
         assert clone.has_edge(0, 1)
+
+
+class TestEagerCandidateGraph:
+    @pytest.fixture
+    def eager(self):
+        return EagerCandidateGraph(range(5), TAIL_EDGES)
+
+    def test_queries_match_lazy_class(self, eager, triangle_plus_tail):
+        assert eager.neighbors(2) == triangle_plus_tail.neighbors(2)
+        assert eager.degree(2) == 3
+        assert eager.num_edges() == 4
+        assert list(eager.edges()) == list(triangle_plus_tail.edges())
+
+    def test_dead_vertex_queries_raise(self, eager):
+        eager.remove_vertices([2])
+        with pytest.raises(KeyError):
+            eager.neighbors(2)
+        with pytest.raises(KeyError):
+            eager.degree(2)
+
+    def test_removal_updates_counts_eagerly(self, eager):
+        eager.remove_vertices([2])
+        assert eager.num_edges() == 1
+        assert eager.degree(0) == 1
+        assert eager.neighbors(0) == [1]
+        eager.remove_vertices([0, 1])
+        assert eager.num_edges() == 0
+
+    def test_adjacent_removals_count_edges_once(self, eager):
+        # (0, 1) must be decremented once even though both endpoints die
+        # in the same call.
+        eager.remove_vertices([0, 1])
+        assert eager.num_edges() == 1
+        assert eager.neighbors(2) == [3]
+
+    def test_removing_twice_is_idempotent(self, eager):
+        eager.remove_vertices([0])
+        eager.remove_vertices([0])
+        assert len(eager) == 4
+        assert eager.num_edges() == 2
+
+    def test_neighbors_cache_invalidated_on_incident_removal(self, eager):
+        assert eager.neighbors(2) == [0, 1, 3]
+        eager.remove_vertices([3])
+        assert eager.neighbors(2) == [0, 1]
+
+    def test_copy_is_independent(self, eager):
+        clone = eager.copy()
+        eager.remove_vertices([0, 1])
+        assert len(clone) == 5
+        assert clone.num_edges() == 4
+        assert clone.has_edge(0, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_equivalent_to_lazy_class_under_random_removals(self, seed):
+        """Same construction + removal sequence → identical query results,
+        interleaving queries between removals."""
+        rng = random.Random(seed)
+        num = rng.randint(2, 14)
+        edges = [
+            (i, j)
+            for i in range(num)
+            for j in range(i + 1, num)
+            if rng.random() < 0.4
+        ]
+        lazy = CandidateGraph(range(num), edges)
+        eager = EagerCandidateGraph(range(num), edges)
+        while not lazy.is_empty():
+            assert eager.vertices == lazy.vertices
+            assert eager.num_edges() == lazy.num_edges()
+            assert list(eager.edges()) == list(lazy.edges())
+            for vertex in lazy.vertices:
+                assert eager.neighbors(vertex) == lazy.neighbors(vertex)
+                assert eager.degree(vertex) == lazy.degree(vertex)
+            alive = sorted(lazy.vertices)
+            doomed = rng.sample(alive, rng.randint(1, len(alive)))
+            lazy.remove_vertices(doomed)
+            eager.remove_vertices(doomed)
+        assert eager.is_empty()
+        assert eager.num_edges() == 0
