@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke bench-refine bench-pivot chaos-smoke trace-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke bench-refine bench-pivot bench-scale bench-scale-smoke chaos-smoke trace-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -30,6 +30,17 @@ bench-refine:
 # root.
 bench-pivot:
 	REPRO_BENCH_SCALE=1.0 python benchmarks/bench_pivot.py
+
+# Scale benchmark: vectorized sharded pruning vs the scalar paths on the
+# synthetic largescale population (10k / 100k / 1M records), asserting
+# byte-identical candidate sets.  Regenerates BENCH_scale.json at the
+# repo root with records/sec, pairs/sec, and peak-RSS meters.
+bench-scale:
+	python benchmarks/bench_scale.py
+
+# 10k-only tier for CI runners (minutes, not tens of minutes).
+bench-scale-smoke:
+	REPRO_BENCH_SCALE_TIERS=10000 python benchmarks/bench_scale.py
 
 # Fault-injection smoke: every pipeline family must terminate under the
 # default hostile crowd (abandonment, timeouts, spammers, early quorum).

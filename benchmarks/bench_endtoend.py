@@ -106,6 +106,9 @@ def main() -> int:
         traced_total += timings.seconds("acd_traced")
         reference_total += timings.seconds("acd_reference")
         pivot_reference_total += timings.seconds("acd_pivot_reference")
+        timings.record_throughput("pruning_records_per_second",
+                                  len(instance.record_ids), stage="pruning")
+        timings.record_peak_rss()
         runs[dataset_name] = run_entry(
             timings,
             records=len(instance.record_ids),

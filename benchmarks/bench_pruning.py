@@ -63,6 +63,9 @@ def main() -> int:
             threshold=PRUNING_THRESHOLD, engine="reference",
             timings=ref_timings,
         )
+        ref_timings.record_throughput("records_per_second",
+                                      len(dataset.records))
+        ref_timings.record_peak_rss()
         runs[f"{dataset_name}/reference"] = run_entry(
             ref_timings, records=len(dataset.records), pairs=len(reference),
         )
@@ -73,6 +76,9 @@ def main() -> int:
             threshold=PRUNING_THRESHOLD, engine="prefix",
             timings=join_timings,
         )
+        join_timings.record_throughput("records_per_second",
+                                       len(dataset.records))
+        join_timings.record_peak_rss()
         runs[f"{dataset_name}/prefix"] = run_entry(
             join_timings, records=len(dataset.records), pairs=len(joined),
         )

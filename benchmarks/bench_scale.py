@@ -1,0 +1,173 @@
+"""Scale benchmark: the pruning phase at 10k-1M records.
+
+Runs the pruning phase over the synthetic ``largescale`` population
+(:mod:`repro.datasets.largescale`) at increasing record counts, comparing
+the vectorized sharded join against the scalar paths, verifying byte-
+identical candidate sets wherever more than one variant runs, and writing
+``BENCH_scale.json`` at the repo root in the shared BENCH schema with
+records/sec, pairs/sec, and peak-RSS meters per run.
+
+Variants per tier (each capped by its env knob):
+
+* ``vectorized``  — prefix engine, vectorized kernel, sharded
+  (:mod:`repro.pruning.shard`); runs at every tier.
+* ``scalar-join`` — prefix engine, scalar kernel (the scalar reference of
+  the kernel registry); capped at ``REPRO_BENCH_SCALAR_CAP``.
+* ``reference``   — the seed engine (token blocking + per-pair scoring
+  loop, the original scalar reference of the pruning phase); capped at
+  ``REPRO_BENCH_REFERENCE_CAP``.
+
+Standalone (no pytest)::
+
+    python benchmarks/bench_scale.py                      # 10k + 100k + 1M
+    REPRO_BENCH_SCALE_TIERS=10000 python benchmarks/bench_scale.py   # smoke
+
+Environment knobs:
+    REPRO_BENCH_SCALE_TIERS    comma-separated record counts
+                               (default "10000,100000,1000000")
+    REPRO_BENCH_SHARDS         shard count for the vectorized run (default 8)
+    REPRO_BENCH_PARALLEL       worker processes for the sharded run
+                               (default 0 = in-process shard loop)
+    REPRO_BENCH_SCALAR_CAP     largest tier for scalar-join (default 100000)
+    REPRO_BENCH_REFERENCE_CAP  largest tier for reference (default 10000)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.largescale import BASE_RECORDS, generate_largescale  # noqa: E402
+from repro.experiments.configs import PRUNING_THRESHOLD  # noqa: E402
+from repro.perf.timing import (  # noqa: E402
+    StageTimings,
+    bench_payload,
+    run_entry,
+    write_bench_json,
+)
+from repro.pruning.candidate import build_candidate_set  # noqa: E402
+from repro.similarity.composite import jaccard_similarity_function  # noqa: E402
+
+TIERS = tuple(
+    int(tier)
+    for tier in os.environ.get(
+        "REPRO_BENCH_SCALE_TIERS", "10000,100000,1000000"
+    ).split(",")
+    if tier.strip()
+)
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "8"))
+PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
+SCALAR_CAP = int(os.environ.get("REPRO_BENCH_SCALAR_CAP", "100000"))
+REFERENCE_CAP = int(os.environ.get("REPRO_BENCH_REFERENCE_CAP", "10000"))
+SEED = 1
+OUTPUT = REPO_ROOT / "BENCH_scale.json"
+
+
+def _measure(records, *, engine: str, kernel_backend: str, shards: int,
+             parallel: int = 0):
+    """One pruning run; returns (candidate_set, timings-with-meters)."""
+    timings = StageTimings()
+    candidates = build_candidate_set(
+        records, jaccard_similarity_function(),
+        threshold=PRUNING_THRESHOLD, engine=engine,
+        kernel_backend=kernel_backend, shards=shards, parallel=parallel,
+        timings=timings,
+    )
+    timings.record_throughput("records_per_second", len(records))
+    timings.record_throughput("pairs_per_second", len(candidates))
+    timings.record_peak_rss()
+    return candidates, timings
+
+
+def main() -> int:
+    runs = {}
+    derived = {}
+    for tier in TIERS:
+        label = f"{tier // 1000}k" if tier < 1_000_000 else f"{tier // 1_000_000}M"
+        dataset = generate_largescale(scale=tier / BASE_RECORDS, seed=SEED)
+        assert len(dataset.records) == tier
+
+        vec, vec_timings = _measure(
+            dataset.records, engine="prefix", kernel_backend="vectorized",
+            shards=SHARDS, parallel=PARALLEL,
+        )
+        runs[f"{label}/vectorized"] = run_entry(
+            vec_timings, records=tier, pairs=len(vec),
+            shards=SHARDS, parallel=PARALLEL,
+        )
+        print(f"{label}/vectorized: {vec_timings.total:.2f}s, "
+              f"{len(vec)} pairs, "
+              f"{vec_timings.meters['records_per_second']:.0f} rec/s, "
+              f"peak RSS {vec_timings.meters['peak_rss_bytes'] / 2**20:.0f} MiB")
+
+        if tier <= SCALAR_CAP:
+            # Unsharded single-shard vectorized run: shard-count invariance
+            # at real scale (cheap — same kernel, no partitioning).
+            one, one_timings = _measure(
+                dataset.records, engine="prefix",
+                kernel_backend="vectorized", shards=1,
+            )
+            runs[f"{label}/vectorized-1shard"] = run_entry(
+                one_timings, records=tier, pairs=len(one), shards=1,
+            )
+            if (one.pairs, one.machine_scores) != (vec.pairs, vec.machine_scores):
+                print(f"FAIL: {label}: shard counts disagree", file=sys.stderr)
+                return 1
+
+            scalar, scalar_timings = _measure(
+                dataset.records, engine="prefix", kernel_backend="scalar",
+                shards=0,
+            )
+            runs[f"{label}/scalar-join"] = run_entry(
+                scalar_timings, records=tier, pairs=len(scalar),
+            )
+            if (scalar.pairs, scalar.machine_scores) != (vec.pairs,
+                                                         vec.machine_scores):
+                print(f"FAIL: {label}: kernel backends disagree",
+                      file=sys.stderr)
+                return 1
+            speedup = scalar_timings.total / max(vec_timings.total, 1e-12)
+            derived[f"{label}/speedup_vs_scalar_join"] = round(speedup, 2)
+            print(f"{label}/scalar-join: {scalar_timings.total:.2f}s "
+                  f"({speedup:.1f}x, identical)")
+
+        if tier <= REFERENCE_CAP:
+            reference, ref_timings = _measure(
+                dataset.records, engine="reference", kernel_backend="auto",
+                shards=0,
+            )
+            runs[f"{label}/reference"] = run_entry(
+                ref_timings, records=tier, pairs=len(reference),
+            )
+            if (reference.pairs, reference.machine_scores) != (
+                    vec.pairs, vec.machine_scores):
+                print(f"FAIL: {label}: reference engine disagrees",
+                      file=sys.stderr)
+                return 1
+            speedup = ref_timings.total / max(vec_timings.total, 1e-12)
+            derived[f"{label}/speedup_vs_reference"] = round(speedup, 2)
+            print(f"{label}/reference: {ref_timings.total:.2f}s "
+                  f"({speedup:.1f}x, identical)")
+
+    payload = bench_payload(
+        "scale",
+        config={
+            "tiers": list(TIERS), "seed": SEED, "shards": SHARDS,
+            "parallel": PARALLEL, "threshold": PRUNING_THRESHOLD,
+            "scalar_cap": SCALAR_CAP, "reference_cap": REFERENCE_CAP,
+            "dataset": "largescale", "metric": "jaccard",
+        },
+        runs=runs,
+        derived=derived,
+    )
+    write_bench_json(OUTPUT, payload)
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.experiments.runner import (
 from repro.core.pivot_engine import PIVOT_ENGINES
 from repro.core.refine import REFINE_ENGINES
 from repro.pruning.candidate import ENGINES
+from repro.similarity.kernels import KERNEL_BACKENDS
 from repro.experiments.sweeps import epsilon_sweep, threshold_sweep
 from repro.experiments.tables import (
     format_comparison,
@@ -56,14 +57,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=ENGINES, default="auto",
                         help="pruning engine (prefix join vs reference loop)")
     parser.add_argument("--parallel", type=int, default=0,
-                        help="worker processes for reference pruning "
-                             "(<= 1 is serial)")
+                        help="worker processes for reference pruning or "
+                             "sharded prefix-join execution (<= 1 is serial)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="blocking-key shards for the prefix join "
+                             "(0/1 = unsharded; identical output at any "
+                             "shard count)")
+    parser.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
+                        default="auto",
+                        help="prefix-join verification kernel: numpy batch "
+                             "('vectorized') or per-pair Python ('scalar')")
 
 
 def _prepare(args: argparse.Namespace, obs=None) -> Instance:
     return prepare_instance(
         args.dataset, args.setting, scale=args.scale, seed=args.seed,
-        engine=args.engine, parallel=args.parallel, obs=obs,
+        engine=args.engine, parallel=args.parallel, shards=args.shards,
+        kernel_backend=args.kernel_backend, obs=obs,
     )
 
 
@@ -325,6 +335,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "method_seed": args.method_seed,
         "refine_engine": args.refine_engine,
         "pivot_engine": args.pivot_engine,
+        "engine": args.engine,
+        "parallel": args.parallel,
+        "shards": args.shards,
+        "kernel_backend": args.kernel_backend,
     }
     seeds = {"dataset_seed": args.seed, "method_seed": args.method_seed}
 

@@ -1,0 +1,139 @@
+"""The *Largescale* synthetic dataset generator (10k-1M records).
+
+The paper's three datasets top out at a few thousand records; the scale
+benchmark (``benchmarks/bench_scale.py``) needs populations two to three
+orders of magnitude larger with a candidate graph that stays *linear* in
+the record count.  Two design choices make that possible:
+
+Blocked Zipf clustering
+    Applying :func:`~repro.datasets.synthetic.zipf_cluster_sizes` to a
+    million records at once concentrates a large fraction of them in a few
+    head entities, whose within-cluster pair counts grow quadratically —
+    a 100k-record entity alone contributes ~5 billion duplicate pairs.
+    Real dedup corpora do not look like that, and no join could survive
+    it.  Instead the Zipf skew is applied *within bounded blocks* of
+    :data:`BLOCK_RECORDS` records: every block is a miniature Zipf world
+    (a few entities with a dozen-odd mentions, many singletons), so the
+    global cluster-size distribution keeps the Zipf shape while the
+    largest cluster — and with it the candidate graph — stays bounded.
+
+Unique-heavy token profile
+    Each entity's description is :data:`UNIQUE_TOKENS_PER_ENTITY` tokens
+    synthesized uniquely for that entity plus :data:`SHARED_TOKENS_PER_ENTITY`
+    drawn from a small shared vocabulary (cities, categories — the realistic
+    "common word" background).  Under the canonical rare-first token order
+    the unique tokens (document frequency = cluster size) fill the join
+    prefixes, while the high-frequency shared tokens fall outside them —
+    posting lists stay cluster-sized and candidate generation stays linear.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, List
+
+from repro.datasets.schema import Dataset, GoldStandard, Record
+from repro.datasets.synthetic import noisy_variant, zipf_cluster_sizes
+
+#: Records per Zipf block — bounds the largest cluster (and the quadratic
+#: within-cluster pair count) independently of the total dataset size.
+BLOCK_RECORDS = 256
+
+#: Fraction of a block's records that are distinct entities (~1.4 records
+#: per entity on average; the Zipf skew concentrates the duplicates).
+ENTITY_FRACTION = 0.7
+
+#: Tokens synthesized uniquely per entity (document frequency = cluster
+#: size; these dominate the rare-first join prefixes).
+UNIQUE_TOKENS_PER_ENTITY = 5
+
+#: Tokens drawn from the shared vocabulary per entity (high document
+#: frequency; realistic common-word background, outside the prefixes).
+SHARED_TOKENS_PER_ENTITY = 2
+
+#: Shared vocabulary size.  Small enough that shared tokens are frequent
+#: (frequent tokens sort last canonically), large enough for variety.
+SHARED_VOCABULARY = 512
+
+#: Records at ``scale=1.0``; the benchmark tiers are scale 1 / 10 / 100.
+BASE_RECORDS = 10_000
+
+_LETTERS = string.ascii_lowercase
+
+
+def _unique_token(counter: int) -> str:
+    """A deterministic, collision-free pseudo-word for one unique-token
+    slot (base-26 over letters, 'q'-prefixed so it never collides with the
+    shared vocabulary)."""
+    encoded = []
+    value = counter
+    while True:
+        encoded.append(_LETTERS[value % 26])
+        value //= 26
+        if value == 0:
+            break
+    return "q" + "".join(reversed(encoded))
+
+
+def _shared_vocabulary(rng: random.Random) -> List[str]:
+    """The common-word background pool (6-9 letter pseudo-words)."""
+    pool: List[str] = []
+    seen = set()
+    while len(pool) < SHARED_VOCABULARY:
+        word = "".join(rng.choice(_LETTERS)
+                       for _ in range(rng.randint(6, 9)))
+        if word not in seen and not word.startswith("q"):
+            seen.add(word)
+            pool.append(word)
+    return pool
+
+
+def generate_largescale(scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Generate the Largescale dataset.
+
+    Args:
+        scale: Multiplies :data:`BASE_RECORDS` (1.0 = 10k records, 10.0 =
+            100k, 100.0 = 1M).
+        seed: Generator seed.
+
+    Returns:
+        A :class:`~repro.datasets.schema.Dataset` named ``"largescale"``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    rng = random.Random(seed)
+    num_records = max(2, round(BASE_RECORDS * scale))
+    shared_pool = _shared_vocabulary(rng)
+
+    records: List[Record] = []
+    entity_of: Dict[int, int] = {}
+    record_id = 0
+    entity_id = 0
+    unique_counter = 0
+    remaining = num_records
+    while remaining > 0:
+        block_records = min(BLOCK_RECORDS, remaining)
+        remaining -= block_records
+        block_entities = max(1, min(block_records,
+                                    round(block_records * ENTITY_FRACTION)))
+        for size in zipf_cluster_sizes(block_records, block_entities, rng):
+            unique = [_unique_token(unique_counter + slot)
+                      for slot in range(UNIQUE_TOKENS_PER_ENTITY)]
+            unique_counter += UNIQUE_TOKENS_PER_ENTITY
+            shared = rng.sample(shared_pool, SHARED_TOKENS_PER_ENTITY)
+            canonical = " ".join(unique + shared)
+            for _ in range(size):
+                text = noisy_variant(
+                    canonical, rng,
+                    typo_rate=0.05, drop_rate=0.06,
+                    abbreviate_rate=0.02, shuffle_probability=0.2,
+                )
+                records.append(Record(record_id=record_id, text=text))
+                entity_of[record_id] = entity_id
+                record_id += 1
+            entity_id += 1
+
+    return Dataset(
+        name="largescale", records=records, gold=GoldStandard(entity_of)
+    )

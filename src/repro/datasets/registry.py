@@ -1,9 +1,17 @@
-"""Dataset registry: generate any of the paper's three datasets by name."""
+"""Dataset registry: generate any of the paper's three datasets by name.
+
+Beyond the paper's trio, the registry also serves the synthetic
+``largescale`` population (10k-1M records; see
+:mod:`repro.datasets.largescale`) used by the scale benchmark —
+:func:`extended_dataset_names` lists it, while :func:`dataset_names`
+stays pinned to the paper's presentation set.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.datasets.largescale import generate_largescale
 from repro.datasets.paper import generate_paper
 from repro.datasets.product import generate_product
 from repro.datasets.restaurant import generate_restaurant
@@ -13,12 +21,18 @@ _GENERATORS: Dict[str, Callable[..., Dataset]] = {
     "paper": generate_paper,
     "restaurant": generate_restaurant,
     "product": generate_product,
+    "largescale": generate_largescale,
 }
 
 
 def dataset_names() -> List[str]:
-    """The registered dataset names, in the paper's presentation order."""
+    """The paper's dataset names, in its presentation order."""
     return ["paper", "restaurant", "product"]
+
+
+def extended_dataset_names() -> List[str]:
+    """Every generatable dataset: the paper's trio plus synthetics."""
+    return dataset_names() + ["largescale"]
 
 
 def generate(name: str, scale: float = 1.0, seed: int = 0) -> Dataset:

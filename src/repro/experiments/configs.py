@@ -63,6 +63,11 @@ DIFFICULTY_MODELS: Dict[str, DifficultyModel] = {
         easy_error=0.11, hard_fraction=0.11,
         hard_error_low=0.38, hard_error_high=0.52, seed=13,
     ),
+    # Synthetic scale benchmark population (not a Table 3 dataset): noisy
+    # variants of one entity stay token-heavy, so pairs are restaurant-easy.
+    "largescale": DifficultyModel(
+        easy_error=0.05, hard_fraction=0.0, seed=14,
+    ),
 }
 
 # Pruning threshold of Section 6.1.

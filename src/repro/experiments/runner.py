@@ -72,6 +72,8 @@ def prepare_instance(
     threshold: float = PRUNING_THRESHOLD,
     engine: str = "auto",
     parallel: int = 0,
+    shards: int = 0,
+    kernel_backend: str = "auto",
     timings: Optional[StageTimings] = None,
     obs=None,
 ) -> Instance:
@@ -85,8 +87,12 @@ def prepare_instance(
         threshold: Pruning threshold τ (paper: 0.3).
         engine: Pruning engine: 'auto', 'reference', or 'prefix'
             (see :func:`repro.pruning.candidate.build_candidate_set`).
-        parallel: Worker processes for the reference scoring loop (<= 1
-            runs serially).
+        parallel: Worker processes (reference scoring loop or sharded
+            prefix join; <= 1 runs serially).
+        shards: Blocking-key shards for the prefix join (0/1 = unsharded;
+            output is identical for every value).
+        kernel_backend: Prefix-join verification kernel: 'auto',
+            'vectorized', or 'scalar' (see :mod:`repro.similarity.kernels`).
         timings: Optional stage timer recording pruning wall-clock.
         obs: Optional :class:`~repro.obs.ObsContext`; traces the pruning
             phase (the dataset generation itself is untimed).
@@ -95,7 +101,8 @@ def prepare_instance(
     dataset = generate(dataset_name, scale=scale, seed=seed)
     candidates = build_candidate_set(
         dataset.records, jaccard_similarity_function(), threshold=threshold,
-        engine=engine, parallel=parallel, timings=timings, obs=obs,
+        engine=engine, parallel=parallel, shards=shards,
+        kernel_backend=kernel_backend, timings=timings, obs=obs,
     )
     workers = WorkerPool(
         difficulty=difficulty_model(dataset_name),

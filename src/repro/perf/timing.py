@@ -16,6 +16,8 @@ BENCH JSON schema (one document per benchmark)::
       "runs": {                            # one entry per measured variant
         "paper/reference": {
           "stages": {"blocking": 0.41, "scoring": 3.2, "total": 3.61},
+          "meters": {"peak_rss_bytes": 73400320,      # optional gauges
+                     "records_per_second": 14200.0},
           "meta":   {"records": 600, "pairs": 1234}
         },
         ...
@@ -25,17 +27,40 @@ BENCH JSON schema (one document per benchmark)::
 
 Timings are wall-clock seconds from :func:`time.perf_counter`.  Repeated
 entries to the same stage accumulate, so a stage may wrap a loop body.
+
+Besides durations, a :class:`StageTimings` carries *meters* — point-in-time
+gauges such as peak RSS (:func:`peak_rss_bytes`) and derived throughputs
+(records/sec, pairs/sec via :meth:`StageTimings.record_throughput`).  Meters
+ride along in the same run entry under a ``meters`` key, so every benchmark
+that reports timings can report memory and throughput for free.
 """
 
 from __future__ import annotations
 
 import json
+import resource
+import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 SCHEMA_VERSION = 1
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    Uses ``resource.getrusage`` (always available on POSIX; no psutil
+    dependency).  ``ru_maxrss`` is kibibytes on Linux but bytes on macOS —
+    normalized here.  Note this is a high-water mark since process start,
+    not the current footprint: record it right after the stage of interest
+    and interpret deltas accordingly.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(peak)
+    return int(peak) * 1024
 
 
 class StageTimings:
@@ -50,6 +75,7 @@ class StageTimings:
 
     def __init__(self) -> None:
         self._seconds: Dict[str, float] = {}
+        self._meters: Dict[str, float] = {}
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -76,6 +102,39 @@ class StageTimings:
         return sum(
             seconds for name, seconds in self._seconds.items() if name != "total"
         )
+
+    def set_meter(self, name: str, value: float) -> None:
+        """Set a gauge meter (overwrites; meters are point measurements)."""
+        self._meters[name] = value
+
+    def record_peak_rss(self, name: str = "peak_rss_bytes") -> int:
+        """Capture the process peak RSS into meter ``name``; returns it."""
+        peak = peak_rss_bytes()
+        self.set_meter(name, float(peak))
+        return peak
+
+    def record_throughput(self, name: str, count: int,
+                          stage: Optional[str] = None) -> float:
+        """Derive an items-per-second meter from a recorded stage.
+
+        Args:
+            name: Meter name (e.g. ``records_per_second``).
+            count: Items processed (records, pairs, ...).
+            stage: Stage whose duration divides ``count``; defaults to the
+                cross-stage total.
+
+        Returns:
+            The computed rate (0.0 when the duration is not measurable).
+        """
+        seconds = self.seconds(stage) if stage is not None else self.total
+        rate = count / seconds if seconds > 0 else 0.0
+        self.set_meter(name, rate)
+        return rate
+
+    @property
+    def meters(self) -> Dict[str, float]:
+        """Meter -> value mapping, insertion-ordered."""
+        return dict(self._meters)
 
     def as_dict(self) -> Dict[str, float]:
         """Stage -> seconds mapping, insertion-ordered."""
@@ -114,8 +173,13 @@ def bench_payload(
 def run_entry(
     timings: StageTimings, **meta: Any
 ) -> Dict[str, Any]:
-    """One ``runs`` entry: stage timings (with total) plus free-form meta."""
-    return {"stages": timings.with_total(), "meta": dict(meta)}
+    """One ``runs`` entry: stage timings (with total), any recorded meters
+    (peak RSS, throughputs), plus free-form meta."""
+    entry: Dict[str, Any] = {"stages": timings.with_total()}
+    if timings.meters:
+        entry["meters"] = timings.meters
+    entry["meta"] = dict(meta)
+    return entry
 
 
 def write_bench_json(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:

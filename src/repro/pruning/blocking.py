@@ -5,7 +5,9 @@ pair and keeps those above τ.  For token-overlap metrics such as Jaccard a
 pair with zero shared tokens scores 0 < τ, so an inverted-index block over
 tokens yields exactly the same candidate set at a fraction of the cost.
 Sorted-neighborhood blocking is also provided; it is the clustering substrate
-of the CrowdER+ baseline and a classic technique in its own right.
+of the CrowdER+ baseline and a classic technique in its own right.  The
+blocking-key -> shard assignment used by the sharded scale-out join also
+lives here (:func:`shard_of_token`).
 """
 
 from __future__ import annotations
@@ -92,6 +94,25 @@ def sorted_neighborhood_pairs(records: Sequence[Record],
             if pair not in emitted:
                 emitted.add(pair)
                 yield pair
+
+
+def shard_of_token(token_rank: int, num_shards: int) -> int:
+    """Deterministic blocking-key -> shard assignment.
+
+    The sharded similarity join (:mod:`repro.pruning.shard`) partitions
+    work by *blocking key* — the canonical token rank that generated a
+    candidate — not by record: a record participates in every shard owning
+    one of its prefix tokens, which is exactly what makes the per-shard
+    joins collectively exhaustive.  Round-robin over the canonical rank is
+    used instead of a string hash so the assignment is identical across
+    Python processes and runs (``hash(str)`` is salted per process).
+
+    >>> [shard_of_token(rank, 4) for rank in range(6)]
+    [0, 1, 2, 3, 0, 1]
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return token_rank % num_shards
 
 
 def all_pairs(records: Sequence[Record]) -> Iterator[Pair]:

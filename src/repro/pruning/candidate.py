@@ -19,10 +19,19 @@ Engines
   what ``reference`` would compute, else ``reference``; the opt-in
   ``parallel=N`` knob fans the reference scoring loop out to worker
   processes for expensive non-set metrics.
+
+Orthogonally to the engine, the prefix join itself dispatches between two
+*kernel backends* (:data:`~repro.similarity.kernels.KERNEL_BACKENDS`): the
+``scalar`` per-pair reference and the ``vectorized`` numpy batch path of
+:mod:`repro.pruning.shard`, which also accepts a ``shards`` count for
+blocking-key partitioned (optionally multi-process) execution.  All
+combinations produce byte-identical candidate sets; backends and shard
+counts only move wall-clock and memory.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -32,6 +41,7 @@ from repro.obs import maybe_span
 from repro.perf.timing import StageTimings
 from repro.pruning.blocking import all_pairs, token_blocking_pairs
 from repro.similarity.composite import SET_METRIC_FUNCTIONS, SimilarityFunction
+from repro.similarity.kernels import numpy_available, resolve_kernel_backend
 
 Pair = Tuple[int, int]
 
@@ -107,6 +117,8 @@ def build_candidate_set(
     use_token_blocking: bool = True,
     engine: str = "auto",
     parallel: int = 0,
+    shards: int = 0,
+    kernel_backend: str = "auto",
     timings: Optional[StageTimings] = None,
     obs=None,
 ) -> CandidateSet:
@@ -124,8 +136,15 @@ def build_candidate_set(
             that can score > τ with zero shared word tokens (e.g. q-gram or
             edit-distance metrics).
         engine: ``auto`` | ``reference`` | ``prefix`` (see module docstring).
-        parallel: Worker processes for the reference scoring loop; <= 1 is
-            serial.  Ignored when the prefix join runs (it is faster still).
+        parallel: Worker processes; for the reference engine this fans out
+            the scoring loop, for the sharded prefix join it runs shards in
+            parallel (needs ``shards`` > 1 to matter there).
+        shards: Blocking-key shards for the prefix join (0/1 = unsharded).
+            Any value yields byte-identical output; > 1 is a scale knob.
+        kernel_backend: ``auto`` | ``vectorized`` | ``scalar`` — how prefix
+            join candidates are verified (see
+            :mod:`repro.similarity.kernels`).  ``auto`` uses the vectorized
+            kernel whenever numpy is importable.
         timings: Optional :class:`~repro.perf.timing.StageTimings`; records
             ``blocking`` and ``scoring`` stage wall-clock.
         obs: Optional :class:`~repro.obs.ObsContext`; the phase runs inside
@@ -138,6 +157,9 @@ def build_candidate_set(
         raise ValueError(f"threshold must be in [0, 1), got {threshold}")
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if shards < 0:
+        raise ValueError(f"shards must be >= 0, got {shards}")
+    resolved_backend = resolve_kernel_backend(kernel_backend)
 
     eligible = _prefix_join_eligible(similarity, candidate_pairs,
                                      use_token_blocking)
@@ -149,9 +171,45 @@ def build_candidate_set(
         )
     chosen = ("prefix" if engine == "prefix" or (engine == "auto" and eligible)
               else "reference")
+    if chosen == "reference":
+        if shards > 1:
+            raise ValueError(
+                "shards > 1 applies only to the prefix join; the chosen "
+                f"engine here is 'reference' (engine={engine!r}, "
+                f"similarity={similarity.name!r})"
+            )
+        if kernel_backend == "vectorized":
+            raise ValueError(
+                "kernel_backend='vectorized' applies only to the prefix "
+                "join; the chosen engine here is 'reference' "
+                f"(engine={engine!r}, similarity={similarity.name!r})"
+            )
+    use_sharded = (chosen == "prefix"
+                   and (shards > 1 or resolved_backend == "vectorized"))
+    if use_sharded and not numpy_available():
+        # shards > 1 with an auto/scalar backend and no numpy: the sharded
+        # join is array-based, so degrade to the (identical) scalar join.
+        warnings.warn(
+            f"shards={shards} requested but numpy is not importable; "
+            "running the unsharded scalar prefix join (identical output)",
+            RuntimeWarning, stacklevel=2,
+        )
+        use_sharded = False
     with maybe_span(obs, "pruning", engine=chosen,
-                    records=len(records), threshold=threshold) as span:
-        if chosen == "prefix":
+                    records=len(records), threshold=threshold,
+                    kernel_backend=resolved_backend,
+                    shards=max(shards, 1) if chosen == "prefix" else 0) as span:
+        if use_sharded:
+            surviving, scores = _run_sharded_join(
+                records, similarity, threshold,
+                include_empty_pairs=not use_token_blocking,
+                num_shards=max(shards, 1),
+                processes=parallel,
+                kernel_backend=resolved_backend,
+                timings=timings,
+                obs=obs,
+            )
+        elif chosen == "prefix":
             surviving, scores = _run_prefix_join(
                 records, similarity, threshold,
                 include_empty_pairs=not use_token_blocking,
@@ -203,6 +261,38 @@ def _run_prefix_join(
         threshold=threshold,
         include_empty_pairs=include_empty_pairs,
         timings=timings,
+    )
+    # Keep later phases' memoized reads warm, as the reference loop would.
+    similarity.seed_cache(scores)
+    return surviving, scores
+
+
+def _run_sharded_join(
+    records: Sequence[Record],
+    similarity: SimilarityFunction,
+    threshold: float,
+    include_empty_pairs: bool,
+    num_shards: int,
+    processes: int,
+    kernel_backend: str,
+    timings: Optional[StageTimings],
+    obs,
+) -> Tuple[List[Pair], Dict[Pair, float]]:
+    from repro.pruning.shard import sharded_prefix_filtered_candidates
+
+    assert similarity.set_metric is not None
+    surviving, scores = sharded_prefix_filtered_candidates(
+        records,
+        set_of=similarity.set_of,
+        set_function=SET_METRIC_FUNCTIONS[similarity.set_metric],
+        metric=similarity.set_metric,
+        threshold=threshold,
+        num_shards=num_shards,
+        processes=processes,
+        kernel_backend=kernel_backend,
+        include_empty_pairs=include_empty_pairs,
+        timings=timings,
+        obs=obs,
     )
     # Keep later phases' memoized reads warm, as the reference loop would.
     similarity.seed_cache(scores)

@@ -8,9 +8,13 @@ worker processes in deterministic chunks and merges the survivors.
 
 The pool uses the ``fork`` start method and passes the metric to workers via
 a module-global captured at fork time — this supports lambdas and closures
-(which cannot be pickled).  On platforms without ``fork`` the scorer falls
-back to the serial loop, so results are identical everywhere; parallelism is
-purely a wall-clock optimization.
+(which cannot be pickled).  On platforms without ``fork`` (e.g. Windows, or
+macOS with the spawn default and no fork method) the scorer falls back to
+the serial loop, so results are identical everywhere; parallelism is purely
+a wall-clock optimization.  The fallback is *not* silent: it raises a
+:class:`ParallelFallbackWarning` and, when an observability context is
+attached, emits a ``pruning.parallel_fallback`` warning event so traces
+record that a requested parallel run executed serially.
 
 Determinism: chunks are formed from the (deduplicated, ordered) pair list,
 workers are pure functions, and results are merged in submission order, so
@@ -20,6 +24,7 @@ the surviving ``{pair: score}`` mapping is byte-identical to the serial loop.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 Pair = Tuple[int, int]
@@ -31,9 +36,36 @@ _FORK_STATE: Dict[str, object] = {}
 DEFAULT_CHUNK_SIZE = 2048
 
 
+class ParallelFallbackWarning(RuntimeWarning):
+    """A requested parallel pruning run fell back to the serial path."""
+
+
 def fork_available() -> bool:
     """Whether the fork start method (required for the pool) exists."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def notify_parallel_fallback(obs, *, requested: int, context: str) -> None:
+    """Record that a ``parallel``/``processes`` request ran serially.
+
+    Raises a :class:`ParallelFallbackWarning` (always) and emits a
+    ``pruning.parallel_fallback`` warning event on ``obs`` (when attached)
+    with the requested worker count and the call site — results are still
+    byte-identical, only the wall-clock expectation is not met.
+    """
+    message = (
+        f"{context}: {requested} worker processes requested but the 'fork' "
+        "start method is unavailable on this platform; running serially "
+        "(results are identical, only slower)"
+    )
+    warnings.warn(message, ParallelFallbackWarning, stacklevel=3)
+    if obs is not None:
+        obs.event(
+            "pruning.parallel_fallback",
+            requested=requested,
+            context=context,
+            reason="fork-unavailable",
+        )
 
 
 def _score_chunk(chunk: Sequence[Pair]) -> List[Tuple[Pair, float]]:
@@ -65,6 +97,7 @@ def score_pairs_parallel(
     threshold: float,
     processes: int,
     chunk_size: Optional[int] = None,
+    obs=None,
 ) -> Dict[Pair, float]:
     """Score canonical, deduplicated pairs; return ``{pair: score}`` for
     pairs with score strictly above ``threshold``.
@@ -78,7 +111,13 @@ def score_pairs_parallel(
         processes: Worker count; values <= 1 run the serial loop.
         chunk_size: Pairs per task (default ``DEFAULT_CHUNK_SIZE``, capped
             so every worker gets work).
+        obs: Optional :class:`~repro.obs.ObsContext`; receives the
+            ``pruning.parallel_fallback`` warning event if the pool cannot
+            be created on this platform.
     """
+    if processes > 1 and len(pairs) > 0 and not fork_available():
+        notify_parallel_fallback(obs, requested=processes,
+                                 context="score_pairs_parallel")
     if processes <= 1 or len(pairs) == 0 or not fork_available():
         return _score_serial(pairs, texts, metric, threshold)
 

@@ -21,6 +21,12 @@ guarantees **bit-identical output** to the reference path:
 Records whose set is empty never share a token, mirroring token blocking
 (which never pairs them).  The all-pairs reference, by contrast, scores
 empty-vs-empty as 1.0; ``include_empty_pairs=True`` reproduces that.
+
+This module is the *scalar reference* of the join family: one record at a
+time, Python frozensets, exact per-pair verification.  Its scale-out twin —
+the same candidate rule run over interned int-id arrays, in parallel
+shards, with numpy batch verification — lives in :mod:`repro.pruning.shard`
+and is candidate- and survivor-identical by construction.
 """
 
 from __future__ import annotations
@@ -66,9 +72,13 @@ def _prefix_need(metric: str, threshold: float, size: int) -> float:
     raise ValueError(f"unknown prefix-join metric {metric!r}")
 
 
-def _partner_size_need(metric: str, threshold: float, size: int) -> float:
+def partner_size_need(metric: str, threshold: float, size: int) -> float:
     """Lower bound on an eligible partner's set size (partner must be
-    strictly larger than this in exact arithmetic)."""
+    strictly larger than this in exact arithmetic).
+
+    Shared with the sharded vectorized join (:mod:`repro.pruning.shard`),
+    which must apply the *same* float bound to stay candidate-identical.
+    """
     if metric == "jaccard":
         return threshold * size
     if metric == "cosine":
@@ -157,7 +167,7 @@ def prefix_filtered_candidates(
         for record_id in by_size:
             tokens = sorted_tokens[record_id]
             size = len(tokens)
-            size_need = _partner_size_need(metric, threshold, size) - EPS
+            size_need = partner_size_need(metric, threshold, size) - EPS
             probed: Dict[int, None] = {}
             prefix = tokens[:prefix_length(metric, threshold, size)]
             for token in prefix:

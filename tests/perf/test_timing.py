@@ -91,3 +91,60 @@ class TestPruningInstrumentation:
                                 engine=engine, timings=timings)
             stages = timings.as_dict()
             assert "blocking" in stages and "scoring" in stages, engine
+
+
+class TestMeters:
+    """Gauge meters: peak RSS and derived throughput rates."""
+
+    def test_set_meter_overwrites(self):
+        timings = StageTimings()
+        timings.set_meter("records_per_second", 10.0)
+        timings.set_meter("records_per_second", 20.0)
+        assert timings.meters == {"records_per_second": 20.0}
+
+    def test_no_meters_by_default(self):
+        assert StageTimings().meters == {}
+
+    def test_peak_rss_positive(self):
+        from repro.perf.timing import peak_rss_bytes
+
+        # A running interpreter occupies at least a few MiB.
+        assert peak_rss_bytes() > 1 << 20
+
+    def test_record_peak_rss_sets_meter(self):
+        timings = StageTimings()
+        peak = timings.record_peak_rss()
+        assert peak > 0
+        assert timings.meters["peak_rss_bytes"] == float(peak)
+
+    def test_record_throughput_from_stage(self):
+        timings = StageTimings()
+        timings.add("scoring", 2.0)
+        rate = timings.record_throughput("pairs_per_second", 100,
+                                         stage="scoring")
+        assert rate == pytest.approx(50.0)
+        assert timings.meters["pairs_per_second"] == pytest.approx(50.0)
+
+    def test_record_throughput_defaults_to_total(self):
+        timings = StageTimings()
+        timings.add("blocking", 1.0)
+        timings.add("scoring", 3.0)
+        rate = timings.record_throughput("records_per_second", 400)
+        assert rate == pytest.approx(100.0)
+
+    def test_record_throughput_unmeasurable_is_zero(self):
+        timings = StageTimings()
+        assert timings.record_throughput("records_per_second", 400) == 0.0
+
+    def test_run_entry_includes_meters(self):
+        timings = StageTimings()
+        timings.add("scoring", 1.0)
+        timings.set_meter("records_per_second", 42.0)
+        entry = run_entry(timings, records=7)
+        assert entry["meters"] == {"records_per_second": 42.0}
+        assert entry["meta"] == {"records": 7}
+
+    def test_run_entry_omits_empty_meters(self):
+        timings = StageTimings()
+        timings.add("scoring", 1.0)
+        assert "meters" not in run_entry(timings)
