@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-smoke bench-refine bench-pivot bench-scale bench-scale-smoke chaos-smoke trace-smoke examples lint clean
+.PHONY: install test bench bench-quick bench-smoke bench-refine bench-pivot bench-scale bench-scale-smoke chaos-smoke chaos-runtime trace-smoke examples lint clean
 
 install:
 	python setup.py develop
@@ -43,11 +43,22 @@ bench-scale-smoke:
 	REPRO_BENCH_SCALE_TIERS=10000 python benchmarks/bench_scale.py
 
 # Fault-injection smoke: every pipeline family must terminate under the
-# default hostile crowd (abandonment, timeouts, spammers, early quorum).
-# Regenerates CHAOS_smoke.json at the repo root.
+# default hostile crowd (abandonment, timeouts, spammers, early quorum),
+# the supervised worker pool must stay byte-identical under process
+# faults (kills, delays, poison chunks), and phase checkpoints must
+# kill-resume byte-identically.  Regenerates CHAOS_smoke.json at the
+# repo root.
 chaos-smoke:
 	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 5 \
 		--output CHAOS_smoke.json
+
+# Runtime-focused chaos: the process-fault matrix (worker kills / task
+# delays / poison chunks on sharded 10k pruning) and the checkpoint
+# kill-resume checks, with the crowd-side sweep cut to a single seed.
+# Writes CHAOS_runtime.json (not tracked).
+chaos-runtime:
+	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 1 \
+		--runtime-records 10000 --output CHAOS_runtime.json
 
 # Observability smoke: one traced run end to end, then the manifest must
 # validate and the trace must summarize.  Regenerates TRACE_smoke.jsonl

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``)::
     repro run product --method ACD       # one method, one dataset
     repro run paper --journal run.wal    # crash-safe: journal every batch
     repro run paper --journal run.wal --resume   # continue a killed run
+    repro run paper --checkpoint-dir ck  # snapshot each completed phase
+    repro run paper --checkpoint-dir ck --resume # skip finished phases
     repro run paper --trace run.trace.jsonl      # traced: spans + manifest
     repro trace summarize run.trace.jsonl        # inspect a finished trace
     repro trace validate run.trace.manifest.json # schema-check a manifest
@@ -69,11 +71,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "('vectorized') or per-pair Python ('scalar')")
 
 
-def _prepare(args: argparse.Namespace, obs=None) -> Instance:
+def _prepare(args: argparse.Namespace, obs=None, candidates=None) -> Instance:
     return prepare_instance(
         args.dataset, args.setting, scale=args.scale, seed=args.seed,
         engine=args.engine, parallel=args.parallel, shards=args.shards,
-        kernel_backend=args.kernel_backend, obs=obs,
+        kernel_backend=args.kernel_backend, obs=obs, candidates=candidates,
     )
 
 
@@ -126,9 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--journal", default=None, metavar="PATH",
                      help="write-ahead journal: durably record every crowd "
                           "batch so a killed run can be resumed")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="phase-level checkpoints: atomically snapshot "
+                          "the candidate set after pruning and the "
+                          "cluster state after generation, so --resume "
+                          "restarts from the last completed phase")
     run.add_argument("--resume", action="store_true",
                      help="continue a previous run from its --journal "
-                          "(replays journaled batches at no crowd cost)")
+                          "and/or --checkpoint-dir (replays journaled "
+                          "batches at no crowd cost and skips "
+                          "checkpointed phases)")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="stream a JSONL trace of every span and event to "
                           "PATH and write a run manifest next to it")
@@ -174,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dataset size multiplier (keep small)")
     chaos.add_argument("--seeds", type=int, default=3,
                        help="number of seeds to sweep (0..N-1)")
+    chaos.add_argument("--runtime-records", type=int, default=10_000,
+                       help="record count of the sharded-pruning tier the "
+                            "process-fault matrix (worker kills, delays, "
+                            "poison chunks) runs at")
+    chaos.add_argument("--no-runtime", action="store_true",
+                       help="skip the process-fault matrix and the "
+                            "checkpoint kill-resume checks (crowd-side "
+                            "faults only)")
     chaos.add_argument("--output", default=None, metavar="PATH",
                        help="write the JSON summary to a file "
                             "(default: stdout)")
@@ -249,8 +266,10 @@ def _check_run_paths(args: argparse.Namespace) -> Optional[Path]:
     artifact must land in a distinct file — a journal silently overwritten
     by the trace stream (or vice versa) is unrecoverable.
     """
-    if args.resume and not args.journal:
-        raise SystemExit("--resume requires --journal PATH")
+    if args.resume and not (args.journal or args.checkpoint_dir):
+        raise SystemExit(
+            "--resume requires --journal PATH and/or --checkpoint-dir DIR"
+        )
     if args.manifest and not args.trace:
         raise SystemExit("--manifest requires --trace PATH")
     manifest_path: Optional[Path] = None
@@ -347,7 +366,33 @@ def _cmd_run(args: argparse.Namespace) -> None:
         from repro.obs import ObsContext, dataset_fingerprint
         obs = ObsContext.to_path(args.trace, manifest_path=manifest_path)
 
-    instance = _prepare(args, obs=obs)
+    checkpoints = None
+    restored_candidates = None
+    if args.checkpoint_dir:
+        from repro.runtime.checkpoint import (
+            CheckpointStore,
+            candidate_state,
+            restore_candidates,
+        )
+        try:
+            checkpoints = CheckpointStore(args.checkpoint_dir,
+                                          config=run_config)
+            if args.resume:
+                payload = checkpoints.load("pruning")
+                if payload is not None:
+                    restored_candidates = restore_candidates(payload)
+        except ValueError as error:
+            raise SystemExit(str(error))
+
+    instance = _prepare(args, obs=obs, candidates=restored_candidates)
+    if checkpoints is not None:
+        if restored_candidates is not None:
+            print(f"resumed pruning checkpoint: "
+                  f"{len(restored_candidates)} candidate pairs "
+                  f"(pruning not re-executed)")
+        else:
+            checkpoints.save("pruning",
+                             candidate_state(instance.candidates))
     if obs is not None:
         obs.manifest_extra.update(
             command="run", config=run_config, seeds=seeds,
@@ -383,7 +428,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         result = run_method(args.method, instance, seed=args.method_seed,
                             gcer_budget=gcer_budget, obs=obs,
                             refine_engine=args.refine_engine,
-                            pivot_engine=args.pivot_engine)
+                            pivot_engine=args.pivot_engine,
+                            checkpoints=checkpoints, resume=args.resume)
     finally:
         if journaled is not None:
             journaled.close()
@@ -469,6 +515,8 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     summary = run_chaos_suite(
         dataset_name=args.dataset, scale=args.scale,
         seeds=range(args.seeds),
+        include_runtime=not args.no_runtime,
+        runtime_records=args.runtime_records,
     )
     text = json.dumps(summary, indent=2, sort_keys=True)
     if args.output:

@@ -35,6 +35,7 @@ from repro.crowd.persistence import JournalingAnswerFile
 from repro.crowd.stats import CrowdStats
 from repro.obs import ObsContext, maybe_span
 from repro.pruning.candidate import CandidateSet
+from repro.runtime.checkpoint import CheckpointStore
 
 
 @dataclass
@@ -77,6 +78,8 @@ def run_acd(
     obs: Optional[ObsContext] = None,
     refine_engine: str = "fast",
     pivot_engine: str = "fast",
+    checkpoints: Optional[CheckpointStore] = None,
+    resume: bool = False,
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -121,6 +124,17 @@ def run_acd(
             default) or "reference" (per-round re-derivation).  Outputs
             are byte-identical; see
             :data:`~repro.core.pivot_engine.PIVOT_ENGINES`.
+        checkpoints: Optional
+            :class:`~repro.runtime.checkpoint.CheckpointStore`.  When
+            attached, the complete cluster-generation state (clustering,
+            cost counters, the answer set ``A`` in arrival order) is
+            snapshotted atomically after phase 2 — the ``generation``
+            checkpoint.
+        resume: With ``checkpoints``, restore the ``generation``
+            checkpoint instead of re-running phase 2 when one exists (and
+            its recorded configuration matches the store's); the pipeline
+            continues straight into refinement and the final
+            :class:`ACDResult` is byte-identical to an uninterrupted run.
 
     Returns:
         The :class:`ACDResult`.
@@ -137,33 +151,50 @@ def run_acd(
                 max_refinement_pairs=max_refinement_pairs,
                 obs=obs, refine_engine=refine_engine,
                 pivot_engine=pivot_engine,
+                checkpoints=checkpoints, resume=resume,
             )
         finally:
             journaled.close()
 
     ids = list(record_ids)
-    stats = CrowdStats(pairs_per_hit=pairs_per_hit,
-                       num_workers=answers.num_workers)
-    oracle = CrowdOracle(answers, stats=stats, obs=obs)
+    restored = (checkpoints.load("generation")
+                if checkpoints is not None and resume else None)
+    if restored is not None:
+        stats = CrowdStats.from_state(restored["stats"])
+        oracle = CrowdOracle(answers, stats=stats, obs=obs)
+    else:
+        stats = CrowdStats(pairs_per_hit=pairs_per_hit,
+                           num_workers=answers.num_workers)
+        oracle = CrowdOracle(answers, stats=stats, obs=obs)
 
     with maybe_span(obs, "acd", records=len(ids),
                     candidate_pairs=len(candidates), parallel=parallel):
         pivot_diagnostics: Optional[PCPivotDiagnostics] = None
-        with maybe_span(obs, "generation"):
-            if parallel:
-                pivot_diagnostics = PCPivotDiagnostics()
-                clustering = pc_pivot(
-                    ids, candidates, oracle, epsilon=epsilon,
-                    permutation=permutation, seed=seed,
-                    diagnostics=pivot_diagnostics,
-                    obs=obs, engine=pivot_engine,
-                )
-            else:
-                clustering = crowd_pivot(
-                    ids, candidates, oracle, permutation=permutation,
-                    seed=seed, obs=obs, engine=pivot_engine,
-                )
+        if restored is not None:
+            clustering, pivot_diagnostics = _restore_generation(
+                restored, answers, oracle, obs)
+        else:
+            with maybe_span(obs, "generation"):
+                if parallel:
+                    pivot_diagnostics = PCPivotDiagnostics()
+                    clustering = pc_pivot(
+                        ids, candidates, oracle, epsilon=epsilon,
+                        permutation=permutation, seed=seed,
+                        diagnostics=pivot_diagnostics,
+                        obs=obs, engine=pivot_engine,
+                    )
+                else:
+                    clustering = crowd_pivot(
+                        ids, candidates, oracle, permutation=permutation,
+                        seed=seed, obs=obs, engine=pivot_engine,
+                    )
         generation_stats = stats.snapshot()
+        if checkpoints is not None and restored is None:
+            checkpoints.save(
+                "generation",
+                _generation_state(clustering, oracle, answers,
+                                  pivot_diagnostics),
+            )
 
         refine_diagnostics: Optional[PCRefineDiagnostics] = None
         if refine:
@@ -217,6 +248,79 @@ def run_acd(
             seeds={"pivot_seed": seed},
         )
     return result
+
+
+def _generation_state(clustering: Clustering, oracle: CrowdOracle,
+                      answers, diagnostics: Optional[PCPivotDiagnostics]):
+    """The complete phase-2 state as a ``generation`` checkpoint payload.
+
+    Captures everything the refinement phase inherits: the clustering
+    (with cluster ids and the id counter — merge tie-breaking depends on
+    them), the cost counters, the answer set ``A`` in arrival order (so
+    the restored oracle's answer log matches), the journal batch count at
+    snapshot time (so a resumed run's journal replay cursor skips the
+    batches this checkpoint already accounts for), and the phase-2
+    diagnostics.
+    """
+    journal = getattr(answers, "journal", None)
+    return {
+        "clustering": clustering.to_state(),
+        "stats": oracle.stats.to_state(),
+        "answers": [[a, b, confidence]
+                    for (a, b), confidence in oracle.known_in_order()],
+        "journal_batches": (journal.num_batches
+                            if journal is not None else None),
+        "pivot_diagnostics": (
+            {"ks": list(diagnostics.ks),
+             "predicted_waste": list(diagnostics.predicted_waste),
+             "issued_per_round": list(diagnostics.issued_per_round)}
+            if diagnostics is not None else None
+        ),
+    }
+
+
+def _restore_generation(restored, answers, oracle: CrowdOracle, obs):
+    """Rebuild phase-2 state from a ``generation`` checkpoint payload.
+
+    Returns ``(clustering, pivot_diagnostics)``; the oracle (already
+    carrying the restored stats) is seeded with ``A`` in its recorded
+    arrival order, and a journaling answer source's replay cursor is
+    fast-forwarded past the batches the checkpoint covers so their fault
+    counters are not merged twice.
+    """
+    try:
+        clustering = Clustering.from_state(restored["clustering"])
+        ordered = {(int(a), int(b)): float(confidence)
+                   for a, b, confidence in restored["answers"]}
+        raw_diag = restored.get("pivot_diagnostics")
+        diagnostics = (
+            PCPivotDiagnostics(
+                ks=[int(k) for k in raw_diag["ks"]],
+                predicted_waste=[int(w) for w in raw_diag["predicted_waste"]],
+                issued_per_round=[int(p)
+                                  for p in raw_diag["issued_per_round"]],
+            )
+            if raw_diag is not None else None
+        )
+        journal_batches = restored.get("journal_batches")
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(
+            f"malformed generation checkpoint payload ({error})"
+        ) from None
+    oracle.seed_known(ordered)
+    if journal_batches is not None:
+        skip = getattr(answers, "skip_replayed_batches", None)
+        if skip is not None:
+            skip(int(journal_batches))
+    if obs is not None:
+        obs.event(
+            "runtime.checkpoint_restore",
+            phase="generation",
+            clusters=len(clustering),
+            answers=len(ordered),
+            iterations=oracle.stats.iterations,
+        )
+    return clustering, diagnostics
 
 
 def _finalize_obs(obs: ObsContext, result: ACDResult,

@@ -63,6 +63,54 @@ class Clustering:
         return clone
 
     # ------------------------------------------------------------------
+    # Serialization (phase checkpoints)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot preserving cluster ids.
+
+        Cluster ids and the id counter are part of the state: merge
+        tie-breaking and split numbering depend on them, so a restored
+        clustering must continue issuing exactly the ids the original
+        would have.
+        """
+        return {
+            "clusters": [[cid, sorted(members)]
+                         for cid, members in sorted(self._members.items())],
+            "next_id": self._next_id,
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, object]) -> "Clustering":
+        """Rebuild a clustering snapshotted by :meth:`to_state`,
+        byte-identical in ids, membership, and future id assignment."""
+        try:
+            clusters = [(int(cid), [int(r) for r in members])
+                        for cid, members in state["clusters"]]
+            next_id = int(state["next_id"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"malformed clustering state ({error})"
+            ) from None
+        clustering = Clustering.__new__(Clustering)
+        clustering._members = {}
+        clustering._cluster_of = {}
+        clustering._next_id = next_id
+        for cid, members in clusters:
+            if not members or cid in clustering._members or cid >= next_id:
+                raise ValueError("malformed clustering state")
+            member_set = set(members)
+            clustering._members[cid] = member_set
+            for record_id in member_set:
+                if record_id in clustering._cluster_of:
+                    raise ValueError(
+                        f"malformed clustering state (record {record_id} "
+                        "in two clusters)"
+                    )
+                clustering._cluster_of[record_id] = cid
+        return clustering
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 

@@ -172,6 +172,12 @@ class CrowdOracle:
         """A copy of the answered-pair set ``A`` with confidences."""
         return dict(self._known)
 
+    def known_in_order(self) -> List[Tuple[Pair, float]]:
+        """``A`` as (pair, confidence) in the order pairs became known —
+        the checkpointable form: replaying it through :meth:`seed_known`
+        reproduces both ``A`` and the answer log exactly."""
+        return [(pair, self._known[pair]) for pair in self._answer_log]
+
     def seed_known(self, answers: Dict[Pair, float]) -> None:
         """Pre-populate ``A`` without cost (hand-off between phases:
         the refinement phase starts with the generation phase's answers)."""

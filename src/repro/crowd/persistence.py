@@ -26,44 +26,17 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.crowd.cache import ScriptedAnswers
 from repro.datasets.schema import canonical_pair
+from repro.runtime.atomic import atomic_write_text as _atomic_write_text
 
 Pair = Tuple[int, int]
 
 _FORMAT_VERSION = 1
 _JOURNAL_VERSION = 1
-
-
-def _atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` atomically.
-
-    The content lands in a temp file in the destination directory (same
-    filesystem, so the final ``os.replace`` is atomic) and is fsynced
-    before the swap: readers see either the old file or the complete new
-    one, never a torn write.
-    """
-    path = Path(path)
-    handle = tempfile.NamedTemporaryFile(
-        "w", dir=str(path.parent), prefix=path.name + ".",
-        suffix=".tmp", delete=False, encoding="utf-8",
-    )
-    try:
-        with handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, path)
-    except BaseException:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
-        raise
 
 
 def save_answers(answers, pairs: Iterable[Pair],
@@ -182,8 +155,10 @@ class AnswerJournal:
             }
             if self.config is not None:
                 header["config"] = self.config
-            self.path.write_text(json.dumps(header, sort_keys=True) + "\n",
-                                 encoding="utf-8")
+            # Atomic + directory-fsynced: a crash during journal creation
+            # leaves either no journal or a complete, durable header line.
+            _atomic_write_text(self.path,
+                               json.dumps(header, sort_keys=True) + "\n")
         self._handle = open(self.path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
@@ -451,6 +426,25 @@ class JournalingAnswerFile:
 
     def __len__(self) -> int:
         return len(self.journal)
+
+    def skip_replayed_batches(self, num_batches: int) -> None:
+        """Mark the first ``num_batches`` journaled batches as consumed.
+
+        A phase checkpoint (:mod:`repro.runtime.checkpoint`) already
+        carries the cost counters of the batches it covers; when a resumed
+        run restores the phase instead of replaying it, those batches'
+        journaled fault counters must not be re-surfaced by
+        :meth:`confidence_batch`'s replay path.  Advances the replay
+        cursor without merging the skipped batches' counters (capped at
+        the batches actually inherited from the journal).
+        """
+        if num_batches < 0:
+            raise ValueError(
+                f"num_batches must be >= 0, got {num_batches}"
+            )
+        self._replay_cursor = max(
+            self._replay_cursor, min(num_batches, self._resumed_batches)
+        )
 
     # ------------------------------------------------------------------
     # Answer-source interface

@@ -106,6 +106,50 @@ class CrowdStats:
             "quorum_stops": self.quorum_stops,
         }
 
+    def to_state(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot of every counter (including the
+        per-iteration batch sizes, which :meth:`snapshot` omits) — the
+        phase-checkpoint form (:mod:`repro.runtime.checkpoint`)."""
+        return {
+            "pairs_per_hit": self.pairs_per_hit,
+            "reward_cents_per_hit": self.reward_cents_per_hit,
+            "num_workers": self.num_workers,
+            "pairs_issued": self.pairs_issued,
+            "iterations": self.iterations,
+            "hits": self.hits,
+            "votes": self.votes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "abandonments": self.abandonments,
+            "degraded_pairs": self.degraded_pairs,
+            "quorum_stops": self.quorum_stops,
+            "batch_sizes": list(self.batch_sizes),
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, object]) -> "CrowdStats":
+        """Rebuild the :meth:`to_state` snapshot, counter for counter."""
+        try:
+            return CrowdStats(
+                pairs_per_hit=int(state["pairs_per_hit"]),
+                reward_cents_per_hit=float(state["reward_cents_per_hit"]),
+                num_workers=int(state["num_workers"]),
+                pairs_issued=int(state["pairs_issued"]),
+                iterations=int(state["iterations"]),
+                hits=int(state["hits"]),
+                votes=int(state["votes"]),
+                retries=int(state["retries"]),
+                timeouts=int(state["timeouts"]),
+                abandonments=int(state["abandonments"]),
+                degraded_pairs=int(state["degraded_pairs"]),
+                quorum_stops=int(state["quorum_stops"]),
+                batch_sizes=[int(size) for size in state["batch_sizes"]],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"malformed crowd-stats state ({error})"
+            ) from None
+
     def merge(self, other: "CrowdStats") -> None:
         """Fold another phase's counters into this one (e.g. generation +
         refinement into a whole-pipeline total)."""

@@ -1,18 +1,30 @@
-"""Chaos suite: the full pipeline stack under an adversarial crowd.
+"""Chaos suite: the full pipeline stack under injected faults.
 
-Runs the three pipeline families — ACD (PC-Pivot + PC-Refine), the
-sequential Crowd-Pivot, and the CrowdER+ baseline — against a
-fault-injecting :class:`~repro.crowd.platform.PlatformSimulator`
-(abandonment, timeouts, spammers, adversarial workers, outages, bounded
-reposts) and verifies that every one of them terminates, with degradation
-accounted rather than crashed on.  The output is machine-readable, for
-the ``chaos-smoke`` CI job and for regression tracking in
-``CHAOS_smoke.json``.
+Two fault surfaces are exercised:
+
+- **Crowd-side** — the three pipeline families (ACD, the sequential
+  Crowd-Pivot, and the CrowdER+ baseline) against a fault-injecting
+  :class:`~repro.crowd.platform.PlatformSimulator` (abandonment,
+  timeouts, spammers, adversarial workers, outages, bounded reposts).
+- **Process-side** — the supervised worker pool
+  (:mod:`repro.runtime.supervisor`) under deterministic worker kills,
+  task delays, and poison chunks at the 10k-record sharded-pruning tier,
+  plus phase-checkpoint kill-resume checks
+  (:mod:`repro.runtime.checkpoint`): a run killed after a completed
+  phase must resume from the snapshot and finish byte-identical to an
+  uninterrupted run.
+
+Every pipeline and pruning run must terminate with degradation accounted
+rather than crashed on, and every fault schedule must leave results
+byte-identical.  The output is machine-readable, for the ``chaos-smoke``
+CI job and for regression tracking in ``CHAOS_smoke.json``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines import crowder_plus
 from repro.core.acd import run_acd
@@ -29,6 +41,10 @@ from repro.similarity.composite import jaccard_similarity_function
 
 #: The pipelines the suite must drive to completion under faults.
 CHAOS_PIPELINES = ("ACD", "Crowd-Pivot", "CrowdER+")
+
+#: The process-fault kinds of the runtime matrix (one supervised sharded
+#: pruning run each, compared byte-for-byte against the fault-free run).
+RUNTIME_PROCESS_FAULTS = ("kill", "delay", "poison")
 
 
 def _platform_answers(dataset_name: str, dataset, candidates, seed: int,
@@ -96,12 +112,212 @@ def run_chaos_pipeline(pipeline: str, dataset_name: str, dataset,
     }
 
 
+def _candidate_fingerprint(candidates) -> tuple:
+    """The byte-identity key of a candidate set (pairs, scores, τ)."""
+    return (candidates.pairs,
+            tuple(sorted(candidates.machine_scores.items())),
+            candidates.threshold)
+
+
+def _runtime_counters(obs) -> Dict[str, int]:
+    """The supervisor's ``runtime_*_total`` counters from an ObsContext."""
+    counters = obs.metrics.as_dict()["counters"]
+    return {name: int(value) for name, value in sorted(counters.items())
+            if name.startswith("runtime_")}
+
+
+def run_runtime_process_faults(
+    records: int = 10_000,
+    seed: int = 0,
+    shards: int = 8,
+    processes: int = 4,
+    faults_per_kind: int = 2,
+) -> List[Dict[str, object]]:
+    """The process-fault matrix: supervised sharded pruning under chaos.
+
+    Runs the sharded prefix join over a ``records``-sized *largescale*
+    population once fault-free and once per fault kind in
+    :data:`RUNTIME_PROCESS_FAULTS` (deterministic worker kills, task
+    delays, poison chunks injected via
+    :class:`~repro.runtime.faults.ProcessFaultPlan`), asserting the
+    candidate set stays byte-identical in every schedule.  Returns one
+    record per fault kind with the supervisor's fault counters.
+    """
+    from repro.datasets.largescale import BASE_RECORDS
+    from repro.obs import ObsContext
+    from repro.runtime.faults import ProcessFaultPlan
+    from repro.runtime.supervisor import SupervisorPolicy
+
+    dataset = generate("largescale", scale=records / BASE_RECORDS, seed=seed)
+    policy = SupervisorPolicy(backoff_base_s=0.01)
+    # The delay run gets a straggler deadline shorter than the injected
+    # delay, so re-dispatch (first result wins) is what finishes it.
+    straggler_policy = SupervisorPolicy(backoff_base_s=0.01,
+                                        task_deadline_s=0.25)
+
+    def prune(fault_plan=None, obs=None, run_policy=policy):
+        return build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=PRUNING_THRESHOLD, engine="prefix",
+            shards=shards, parallel=processes,
+            supervisor_policy=run_policy, fault_plan=fault_plan, obs=obs,
+        )
+
+    reference = _candidate_fingerprint(prune())
+    plans = {
+        "kill": ProcessFaultPlan.sample(shards, seed=seed,
+                                        kills=faults_per_kind),
+        "delay": ProcessFaultPlan.sample(shards, seed=seed,
+                                         delays=faults_per_kind,
+                                         delay_seconds=0.6),
+        "poison": ProcessFaultPlan.sample(shards, seed=seed,
+                                          poisons=faults_per_kind),
+    }
+    results = []
+    for kind in RUNTIME_PROCESS_FAULTS:
+        obs = ObsContext()
+        candidates = prune(
+            fault_plan=plans[kind], obs=obs,
+            run_policy=straggler_policy if kind == "delay" else policy,
+        )
+        results.append({
+            "check": "process-fault",
+            "fault": kind,
+            "records": records,
+            "shards": shards,
+            "processes": processes,
+            "candidate_pairs": len(candidates),
+            "byte_identical": (_candidate_fingerprint(candidates)
+                               == reference),
+            "runtime_counters": _runtime_counters(obs),
+        })
+    return results
+
+
+class _CountingAnswers:
+    """Pass-through answer source counting fresh pair resolutions."""
+
+    def __init__(self, source):
+        self._source = source
+        self.resolved_pairs = 0
+
+    @property
+    def num_workers(self) -> int:
+        return self._source.num_workers
+
+    def confidence(self, record_a: int, record_b: int) -> float:
+        self.resolved_pairs += 1
+        return self._source.confidence(record_a, record_b)
+
+
+def _acd_fingerprint(result) -> tuple:
+    """The byte-identity key of a finished ACD run."""
+    return (
+        tuple(tuple(sorted(cluster)) for cluster in
+              result.clustering.as_sets()),
+        tuple(sorted(result.stats.snapshot().items())),
+        tuple(result.stats.batch_sizes),
+        tuple(sorted(result.generation_stats.items())),
+        tuple(sorted(result.refinement_stats.items())),
+    )
+
+
+def run_checkpoint_kill_resume(
+    dataset_name: str = "restaurant",
+    scale: float = 0.1,
+    seed: int = 0,
+    method_seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Kill-resume checks for both phase checkpoints.
+
+    For each checkpointed phase the check emulates a run killed right
+    after the phase's snapshot landed, then resumes in a fresh "process"
+    (fresh instance, fresh answer source) and asserts the final result is
+    byte-identical to an uninterrupted run — and that the resumed run did
+    not re-execute the checkpointed phase (no candidate re-scoring for
+    ``pruning``; only refinement-phase pair resolutions for
+    ``generation``).
+    """
+    from repro.experiments.runner import prepare_instance
+    from repro.runtime.checkpoint import (
+        CheckpointStore,
+        candidate_state,
+        restore_candidates,
+    )
+
+    config = {"dataset": dataset_name, "scale": scale, "seed": seed,
+              "method_seed": method_seed}
+
+    def fresh_instance():
+        return prepare_instance(dataset_name, "3w", scale=scale, seed=seed)
+
+    baseline_instance = fresh_instance()
+    baseline = run_acd(baseline_instance.record_ids,
+                       baseline_instance.candidates,
+                       _CountingAnswers(baseline_instance.answers),
+                       seed=method_seed)
+    reference = _acd_fingerprint(baseline)
+    checks: List[Dict[str, object]] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- pruning: the killed run persisted the candidate set, died
+        # before the crowd phases; the resumed run restores it and never
+        # re-runs the join.
+        store = CheckpointStore(Path(tmp) / "pruning", config=config)
+        store.save("pruning", candidate_state(baseline_instance.candidates))
+        resumed = CheckpointStore(Path(tmp) / "pruning", config=config)
+        candidates = restore_candidates(resumed.load("pruning"))
+        instance = prepare_instance(dataset_name, "3w", scale=scale,
+                                    seed=seed, candidates=candidates)
+        result = run_acd(instance.record_ids, instance.candidates,
+                         instance.answers, seed=method_seed)
+        checks.append({
+            "check": "kill-resume",
+            "phase": "pruning",
+            "byte_identical": _acd_fingerprint(result) == reference,
+            "candidates_identical": (
+                _candidate_fingerprint(candidates)
+                == _candidate_fingerprint(baseline_instance.candidates)
+            ),
+            "phase_reexecuted": False,
+        })
+
+        # -- generation: the killed run snapshotted phase 2, died during
+        # refinement; the resumed run restores the clustering + answers
+        # and only resolves refinement-phase pairs against the source.
+        store = CheckpointStore(Path(tmp) / "generation", config=config)
+        first_instance = fresh_instance()
+        run_acd(first_instance.record_ids, first_instance.candidates,
+                first_instance.answers, seed=method_seed, checkpoints=store)
+        resumed_store = CheckpointStore(Path(tmp) / "generation",
+                                        config=config)
+        resume_instance = fresh_instance()
+        counting = _CountingAnswers(resume_instance.answers)
+        result = run_acd(resume_instance.record_ids,
+                         resume_instance.candidates, counting,
+                         seed=method_seed, checkpoints=resumed_store,
+                         resume=True)
+        generation_pairs = int(baseline.generation_stats["pairs_issued"])
+        refinement_pairs = int(baseline.stats.pairs_issued) - generation_pairs
+        checks.append({
+            "check": "kill-resume",
+            "phase": "generation",
+            "byte_identical": _acd_fingerprint(result) == reference,
+            "resolved_pairs_resumed": counting.resolved_pairs,
+            "resolved_pairs_baseline": int(baseline.stats.pairs_issued),
+            "phase_reexecuted": counting.resolved_pairs > refinement_pairs,
+        })
+    return checks
+
+
 def run_chaos_suite(
     dataset_name: str = "restaurant",
     scale: float = 0.1,
     seeds: Iterable[int] = (0, 1, 2),
     fault_model: Optional[FaultModel] = None,
     pipelines: Sequence[str] = CHAOS_PIPELINES,
+    include_runtime: bool = True,
+    runtime_records: int = 10_000,
 ) -> Dict[str, object]:
     """Drive every pipeline through the fault-injecting platform.
 
@@ -113,11 +329,17 @@ def run_chaos_suite(
         fault_model: Injected fault profile (default:
             :meth:`FaultModel.default`, the hostile-but-survivable AMT).
         pipelines: Which pipelines to drive.
+        include_runtime: Also run the process-fault matrix
+            (:func:`run_runtime_process_faults`) and the checkpoint
+            kill-resume checks (:func:`run_checkpoint_kill_resume`).
+        runtime_records: Record count of the sharded-pruning tier the
+            process-fault matrix runs at.
 
     Returns:
         A machine-readable summary: the fault knobs used, one record per
-        (seed, pipeline), and aggregate fault totals.  Every pipeline that
-        reached its F1 terminated — that is the property under test.
+        (seed, pipeline), the runtime-chaos records, and aggregate fault
+        totals.  Every pipeline that reached its F1 terminated, and every
+        runtime check is byte-identical — that is the property under test.
     """
     fault = fault_model if fault_model is not None else FaultModel.default()
     runs = []
@@ -136,6 +358,25 @@ def run_chaos_suite(
         for key in ("retries", "timeouts", "abandonments",
                     "degraded_pairs", "quorum_stops")
     }
+    runtime_checks: List[Dict[str, object]] = []
+    if include_runtime:
+        runtime_checks.extend(run_runtime_process_faults(
+            records=runtime_records, seed=min(seeds, default=0),
+        ))
+        runtime_checks.extend(run_checkpoint_kill_resume(
+            dataset_name=dataset_name, scale=scale,
+            seed=min(seeds, default=0),
+        ))
+    runtime_ok = all(
+        check["byte_identical"] and not check.get("phase_reexecuted", False)
+        for check in runtime_checks
+    )
+    runtime_fault_totals: Dict[str, int] = {}
+    for check in runtime_checks:
+        for name, value in check.get("runtime_counters", {}).items():
+            runtime_fault_totals[name] = (
+                runtime_fault_totals.get(name, 0) + value
+            )
     return {
         "suite": "chaos",
         "dataset": dataset_name,
@@ -152,5 +393,10 @@ def run_chaos_suite(
         },
         "runs": runs,
         "fault_totals": totals,
-        "all_completed": len(runs) == len(list(seeds)) * len(list(pipelines)),
+        "runtime_checks": runtime_checks,
+        "runtime_fault_totals": runtime_fault_totals,
+        "all_completed": (
+            len(runs) == len(list(seeds)) * len(list(pipelines))
+            and (runtime_ok or not include_runtime)
+        ),
     }

@@ -76,6 +76,9 @@ def prepare_instance(
     kernel_backend: str = "auto",
     timings: Optional[StageTimings] = None,
     obs=None,
+    candidates: Optional[CandidateSet] = None,
+    supervisor_policy=None,
+    fault_plan=None,
 ) -> Instance:
     """Generate a dataset, run the pruning phase, and open the answer file.
 
@@ -96,14 +99,23 @@ def prepare_instance(
         timings: Optional stage timer recording pruning wall-clock.
         obs: Optional :class:`~repro.obs.ObsContext`; traces the pruning
             phase (the dataset generation itself is untimed).
+        candidates: Pre-built candidate set (e.g. restored from a
+            ``pruning`` checkpoint); skips the pruning phase entirely.
+        supervisor_policy: Fault-handling knobs for parallel pruning
+            (see :class:`~repro.runtime.supervisor.SupervisorPolicy`).
+        fault_plan: Deterministic process-fault injection for parallel
+            pruning (chaos testing only).
     """
     setting = crowd_setting(setting_name)
     dataset = generate(dataset_name, scale=scale, seed=seed)
-    candidates = build_candidate_set(
-        dataset.records, jaccard_similarity_function(), threshold=threshold,
-        engine=engine, parallel=parallel, shards=shards,
-        kernel_backend=kernel_backend, timings=timings, obs=obs,
-    )
+    if candidates is None:
+        candidates = build_candidate_set(
+            dataset.records, jaccard_similarity_function(),
+            threshold=threshold,
+            engine=engine, parallel=parallel, shards=shards,
+            kernel_backend=kernel_backend, timings=timings, obs=obs,
+            supervisor_policy=supervisor_policy, fault_plan=fault_plan,
+        )
     workers = WorkerPool(
         difficulty=difficulty_model(dataset_name),
         num_workers=setting.num_workers,
@@ -168,6 +180,8 @@ def run_method(
     obs=None,
     refine_engine: str = "fast",
     pivot_engine: str = "fast",
+    checkpoints=None,
+    resume: bool = False,
 ) -> MethodResult:
     """Run one method on an instance and measure it.
 
@@ -188,6 +202,12 @@ def run_method(
         pivot_engine: Cluster-generation engine ("fast" or "reference";
             byte-identical outputs) for ACD / PC-Pivot / Crowd-Pivot —
             ignored by the other baselines.
+        checkpoints: Optional
+            :class:`~repro.runtime.checkpoint.CheckpointStore` for
+            phase-level crash safety (ACD / PC-Pivot only; forwarded to
+            :func:`~repro.core.acd.run_acd`).
+        resume: With ``checkpoints``, restore the generation phase from
+            its checkpoint instead of re-running it when one exists.
     """
     ids = instance.record_ids
 
@@ -199,6 +219,7 @@ def run_method(
             pairs_per_hit=instance.setting.pairs_per_hit,
             obs=obs, refine_engine=refine_engine,
             pivot_engine=pivot_engine,
+            checkpoints=checkpoints, resume=resume,
         )
         return _result(method, instance, result.clustering, result.stats)
 

@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
-from repro.crowd.persistence import _atomic_write_text
+from repro.runtime.atomic import atomic_write_text as _atomic_write_text
 
 MANIFEST_SCHEMA_VERSION = 1
 

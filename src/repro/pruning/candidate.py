@@ -121,6 +121,8 @@ def build_candidate_set(
     kernel_backend: str = "auto",
     timings: Optional[StageTimings] = None,
     obs=None,
+    supervisor_policy=None,
+    fault_plan=None,
 ) -> CandidateSet:
     """Run the pruning phase.
 
@@ -149,6 +151,14 @@ def build_candidate_set(
             ``blocking`` and ``scoring`` stage wall-clock.
         obs: Optional :class:`~repro.obs.ObsContext`; the phase runs inside
             a ``pruning`` span and reports record / survivor gauges.
+        supervisor_policy: Optional
+            :class:`~repro.runtime.supervisor.SupervisorPolicy` tuning the
+            fault handling of parallel execution (both the chunked
+            reference scorer and the sharded join).
+        fault_plan: Optional
+            :class:`~repro.runtime.faults.ProcessFaultPlan` injecting
+            deterministic process faults into the worker pool (chaos
+            testing only; output stays byte-identical).
 
     Returns:
         The :class:`CandidateSet` ``S``.
@@ -208,6 +218,8 @@ def build_candidate_set(
                 kernel_backend=resolved_backend,
                 timings=timings,
                 obs=obs,
+                supervisor_policy=supervisor_policy,
+                fault_plan=fault_plan,
             )
         elif chosen == "prefix":
             surviving, scores = _run_prefix_join(
@@ -218,7 +230,8 @@ def build_candidate_set(
         else:
             surviving, scores = _run_reference(
                 records, similarity, threshold, candidate_pairs,
-                use_token_blocking, parallel, timings,
+                use_token_blocking, parallel, timings, obs,
+                supervisor_policy, fault_plan,
             )
         if obs is not None:
             span.set_attr("candidate_pairs", len(surviving))
@@ -277,6 +290,8 @@ def _run_sharded_join(
     kernel_backend: str,
     timings: Optional[StageTimings],
     obs,
+    supervisor_policy=None,
+    fault_plan=None,
 ) -> Tuple[List[Pair], Dict[Pair, float]]:
     from repro.pruning.shard import sharded_prefix_filtered_candidates
 
@@ -293,6 +308,8 @@ def _run_sharded_join(
         include_empty_pairs=include_empty_pairs,
         timings=timings,
         obs=obs,
+        supervisor_policy=supervisor_policy,
+        fault_plan=fault_plan,
     )
     # Keep later phases' memoized reads warm, as the reference loop would.
     similarity.seed_cache(scores)
@@ -307,6 +324,9 @@ def _run_reference(
     use_token_blocking: bool,
     parallel: int,
     timings: Optional[StageTimings],
+    obs=None,
+    supervisor_policy=None,
+    fault_plan=None,
 ) -> Tuple[List[Pair], Dict[Pair, float]]:
     by_id = {record.record_id: record for record in records}
     # Caller-supplied pair streams may repeat pairs (in either order); the
@@ -333,6 +353,9 @@ def _run_reference(
                     metric=similarity.text_similarity,
                     threshold=threshold,
                     processes=parallel,
+                    obs=obs,
+                    policy=supervisor_policy,
+                    fault_plan=fault_plan,
                 )
                 similarity.seed_cache(scores)
             else:

@@ -16,9 +16,16 @@ a wall-clock optimization.  The fallback is *not* silent: it raises a
 attached, emits a ``pruning.parallel_fallback`` warning event so traces
 record that a requested parallel run executed serially.
 
+Fault tolerance: chunks run under the supervised pool of
+:mod:`repro.runtime.supervisor` — a crashed (OOM-killed, segfaulted)
+worker is detected and its chunk retried with backoff; chunks whose
+retries exhaust degrade to in-process scoring in the parent.  Either way
+the run completes with the same output.
+
 Determinism: chunks are formed from the (deduplicated, ordered) pair list,
 workers are pure functions, and results are merged in submission order, so
-the surviving ``{pair: score}`` mapping is byte-identical to the serial loop.
+the surviving ``{pair: score}`` mapping is byte-identical to the serial loop
+— for every schedule of worker crashes and retries.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ from __future__ import annotations
 import multiprocessing
 import warnings
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runtime.faults import ProcessFaultPlan
+from repro.runtime.supervisor import SupervisorPolicy, supervised_map
 
 Pair = Tuple[int, int]
 TextSimilarity = Callable[[str, str], float]
@@ -98,6 +108,8 @@ def score_pairs_parallel(
     processes: int,
     chunk_size: Optional[int] = None,
     obs=None,
+    policy: Optional[SupervisorPolicy] = None,
+    fault_plan: Optional[ProcessFaultPlan] = None,
 ) -> Dict[Pair, float]:
     """Score canonical, deduplicated pairs; return ``{pair: score}`` for
     pairs with score strictly above ``threshold``.
@@ -113,7 +125,13 @@ def score_pairs_parallel(
             so every worker gets work).
         obs: Optional :class:`~repro.obs.ObsContext`; receives the
             ``pruning.parallel_fallback`` warning event if the pool cannot
-            be created on this platform.
+            be created on this platform, plus the supervisor's
+            ``runtime.*`` fault events.
+        policy: Supervised-pool fault-handling knobs (retries, backoff,
+            deadlines); defaults to
+            :class:`~repro.runtime.supervisor.SupervisorPolicy`.
+        fault_plan: Deterministic process-fault injection (chaos testing
+            only).
     """
     if processes > 1 and len(pairs) > 0 and not fork_available():
         notify_parallel_fallback(obs, requested=processes,
@@ -124,13 +142,15 @@ def score_pairs_parallel(
     size = chunk_size or min(
         DEFAULT_CHUNK_SIZE, max(1, (len(pairs) + processes - 1) // processes)
     )
-    context = multiprocessing.get_context("fork")
     _FORK_STATE["texts"] = dict(texts)
     _FORK_STATE["metric"] = metric
     _FORK_STATE["threshold"] = threshold
     try:
-        with context.Pool(processes=processes) as pool:
-            chunk_results = pool.map(_score_chunk, _chunks(pairs, size))
+        chunk_results, _ = supervised_map(
+            _score_chunk, _chunks(pairs, size), processes,
+            policy=policy, obs=obs, fault_plan=fault_plan,
+            label="pruning.score_pairs",
+        )
     finally:
         _FORK_STATE.clear()
     scores: Dict[Pair, float] = {}

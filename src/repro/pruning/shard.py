@@ -36,8 +36,13 @@ Shards run either in-process (deterministic loop) or in parallel worker
 processes using the same ``fork``-pool pattern as
 :mod:`repro.pruning.parallel` — state is published in a module global
 captured at fork time, workers are pure, results are merged in shard order.
-On platforms without ``fork`` the join falls back to the in-process loop
-and reports it via :func:`repro.pruning.parallel.notify_parallel_fallback`
+The worker pool is the supervised pool of
+:mod:`repro.runtime.supervisor`: a crashed shard worker is detected and
+its shard retried with backoff, and shards whose retries exhaust degrade
+to in-process execution — the join completes with identical output under
+any schedule of worker failures.  On platforms without ``fork`` the join
+falls back to the in-process loop and reports it via
+:func:`repro.pruning.parallel.notify_parallel_fallback`
 (``pruning.parallel_fallback`` event + ``ParallelFallbackWarning``).
 
 Equivalence contract: for every shard count and either kernel backend, the
@@ -49,13 +54,14 @@ the same IEEE-754 doubles (see :mod:`repro.similarity.kernels`).
 
 from __future__ import annotations
 
-import multiprocessing
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.datasets.schema import Record
 from repro.perf.timing import StageTimings
 from repro.pruning.blocking import shard_of_token
 from repro.pruning.parallel import fork_available, notify_parallel_fallback
+from repro.runtime.faults import ProcessFaultPlan
+from repro.runtime.supervisor import SupervisorPolicy, supervised_map
 from repro.pruning.prefix_join import (
     EPS,
     PREFIX_METRICS,
@@ -300,6 +306,8 @@ def sharded_prefix_filtered_candidates(
     timings: Optional[StageTimings] = None,
     obs=None,
     pair_block_size: int = DEFAULT_PAIR_BLOCK_SIZE,
+    supervisor_policy: Optional[SupervisorPolicy] = None,
+    fault_plan: Optional[ProcessFaultPlan] = None,
 ) -> Tuple[List[Pair], Dict[Pair, float]]:
     """Run the sharded vectorized join; same contract (and output, byte for
     byte) as :func:`repro.pruning.prefix_join.prefix_filtered_candidates`.
@@ -326,8 +334,14 @@ def sharded_prefix_filtered_candidates(
         timings: Optional stage timer; ``blocking`` covers interning,
             encoding, and incidence layout, ``scoring`` covers shard
             execution, verification, and the cross-shard merge.
-        obs: Optional :class:`~repro.obs.ObsContext` (fallback events).
+        obs: Optional :class:`~repro.obs.ObsContext` (fallback events and
+            the supervised pool's ``runtime.*`` fault events).
         pair_block_size: Generated pairs per numpy block (memory bound).
+        supervisor_policy: Fault-handling knobs of the shard worker pool
+            (retries, backoff, straggler deadline); defaults to
+            :class:`~repro.runtime.supervisor.SupervisorPolicy`.
+        fault_plan: Deterministic process-fault injection (chaos testing
+            only); task index = shard index.
 
     Raises:
         RuntimeError: When numpy is unavailable (the sharded join is
@@ -363,6 +377,7 @@ def sharded_prefix_filtered_candidates(
         shard_results = _execute_shards(
             plan, num_shards, processes, metric, threshold, kernel,
             set_function, pair_block_size, obs,
+            supervisor_policy, fault_plan,
         )
         for shard_survivors in shard_results:
             merged.update(shard_survivors)
@@ -391,6 +406,8 @@ def _execute_shards(
     set_function: SetFunction,
     pair_block_size: int,
     obs,
+    supervisor_policy: Optional[SupervisorPolicy] = None,
+    fault_plan: Optional[ProcessFaultPlan] = None,
 ) -> List[Dict[Pair, float]]:
     """All shards' survivor maps, in shard order (parallel when asked)."""
     want_parallel = processes > 1 and num_shards > 1 and len(plan.elem_k) > 0
@@ -405,14 +422,18 @@ def _execute_shards(
             for shard in range(num_shards)
         ]
 
-    context = multiprocessing.get_context("fork")
     _SHARD_STATE.update(
         plan=plan, num_shards=num_shards, metric=metric, threshold=threshold,
         kernel=kernel, set_function=set_function,
         pair_block_size=pair_block_size,
     )
     try:
-        with context.Pool(processes=min(processes, num_shards)) as pool:
-            return pool.map(_run_shard_worker, range(num_shards))
+        shard_results, _ = supervised_map(
+            _run_shard_worker, range(num_shards),
+            min(processes, num_shards),
+            policy=supervisor_policy, obs=obs, fault_plan=fault_plan,
+            label="pruning.shard_join",
+        )
+        return shard_results
     finally:
         _SHARD_STATE.clear()

@@ -1,0 +1,76 @@
+"""Crash-durable file primitives — the one atomic writer for the repo.
+
+The answer journal, the run manifest, and the phase checkpoints all need
+the same guarantee: a reader sees either the old file or the complete new
+one, never a torn write, *and* the rename itself survives power loss.
+The second half is the part ad-hoc implementations forget: ``os.replace``
+makes the swap atomic against crashes of the writing process, but the
+rename lives in the directory, and an unsynced directory can lose it on
+power failure.  :func:`atomic_write_text` does all four steps — temp file
+in the destination directory, file fsync, ``os.replace``, directory fsync
+— so every persistence layer gets the full guarantee from one place.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory so renames inside it survive power loss.
+
+    Platforms that cannot open directories (or filesystems that reject
+    directory fsync) are skipped silently — the write is still atomic
+    against process crashes, just not against power loss, which matches
+    the strongest guarantee those platforms can give.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      sync_directory: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    The content lands in a temp file in the destination directory (same
+    filesystem, so the final ``os.replace`` is atomic) and is fsynced
+    before the swap; the directory is fsynced after it so the rename
+    itself is durable.
+
+    Args:
+        path: Destination file.
+        text: Complete new content.
+        sync_directory: fsync the containing directory after the rename
+            (disable only in hot paths that batch their own directory
+            syncs).
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=str(path.parent), prefix=path.name + ".",
+        suffix=".tmp", delete=False, encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    if sync_directory:
+        fsync_directory(path.parent)

@@ -1,0 +1,119 @@
+"""Deterministic process-level fault injection for the supervised pool.
+
+The crowd layer's :class:`~repro.crowd.faults.FaultModel` injects
+*platform* faults (abandonment, timeouts, outages); this module injects
+*process* faults into the supervised fork pool of
+:mod:`repro.runtime.supervisor`:
+
+- ``kill`` — the worker process exits abruptly mid-task (models the OOM
+  killer / a segfault), exercising crash detection and chunk retry;
+- ``delay`` — the task sleeps past the supervisor's deadline, exercising
+  straggler re-dispatch;
+- ``poison`` — the task raises, exercising the retry-then-degrade ladder.
+
+A :class:`ProcessFaultPlan` is pure data, seeded and deterministic: the
+directive for ``(task_index, attempt)`` is a function of the plan alone,
+so a chaos run is exactly reproducible.  Faults fire only inside worker
+processes — the parent's serial degradation path never consults the plan,
+which is precisely the degradation contract: when every process-level
+attempt is exhausted, in-process execution still produces the result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+#: The process-fault kinds the supervisor understands.
+FAULT_KINDS = ("kill", "delay", "poison")
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One injected fault: what to do to one (task, attempt) execution."""
+
+    kind: str
+    delay_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """A seeded, deterministic schedule of process faults.
+
+    Attributes:
+        kill_tasks: Task indices whose worker dies mid-task.
+        delay_tasks: Task indices delayed by ``delay_seconds``.
+        poison_tasks: Task indices that raise inside the worker.
+        delay_seconds: Sleep injected into delayed tasks (choose it above
+            the supervisor's ``task_deadline_s`` to force re-dispatch).
+        faulty_attempts: How many leading attempts of a scheduled task
+            fault before it runs clean.  ``1`` models a transient fault
+            (the retry succeeds); a value above the supervisor's retry
+            budget models a persistent fault (the task must degrade to
+            in-process execution).
+    """
+
+    kill_tasks: FrozenSet[int] = field(default_factory=frozenset)
+    delay_tasks: FrozenSet[int] = field(default_factory=frozenset)
+    poison_tasks: FrozenSet[int] = field(default_factory=frozenset)
+    delay_seconds: float = 0.05
+    faulty_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.faulty_attempts < 1:
+            raise ValueError(
+                f"faulty_attempts must be >= 1, got {self.faulty_attempts}"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+    def directive(self, task_index: int,
+                  attempt: int) -> Optional[FaultDirective]:
+        """The fault to inject into execution ``attempt`` (0-based) of
+        task ``task_index`` — or ``None`` to run clean.
+
+        Kill wins over delay wins over poison when a task is scheduled
+        for several kinds (keep the sets disjoint for clarity).
+        """
+        if attempt >= self.faulty_attempts:
+            return None
+        if task_index in self.kill_tasks:
+            return FaultDirective("kill")
+        if task_index in self.delay_tasks:
+            return FaultDirective("delay", delay_seconds=self.delay_seconds)
+        if task_index in self.poison_tasks:
+            return FaultDirective("poison")
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not (self.kill_tasks or self.delay_tasks or self.poison_tasks)
+
+    @staticmethod
+    def sample(num_tasks: int, seed: int = 0, kills: int = 0,
+               delays: int = 0, poisons: int = 0,
+               delay_seconds: float = 0.05,
+               faulty_attempts: int = 1) -> "ProcessFaultPlan":
+        """Draw a deterministic plan over ``num_tasks`` task indices.
+
+        The three fault populations are drawn disjointly (a task suffers
+        at most one kind), seeded so the same arguments always produce
+        the same plan.
+        """
+        total = kills + delays + poisons
+        if total > num_tasks:
+            raise ValueError(
+                f"cannot schedule {total} faults over {num_tasks} tasks"
+            )
+        rng = random.Random(seed)
+        chosen = rng.sample(range(num_tasks), total)
+        return ProcessFaultPlan(
+            kill_tasks=frozenset(chosen[:kills]),
+            delay_tasks=frozenset(chosen[kills:kills + delays]),
+            poison_tasks=frozenset(chosen[kills + delays:]),
+            delay_seconds=delay_seconds,
+            faulty_attempts=faulty_attempts,
+        )

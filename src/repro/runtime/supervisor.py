@@ -1,0 +1,473 @@
+"""A supervised fork pool: worker death, stragglers, retries, degradation.
+
+The raw ``multiprocessing.Pool`` the pruning layer used has a famous
+failure mode: an OOM-killed or segfaulted worker leaves ``Pool.map``
+hanging (or crashing) with no record of which chunk died.  This module is
+the drop-in replacement.  It manages worker processes directly — one
+duplex pipe each — and supervises every dispatched task:
+
+- **Crash detection.**  Worker process sentinels are part of the event
+  loop; a dead worker (non-zero exitcode, broken pipe) is detected
+  immediately, its in-flight task is recovered, and a replacement worker
+  is forked (bounded by ``max_worker_respawns``).
+- **Deadlines / stragglers.**  With ``task_deadline_s`` set, a task that
+  outlives its deadline is re-dispatched to another worker; the first
+  result wins.  Workers are pure functions, so duplicate execution is
+  harmless and results stay byte-identical.
+- **Bounded retries.**  A failed execution (crash or raise) is retried
+  with exponential backoff, up to ``max_task_retries`` extra attempts —
+  the process-level mirror of the crowd layer's HIT repost budget.
+- **Serial degradation.**  When a task exhausts its process-level budget
+  (or the whole pool dies), it runs in-process in the parent.  Tasks are
+  pure and fork-state is still published in the parent, so the degraded
+  result is byte-identical — the run completes, slower, never wrong.
+
+Every decision is observable: ``runtime.worker_crash`` /
+``runtime.task_retry`` / ``runtime.straggler_redispatch`` /
+``runtime.degraded_serial`` / ``runtime.worker_respawn`` events on the
+attached :class:`~repro.obs.ObsContext`, matching ``runtime_*_total``
+metrics counters, and a :class:`RuntimeReport` returned to the caller.
+
+Determinism contract: results are assembled by task index, workers and
+the degraded path compute the same pure function, so the output of
+:func:`supervised_map` is byte-identical to a serial loop over the tasks
+for every schedule of crashes, stragglers, and retries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.faults import ProcessFaultPlan
+
+#: Exit code of a chaos-killed worker (any abnormal exit is treated the
+#: same; the constant only makes chaos kills recognizable in event logs).
+CHAOS_KILL_EXIT = 87
+
+#: How long a worker gets to honor a "stop" message before termination.
+_SHUTDOWN_GRACE_S = 0.5
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Fault-handling knobs of the supervised pool.
+
+    Attributes:
+        max_task_retries: Extra executions granted to a task after its
+            first failure before it degrades to in-process execution
+            (straggler duplicates draw from the same budget).
+        backoff_base_s: First retry delay; doubles per further attempt.
+        backoff_cap_s: Upper bound on any single retry delay.
+        task_deadline_s: Wall-clock budget per task execution before a
+            duplicate is dispatched to another worker (``None`` disables
+            straggler re-dispatch — the production default, since honest
+            long tasks would otherwise double-execute).
+        max_worker_respawns: Replacement workers forked over the pool's
+            lifetime before crashes start shrinking the pool instead.
+    """
+
+    max_task_retries: int = 3
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 0.5
+    task_deadline_s: Optional[float] = None
+    max_worker_respawns: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.task_deadline_s is not None and self.task_deadline_s <= 0:
+            raise ValueError(
+                f"task_deadline_s must be > 0, got {self.task_deadline_s}"
+            )
+        if self.max_worker_respawns < 0:
+            raise ValueError(
+                f"max_worker_respawns must be >= 0, "
+                f"got {self.max_worker_respawns}"
+            )
+
+    def backoff(self, failures: int) -> float:
+        """Delay before the retry following the ``failures``-th failure."""
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** max(0, failures - 1)))
+
+
+@dataclass
+class RuntimeReport:
+    """What the supervisor had to do to finish one map.
+
+    All zeros on a fault-free run.  The chaos suite and the runtime tests
+    read these; the same counts land in the obs metrics registry as
+    ``runtime_*_total`` counters.
+    """
+
+    tasks: int = 0
+    worker_crashes: int = 0
+    task_retries: int = 0
+    straggler_redispatches: int = 0
+    worker_respawns: int = 0
+    degraded_serial: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tasks": self.tasks,
+            "worker_crashes": self.worker_crashes,
+            "task_retries": self.task_retries,
+            "straggler_redispatches": self.straggler_redispatches,
+            "worker_respawns": self.worker_respawns,
+            "degraded_serial": self.degraded_serial,
+        }
+
+
+def _worker_main(worker_fn: Callable[[Any], Any], conn,
+                 fault_plan: Optional[ProcessFaultPlan]) -> None:
+    """Worker process body: serve tasks off the pipe until told to stop.
+
+    Chaos faults are applied *here*, per (task, attempt), so the parent's
+    serial degradation path (which never enters this function) always
+    runs clean — that is the bottom rung of the degradation ladder.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "stop":
+                return
+            _, index, attempt, payload = message
+            directive = (fault_plan.directive(index, attempt)
+                         if fault_plan is not None else None)
+            if directive is not None:
+                if directive.kind == "kill":
+                    os._exit(CHAOS_KILL_EXIT)
+                elif directive.kind == "delay":
+                    time.sleep(directive.delay_seconds)
+                elif directive.kind == "poison":
+                    conn.send((index, attempt, "error",
+                               f"chaos poison (task {index}, "
+                               f"attempt {attempt})"))
+                    continue
+            try:
+                result = worker_fn(payload)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                outcome: Tuple = (index, attempt, "error", repr(error))
+            else:
+                outcome = (index, attempt, "ok", result)
+            try:
+                conn.send(outcome)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _Worker:
+    process: Any
+    conn: Any
+    #: (task_index, attempt, deadline_monotonic | None) while busy.
+    task: Optional[Tuple[int, int, Optional[float]]] = None
+    #: Set when this worker's deadline already triggered a re-dispatch.
+    deadline_fired: bool = False
+
+
+class _Observer:
+    """Fans supervisor decisions out to obs events + metrics counters."""
+
+    def __init__(self, obs, label: str):
+        self._obs = obs
+        self._label = label
+
+    def record(self, counter: str, event: str, **attrs: Any) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            counter, help=f"Supervised-pool {event} occurrences",
+        ).inc()
+        self._obs.event(event, pool=self._label, **attrs)
+
+
+def supervised_map(
+    worker_fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    processes: int,
+    policy: Optional[SupervisorPolicy] = None,
+    obs=None,
+    fault_plan: Optional[ProcessFaultPlan] = None,
+    label: str = "runtime",
+) -> Tuple[List[Any], RuntimeReport]:
+    """Map ``worker_fn`` over ``payloads`` under supervision.
+
+    A drop-in replacement for ``Pool.map`` over pure functions, with the
+    fault handling described in the module docstring.  Requires the
+    ``fork`` start method (the callers' existing platform contract —
+    they fall back to their serial paths without it).
+
+    Args:
+        worker_fn: A *pure* picklable-result function of one payload.
+            It is carried to workers by fork (closures are fine) and may
+            read module globals published before the call.
+        payloads: The task payloads, one result each, order preserved.
+        processes: Worker process count (>= 1).
+        policy: Fault-handling knobs (default :class:`SupervisorPolicy`).
+        obs: Optional :class:`~repro.obs.ObsContext` receiving
+            ``runtime.*`` events and ``runtime_*_total`` counters.
+        fault_plan: Deterministic chaos injected inside workers.
+        label: Pool name recorded on every event.
+
+    Returns:
+        ``(results, report)`` — results in payload order, byte-identical
+        to ``[worker_fn(p) for p in payloads]``.
+    """
+    policy = policy if policy is not None else SupervisorPolicy()
+    report = RuntimeReport(tasks=len(payloads))
+    if not payloads:
+        return [], report
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "supervised_map requires the 'fork' start method; callers "
+            "must fall back to their serial path on this platform"
+        )
+    context = multiprocessing.get_context("fork")
+    observer = _Observer(obs, label)
+
+    total = len(payloads)
+    results: Dict[int, Any] = {}
+    #: Executions dispatched so far, per task (first run + retries + dups).
+    dispatches = [0] * total
+    #: Executions currently running in some worker, per task.
+    inflight = [0] * total
+    #: Executions that failed (crash or raise), per task.
+    failures = [0] * total
+    degraded: List[int] = []
+    #: Min-heap of (ready_at_monotonic, sequence, task_index).
+    pending: List[Tuple[float, int, int]] = [
+        (0.0, index, index) for index in range(total)
+    ]
+    heapq.heapify(pending)
+    sequence = total
+    attempt_budget = 1 + policy.max_task_retries
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_worker_main, args=(worker_fn, child_conn, fault_plan),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def mark_degraded(index: int) -> None:
+        if index not in degraded and index not in results:
+            degraded.append(index)
+
+    def handle_failure(worker: Optional[_Worker], index: int,
+                       attempt: int, reason: str) -> None:
+        nonlocal sequence
+        if worker is not None:
+            worker.task = None
+            worker.deadline_fired = False
+        if index in results or index in degraded:
+            return
+        failures[index] += 1
+        if dispatches[index] < attempt_budget:
+            delay = policy.backoff(failures[index])
+            report.task_retries += 1
+            observer.record(
+                "runtime_task_retries_total", "runtime.task_retry",
+                task=index, attempt=attempt, reason=reason,
+                backoff_s=round(delay, 4),
+            )
+            heapq.heappush(pending,
+                           (time.monotonic() + delay, sequence, index))
+            sequence += 1
+        elif inflight[index] == 0:
+            mark_degraded(index)
+
+    workers: List[_Worker] = [spawn()
+                              for _ in range(min(processes, total))]
+    try:
+        while len(results) + len(degraded) < total:
+            now = time.monotonic()
+
+            # Dispatch ready pending tasks onto idle workers.
+            idle = [worker for worker in workers if worker.task is None]
+            while idle and pending and pending[0][0] <= now:
+                _, _, index = heapq.heappop(pending)
+                if index in results or index in degraded:
+                    continue
+                worker = idle.pop()
+                attempt = dispatches[index]
+                dispatches[index] += 1
+                inflight[index] += 1
+                deadline = (now + policy.task_deadline_s
+                            if policy.task_deadline_s is not None else None)
+                worker.task = (index, attempt, deadline)
+                worker.deadline_fired = False
+                try:
+                    worker.conn.send(("task", index, attempt,
+                                      payloads[index]))
+                except (BrokenPipeError, OSError):
+                    # The worker died between dispatches; leave the task
+                    # recorded on it — the sentinel handler below reaps
+                    # the worker and recovers the task as a failure.
+                    pass
+
+            if not workers:
+                # The whole pool is gone and cannot be rebuilt: degrade
+                # everything still unresolved.
+                for index in range(total):
+                    if index not in results:
+                        mark_degraded(index)
+                break
+
+            busy = [worker for worker in workers if worker.task is not None]
+            if not busy and not pending:
+                break  # everything resolved or queued for degradation
+
+            # Sleep until the next result, crash, deadline, or backoff.
+            wakeups = [worker.task[2] for worker in busy
+                       if worker.task[2] is not None
+                       and not worker.deadline_fired]
+            if pending:
+                wakeups.append(pending[0][0])
+            timeout = (max(0.0, min(wakeups) - time.monotonic())
+                       if wakeups else None)
+            waitable = ([worker.conn for worker in busy]
+                        + [worker.process.sentinel for worker in workers])
+            ready = connection.wait(waitable, timeout)
+
+            sentinel_of = {worker.process.sentinel: worker
+                           for worker in workers}
+            conn_of = {worker.conn: worker for worker in busy}
+            crashed: List[_Worker] = []
+            for item in ready:
+                if item in conn_of:
+                    worker = conn_of[item]
+                    try:
+                        index, attempt, status, value = worker.conn.recv()
+                    except (EOFError, OSError):
+                        crashed.append(worker)  # died mid-send
+                        continue
+                    inflight[index] -= 1
+                    if status == "ok":
+                        worker.task = None
+                        worker.deadline_fired = False
+                        if index not in results and index not in degraded:
+                            results[index] = value
+                    else:
+                        handle_failure(worker, index, attempt, value)
+                elif item in sentinel_of:
+                    crashed.append(sentinel_of[item])
+
+            for worker in crashed:
+                if worker not in workers:
+                    continue
+                workers.remove(worker)
+                report.worker_crashes += 1
+                observer.record(
+                    "runtime_worker_crashes_total", "runtime.worker_crash",
+                    exitcode=worker.process.exitcode,
+                    pid=worker.process.pid,
+                )
+                task = worker.task
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                worker.process.join()
+                if task is not None:
+                    index, attempt, _ = task
+                    inflight[index] -= 1
+                    handle_failure(None, index, attempt, "worker-crash")
+                remaining = total - len(results) - len(degraded)
+                if remaining > 0 and len(workers) < min(processes, remaining):
+                    if report.worker_respawns < policy.max_worker_respawns:
+                        report.worker_respawns += 1
+                        replacement = spawn()
+                        workers.append(replacement)
+                        observer.record(
+                            "runtime_worker_respawns_total",
+                            "runtime.worker_respawn",
+                            pid=replacement.process.pid,
+                        )
+
+            # Straggler re-dispatch: expired deadlines queue a duplicate.
+            now = time.monotonic()
+            for worker in workers:
+                if (worker.task is None or worker.deadline_fired
+                        or worker.task[2] is None or worker.task[2] > now):
+                    continue
+                index, attempt, _ = worker.task
+                worker.deadline_fired = True
+                if (index in results or index in degraded
+                        or dispatches[index] >= attempt_budget):
+                    continue
+                report.straggler_redispatches += 1
+                observer.record(
+                    "runtime_straggler_redispatches_total",
+                    "runtime.straggler_redispatch",
+                    task=index, attempt=attempt,
+                    deadline_s=policy.task_deadline_s,
+                )
+                heapq.heappush(pending, (now, sequence, index))
+                sequence += 1
+    finally:
+        _shutdown(workers)
+
+    # Bottom rung of the degradation ladder: run what the pool could not
+    # finish in-process, in task order, fault-free and byte-identical.
+    for index in sorted(degraded):
+        if index in results:
+            continue
+        report.degraded_serial += 1
+        observer.record(
+            "runtime_degraded_serial_total", "runtime.degraded_serial",
+            task=index, failures=failures[index],
+        )
+        results[index] = worker_fn(payloads[index])
+
+    return [results[index] for index in range(total)], report
+
+
+def _shutdown(workers: List[_Worker]) -> None:
+    """Stop, terminate, and reap every worker — no child may survive.
+
+    Runs on every exit path (success, exception, KeyboardInterrupt), so
+    an aborted parallel run never leaves orphan processes behind.
+    """
+    for worker in workers:
+        try:
+            worker.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+    for worker in workers:
+        worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+    for worker in workers:
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=_SHUTDOWN_GRACE_S)
+        if worker.process.is_alive():  # pragma: no cover - last resort
+            worker.process.kill()
+            worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass

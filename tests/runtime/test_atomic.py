@@ -1,0 +1,72 @@
+"""The repo's one atomic writer: torn-write safety and cleanup.
+
+Every persistence layer (answer journal, run manifest, phase checkpoints)
+routes through :func:`repro.runtime.atomic.atomic_write_text`; these tests
+pin the contract they all rely on — a reader sees the old file or the
+complete new one, never a partial write, and a failed swap leaves neither
+garbage nor damage behind.
+"""
+
+import os
+
+import pytest
+
+from repro.runtime.atomic import atomic_write_text, fsync_directory
+
+
+class TestAtomicWriteText:
+    def test_creates_file_with_exact_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"a": 1}\n')
+        assert target.read_text(encoding="utf-8") == '{"a": 1}\n'
+
+    def test_replaces_existing_content_completely(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old content that is much longer than the new one")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.json"
+        for revision in range(3):
+            atomic_write_text(target, f"revision {revision}")
+        assert [entry.name for entry in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_swap_keeps_original_and_cleans_temp(self, tmp_path,
+                                                        monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "original")
+
+        def refuse_replace(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(os, "replace", refuse_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        assert target.read_text(encoding="utf-8") == "original"
+        assert [entry.name for entry in tmp_path.iterdir()] == ["out.json"]
+
+    def test_unicode_round_trip(self, tmp_path):
+        target = tmp_path / "unicode.txt"
+        text = "café — naïve ✓ 中文\n"
+        atomic_write_text(target, text)
+        assert target.read_text(encoding="utf-8") == text
+
+    def test_sync_directory_flag_still_writes(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "batched", sync_directory=False)
+        assert target.read_text(encoding="utf-8") == "batched"
+
+    def test_accepts_string_paths(self, tmp_path):
+        target = tmp_path / "str.json"
+        atomic_write_text(str(target), "via str path")
+        assert target.read_text(encoding="utf-8") == "via str path"
+
+
+class TestFsyncDirectory:
+    def test_missing_directory_is_a_silent_noop(self, tmp_path):
+        fsync_directory(tmp_path / "does-not-exist")
+
+    def test_existing_directory_succeeds(self, tmp_path):
+        fsync_directory(tmp_path)

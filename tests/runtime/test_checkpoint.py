@@ -1,0 +1,144 @@
+"""Phase checkpoints: atomic snapshots, fingerprint validation, codecs."""
+
+import json
+
+import pytest
+
+from repro.pruning.candidate import CandidateSet
+from repro.runtime.checkpoint import (
+    CHECKPOINT_PHASES,
+    CHECKPOINT_VERSION,
+    CheckpointMismatch,
+    CheckpointStore,
+    candidate_state,
+    config_fingerprint,
+    restore_candidates,
+)
+
+CONFIG = {"dataset": "restaurant", "scale": 0.1, "seed": 0}
+
+
+class TestConfigFingerprint:
+    def test_none_passes_through(self):
+        assert config_fingerprint(None) is None
+
+    def test_key_order_does_not_matter(self):
+        assert (config_fingerprint({"a": 1, "b": 2})
+                == config_fingerprint({"b": 2, "a": 1}))
+
+    def test_value_changes_the_digest(self):
+        assert (config_fingerprint({"a": 1})
+                != config_fingerprint({"a": 2}))
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        payload = {"answer": 42, "scores": [0.1 + 0.2, 1 / 3]}
+        path = store.save("pruning", payload)
+        assert path == store.path("pruning")
+        assert path.exists()
+        assert store.load("pruning") == payload
+
+    def test_missing_phase_loads_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        assert store.load("pruning") is None
+
+    def test_fresh_store_reads_prior_snapshot(self, tmp_path):
+        CheckpointStore(tmp_path, config=CONFIG).save("generation",
+                                                      {"state": 1})
+        reopened = CheckpointStore(tmp_path, config=CONFIG)
+        assert reopened.load("generation") == {"state": 1}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        store.path("pruning").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load("pruning")
+
+    def test_wrong_version_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        store.path("pruning").write_text(json.dumps({
+            "checkpoint": CHECKPOINT_VERSION + 1, "phase": "pruning",
+            "config": CONFIG, "payload": {},
+        }), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            store.load("pruning")
+
+    def test_wrong_phase_in_file_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        store.save("generation", {"state": 1})
+        store.path("generation").rename(store.path("pruning"))
+        with pytest.raises(ValueError):
+            store.load("pruning")
+
+    def test_config_mismatch_names_differing_keys(self, tmp_path):
+        CheckpointStore(tmp_path, config=CONFIG).save("pruning", {})
+        other = CheckpointStore(
+            tmp_path, config={**CONFIG, "scale": 0.5, "seed": 9},
+        )
+        with pytest.raises(CheckpointMismatch) as excinfo:
+            other.load("pruning")
+        assert "scale" in str(excinfo.value)
+        assert "seed" in str(excinfo.value)
+        assert "dataset" not in str(excinfo.value)
+
+    def test_unfingerprinted_store_accepts_any_checkpoint(self, tmp_path):
+        CheckpointStore(tmp_path, config=CONFIG).save("pruning", {"x": 1})
+        assert CheckpointStore(tmp_path).load("pruning") == {"x": 1}
+
+    def test_clear_one_phase(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        store.save("pruning", {})
+        store.save("generation", {})
+        store.clear("pruning")
+        assert store.load("pruning") is None
+        assert store.load("generation") == {}
+
+    def test_clear_all_phases(self, tmp_path):
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        for phase in CHECKPOINT_PHASES:
+            store.save(phase, {})
+        store.clear()
+        assert all(store.load(phase) is None for phase in CHECKPOINT_PHASES)
+
+    def test_clear_missing_is_a_noop(self, tmp_path):
+        CheckpointStore(tmp_path, config=CONFIG).clear()
+
+
+def _candidates() -> CandidateSet:
+    pairs = ((0, 1), (0, 2), (3, 9))
+    scores = {(0, 1): 0.1 + 0.2, (0, 2): 1 / 3, (3, 9): 0.9999999999999999}
+    return CandidateSet(pairs=pairs, machine_scores=scores, threshold=0.3)
+
+
+class TestCandidateCodec:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        original = _candidates()
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        store.save("pruning", candidate_state(original))
+        restored = restore_candidates(
+            CheckpointStore(tmp_path, config=CONFIG).load("pruning"))
+        assert restored.pairs == original.pairs
+        # Exact float equality: json round-trips repr exactly.
+        assert restored.machine_scores == original.machine_scores
+        assert restored.threshold == original.threshold
+
+    def test_direct_round_trip_without_store(self):
+        original = _candidates()
+        restored = restore_candidates(candidate_state(original))
+        assert restored.pairs == original.pairs
+        assert restored.machine_scores == original.machine_scores
+
+    @pytest.mark.parametrize("payload", (
+        {},
+        {"threshold": 0.3},
+        {"pairs": [[0, 1, 0.5]]},
+        {"threshold": "not-a-number", "pairs": []},
+        {"threshold": 0.3, "pairs": [[0, 1]]},
+        {"threshold": 0.3, "pairs": [["a", "b", 0.5]]},
+        {"threshold": 0.3, "pairs": [[0, 1, 0.5], [0, 1, 0.6]]},
+    ))
+    def test_malformed_payload_raises(self, payload):
+        with pytest.raises(ValueError):
+            restore_candidates(payload)

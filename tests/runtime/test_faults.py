@@ -1,0 +1,95 @@
+"""The process-fault plan: pure, seeded, deterministic chaos schedules."""
+
+import pytest
+
+from repro.runtime.faults import FAULT_KINDS, FaultDirective, ProcessFaultPlan
+
+
+class TestDirective:
+    def test_unscheduled_task_runs_clean(self):
+        plan = ProcessFaultPlan(kill_tasks=frozenset({3}))
+        assert plan.directive(0, 0) is None
+        assert plan.directive(4, 0) is None
+
+    def test_kill_wins_over_delay_wins_over_poison(self):
+        everything = ProcessFaultPlan(
+            kill_tasks=frozenset({0}), delay_tasks=frozenset({0}),
+            poison_tasks=frozenset({0}),
+        )
+        assert everything.directive(0, 0).kind == "kill"
+        delay_and_poison = ProcessFaultPlan(
+            delay_tasks=frozenset({0}), poison_tasks=frozenset({0}),
+        )
+        assert delay_and_poison.directive(0, 0).kind == "delay"
+
+    def test_delay_directive_carries_its_duration(self):
+        plan = ProcessFaultPlan(delay_tasks=frozenset({1}),
+                                delay_seconds=0.75)
+        assert plan.directive(1, 0) == FaultDirective("delay",
+                                                      delay_seconds=0.75)
+
+    def test_faulty_attempts_window(self):
+        # A transient fault (the default): only attempt 0 faults.
+        transient = ProcessFaultPlan(kill_tasks=frozenset({0}))
+        assert transient.directive(0, 0) is not None
+        assert transient.directive(0, 1) is None
+        # A persistent fault: the first three attempts all fault.
+        persistent = ProcessFaultPlan(poison_tasks=frozenset({0}),
+                                      faulty_attempts=3)
+        assert all(persistent.directive(0, attempt) is not None
+                   for attempt in range(3))
+        assert persistent.directive(0, 3) is None
+
+    def test_empty_property(self):
+        assert ProcessFaultPlan().empty
+        assert not ProcessFaultPlan(delay_tasks=frozenset({0})).empty
+
+
+class TestValidation:
+    def test_zero_faulty_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessFaultPlan(faulty_attempts=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessFaultPlan(delay_seconds=-0.1)
+
+
+class TestSample:
+    def test_same_arguments_same_plan(self):
+        first = ProcessFaultPlan.sample(32, seed=7, kills=3, delays=2,
+                                        poisons=4)
+        second = ProcessFaultPlan.sample(32, seed=7, kills=3, delays=2,
+                                         poisons=4)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        plans = {ProcessFaultPlan.sample(64, seed=seed, kills=4)
+                 for seed in range(8)}
+        assert len(plans) > 1
+
+    def test_populations_are_disjoint_and_sized(self):
+        plan = ProcessFaultPlan.sample(20, seed=1, kills=3, delays=4,
+                                       poisons=5)
+        assert len(plan.kill_tasks) == 3
+        assert len(plan.delay_tasks) == 4
+        assert len(plan.poison_tasks) == 5
+        assert not plan.kill_tasks & plan.delay_tasks
+        assert not plan.kill_tasks & plan.poison_tasks
+        assert not plan.delay_tasks & plan.poison_tasks
+        assert all(0 <= task < 20 for task in
+                   plan.kill_tasks | plan.delay_tasks | plan.poison_tasks)
+
+    def test_overscheduling_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessFaultPlan.sample(4, kills=3, delays=2)
+
+    def test_knobs_forwarded(self):
+        plan = ProcessFaultPlan.sample(8, delays=2, delay_seconds=1.5,
+                                       faulty_attempts=5)
+        assert plan.delay_seconds == 1.5
+        assert plan.faulty_attempts == 5
+
+
+def test_fault_kinds_constant_matches_directives():
+    assert FAULT_KINDS == ("kill", "delay", "poison")

@@ -1,0 +1,192 @@
+"""The supervised fork pool: byte-identity under every fault schedule.
+
+The contract under test is the determinism clause of
+:func:`repro.runtime.supervised_map`: whatever the schedule of worker
+crashes, stragglers, retries, and degradations, the results are exactly
+``[worker_fn(p) for p in payloads]`` — and no worker process survives the
+call, even when it aborts.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import ObsContext
+from repro.runtime.faults import ProcessFaultPlan
+from repro.runtime.supervisor import (
+    RuntimeReport,
+    SupervisorPolicy,
+    supervised_map,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the supervised pool requires the 'fork' start method",
+)
+
+
+def _square(value):
+    return value * value
+
+
+PAYLOADS = list(range(12))
+EXPECTED = [_square(value) for value in PAYLOADS]
+
+#: Fast backoff so fault tests don't sleep through real retry delays.
+FAST = SupervisorPolicy(backoff_base_s=0.001, backoff_cap_s=0.01)
+
+
+def _runtime_counters(obs):
+    counters = obs.metrics.as_dict()["counters"]
+    return {name: value for name, value in counters.items()
+            if name.startswith("runtime_")}
+
+
+def _no_new_children(before):
+    return [child for child in multiprocessing.active_children()
+            if child not in before]
+
+
+class TestFaultFree:
+    def test_matches_serial_map(self):
+        results, report = supervised_map(_square, PAYLOADS, processes=3)
+        assert results == EXPECTED
+        assert report == RuntimeReport(tasks=len(PAYLOADS))
+
+    def test_empty_payloads(self):
+        results, report = supervised_map(_square, [], processes=2)
+        assert results == []
+        assert report.tasks == 0
+
+    def test_more_processes_than_tasks(self):
+        results, _ = supervised_map(_square, [5, 6], processes=8)
+        assert results == [25, 36]
+
+    def test_processes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            supervised_map(_square, PAYLOADS, processes=0)
+
+
+class TestWorkerKill:
+    def test_killed_workers_retry_byte_identical(self):
+        plan = ProcessFaultPlan(kill_tasks=frozenset({1, 7}))
+        obs = ObsContext()
+        results, report = supervised_map(
+            _square, PAYLOADS, processes=3, policy=FAST,
+            fault_plan=plan, obs=obs,
+        )
+        assert results == EXPECTED
+        assert report.worker_crashes >= 2
+        assert report.task_retries >= 2
+        assert report.degraded_serial == 0
+        counters = _runtime_counters(obs)
+        assert counters.get("runtime_worker_crashes_total", 0) >= 2
+        assert counters.get("runtime_task_retries_total", 0) >= 2
+
+    def test_crashed_workers_are_respawned(self):
+        plan = ProcessFaultPlan(kill_tasks=frozenset({0, 4, 8}))
+        _, report = supervised_map(_square, PAYLOADS, processes=2,
+                                   policy=FAST, fault_plan=plan)
+        assert report.worker_respawns >= 1
+
+    def test_no_child_processes_survive(self):
+        before = multiprocessing.active_children()
+        plan = ProcessFaultPlan(kill_tasks=frozenset({2, 5}))
+        results, _ = supervised_map(_square, PAYLOADS, processes=3,
+                                    policy=FAST, fault_plan=plan)
+        assert results == EXPECTED
+        assert _no_new_children(before) == []
+
+
+class TestDegradation:
+    def test_exhausted_retries_degrade_to_serial_byte_identical(self):
+        # The fault is persistent: every process-level attempt is killed,
+        # so the task must finish on the in-process bottom rung.
+        plan = ProcessFaultPlan(kill_tasks=frozenset({3}),
+                                faulty_attempts=99)
+        policy = SupervisorPolicy(max_task_retries=1, backoff_base_s=0.001)
+        obs = ObsContext()
+        results, report = supervised_map(
+            _square, PAYLOADS, processes=2, policy=policy,
+            fault_plan=plan, obs=obs,
+        )
+        assert results == EXPECTED
+        assert report.degraded_serial >= 1
+        assert _runtime_counters(obs).get(
+            "runtime_degraded_serial_total", 0) >= 1
+
+    def test_poison_tasks_retry_then_succeed(self):
+        plan = ProcessFaultPlan(poison_tasks=frozenset({0, 9}))
+        results, report = supervised_map(_square, PAYLOADS, processes=3,
+                                         policy=FAST, fault_plan=plan)
+        assert results == EXPECTED
+        assert report.task_retries >= 2
+        assert report.worker_crashes == 0
+
+    def test_persistent_poison_degrades(self):
+        plan = ProcessFaultPlan(poison_tasks=frozenset({6}),
+                                faulty_attempts=99)
+        policy = SupervisorPolicy(max_task_retries=2, backoff_base_s=0.001)
+        results, report = supervised_map(_square, PAYLOADS, processes=2,
+                                         policy=policy, fault_plan=plan)
+        assert results == EXPECTED
+        assert report.degraded_serial >= 1
+
+
+class TestStragglers:
+    def test_straggler_redispatch_is_deterministic(self):
+        # Task 2 sleeps well past the deadline; a duplicate dispatch
+        # finishes it, and first-result-wins keeps the output identical.
+        plan = ProcessFaultPlan(delay_tasks=frozenset({2}),
+                                delay_seconds=0.5)
+        policy = SupervisorPolicy(backoff_base_s=0.001,
+                                  task_deadline_s=0.05)
+        obs = ObsContext()
+        results, report = supervised_map(
+            _square, PAYLOADS, processes=3, policy=policy,
+            fault_plan=plan, obs=obs,
+        )
+        assert results == EXPECTED
+        assert report.straggler_redispatches >= 1
+        assert _runtime_counters(obs).get(
+            "runtime_straggler_redispatches_total", 0) >= 1
+
+    def test_delay_without_deadline_just_finishes(self):
+        plan = ProcessFaultPlan(delay_tasks=frozenset({1}),
+                                delay_seconds=0.05)
+        results, report = supervised_map(_square, PAYLOADS, processes=2,
+                                         policy=FAST, fault_plan=plan)
+        assert results == EXPECTED
+        assert report.straggler_redispatches == 0
+
+
+class TestInterruptHygiene:
+    def test_aborted_map_reaps_every_worker(self):
+        # An unpicklable payload makes the dispatch itself raise; the
+        # supervisor's finally-shutdown must still leave no child behind.
+        before = multiprocessing.active_children()
+        payloads = [lambda: None for _ in range(4)]
+        with pytest.raises(Exception):
+            supervised_map(_square, payloads, processes=2)
+        assert _no_new_children(before) == []
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("kwargs", (
+        dict(max_task_retries=-1),
+        dict(backoff_base_s=-0.1),
+        dict(backoff_cap_s=-1.0),
+        dict(task_deadline_s=0.0),
+        dict(task_deadline_s=-1.0),
+        dict(max_worker_respawns=-1),
+    ))
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(**kwargs)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = SupervisorPolicy(backoff_base_s=0.02, backoff_cap_s=0.05)
+        assert policy.backoff(1) == pytest.approx(0.02)
+        assert policy.backoff(2) == pytest.approx(0.04)
+        assert policy.backoff(3) == pytest.approx(0.05)  # capped
+        assert policy.backoff(10) == pytest.approx(0.05)
