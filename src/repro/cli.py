@@ -156,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cluster-generation engine: incremental 'fast' "
                           "(default) or per-round re-derivation "
                           "'reference'; outputs are byte-identical")
+    run.add_argument("--pivot-shards", type=int, default=0, metavar="N",
+                     help="shard cluster generation: split the candidate "
+                          "graph into connected components, pack them "
+                          "into N shard tasks, and merge per-shard "
+                          "PC-Pivot results (0 = classic single-graph "
+                          "loop; clustering is byte-identical for every "
+                          "N; requires the 'fast' engine)")
+    run.add_argument("--pivot-processes", type=int, default=0, metavar="N",
+                     help="worker processes for the pivot shard tasks "
+                          "(<= 1 runs them in-process; ignored without "
+                          "--pivot-shards)")
     _add_setting(run)
     _add_common(run)
 
@@ -354,6 +365,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "method_seed": args.method_seed,
         "refine_engine": args.refine_engine,
         "pivot_engine": args.pivot_engine,
+        "pivot_shards": args.pivot_shards,
+        "pivot_processes": args.pivot_processes,
         "engine": args.engine,
         "parallel": args.parallel,
         "shards": args.shards,
@@ -429,6 +442,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
                             gcer_budget=gcer_budget, obs=obs,
                             refine_engine=args.refine_engine,
                             pivot_engine=args.pivot_engine,
+                            pivot_shards=args.pivot_shards,
+                            pivot_processes=args.pivot_processes,
                             checkpoints=checkpoints, resume=args.resume)
     finally:
         if journaled is not None:

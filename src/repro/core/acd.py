@@ -78,6 +78,8 @@ def run_acd(
     obs: Optional[ObsContext] = None,
     refine_engine: str = "fast",
     pivot_engine: str = "fast",
+    pivot_shards: int = 0,
+    pivot_processes: int = 0,
     checkpoints: Optional[CheckpointStore] = None,
     resume: bool = False,
 ) -> ACDResult:
@@ -124,6 +126,15 @@ def run_acd(
             default) or "reference" (per-round re-derivation).  Outputs
             are byte-identical; see
             :data:`~repro.core.pivot_engine.PIVOT_ENGINES`.
+        pivot_shards: When >= 1, phase 2 runs the sharded engine of
+            :mod:`repro.core.pivot_shard` — connected components of the
+            candidate graph packed into this many shard tasks with a
+            cross-shard merge.  The clustering is byte-identical to the
+            unsharded engines; requires ``parallel=True``,
+            ``pivot_engine="fast"``, and a pair-deterministic answer
+            source.
+        pivot_processes: Worker processes for the shard tasks (``<= 1``
+            runs them in-process; ignored without ``pivot_shards``).
         checkpoints: Optional
             :class:`~repro.runtime.checkpoint.CheckpointStore`.  When
             attached, the complete cluster-generation state (clustering,
@@ -151,10 +162,18 @@ def run_acd(
                 max_refinement_pairs=max_refinement_pairs,
                 obs=obs, refine_engine=refine_engine,
                 pivot_engine=pivot_engine,
+                pivot_shards=pivot_shards,
+                pivot_processes=pivot_processes,
                 checkpoints=checkpoints, resume=resume,
             )
         finally:
             journaled.close()
+
+    if pivot_shards and not parallel:
+        raise ValueError(
+            "pivot_shards requires parallel=True: sequential Crowd-Pivot "
+            "has no sharded engine"
+        )
 
     ids = list(record_ids)
     restored = (checkpoints.load("generation")
@@ -182,6 +201,7 @@ def run_acd(
                         permutation=permutation, seed=seed,
                         diagnostics=pivot_diagnostics,
                         obs=obs, engine=pivot_engine,
+                        shards=pivot_shards, processes=pivot_processes,
                     )
                 else:
                     clustering = crowd_pivot(
@@ -244,6 +264,8 @@ def run_acd(
                 "max_refinement_pairs": max_refinement_pairs,
                 "refine_engine": refine_engine,
                 "pivot_engine": pivot_engine,
+                "pivot_shards": pivot_shards,
+                "pivot_processes": pivot_processes,
             },
             seeds={"pivot_seed": seed},
         )

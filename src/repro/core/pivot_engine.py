@@ -65,6 +65,22 @@ class LiveVertexOrder:
         self._dead: Set[int] = set()
         self._head = 0
 
+    @classmethod
+    def from_ranked(cls, ordered: Iterable[int]) -> "LiveVertexOrder":
+        """Build from vertices already sorted by ascending permutation
+        rank, skipping the O(n) permutation filter of the constructor.
+
+        The sharded engine runs thousands of component-sized loops
+        against one global permutation; filtering the full permutation
+        per component would be quadratic in the record count, while the
+        caller can rank-sort each component in O(c log c).
+        """
+        self = cls.__new__(cls)
+        self._order = list(ordered)
+        self._dead = set()
+        self._head = 0
+        return self
+
     def __len__(self) -> int:
         return len(self._order) - self._head - len(self._dead)
 

@@ -25,6 +25,12 @@ Pair = Tuple[int, int]
 class AnswerFile:
     """Replayable per-pair crowd answers, generated once and memoized."""
 
+    #: Each pair's answer is a pure function of the pair (the worker pool
+    #: votes through a pair-seeded RNG), so forked processes resolve the
+    #: same pairs to the same confidences — the property the sharded
+    #: pivot engine requires of its oracle.
+    pair_deterministic = True
+
     def __init__(self, gold: GoldStandard, workers: WorkerPool):
         self._gold = gold
         self._workers = workers
@@ -57,6 +63,18 @@ class AnswerFile:
         for a, b in pairs:
             self.confidence(a, b)
 
+    def prime(self, answers: Mapping[Pair, float]) -> None:
+        """Warm the memo with answers already computed elsewhere.
+
+        First write wins, exactly like :meth:`confidence` — and because
+        answers are pair-deterministic, a primed value is the value the
+        pool would have generated, so priming never changes any result,
+        only skips regeneration (the sharded pivot engine primes the
+        parent's file with the confidences its workers computed).
+        """
+        for raw, confidence in answers.items():
+            self._answers.setdefault(canonical_pair(*raw), confidence)
+
     def majority_error_rate(self, pairs: Iterable[Pair]) -> float:
         """Fraction of pairs whose majority vote disagrees with the gold truth.
 
@@ -82,6 +100,9 @@ class ScriptedAnswers:
     (Figures 2-4 and 9, Appendix B) come in.  Used by tests and pedagogic
     examples where the exact ``f_c`` of every edge matters.
     """
+
+    #: Scripted answers are a fixed pair -> confidence table.
+    pair_deterministic = True
 
     def __init__(self, confidences: Mapping[Pair, float],
                  num_workers: int = 1,

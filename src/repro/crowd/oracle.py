@@ -51,6 +51,11 @@ class CrowdOracle:
     def num_workers(self) -> int:
         return self._answers.num_workers
 
+    @property
+    def source(self):
+        """The underlying answer source this oracle crowdsources through."""
+        return self._answers
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

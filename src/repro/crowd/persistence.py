@@ -424,6 +424,35 @@ class JournalingAnswerFile:
     def num_workers(self) -> int:
         return self._source.num_workers
 
+    @property
+    def pair_deterministic(self) -> bool:
+        """Whether forked copies resolve pairs to identical confidences.
+
+        Journaling adds no randomness of its own, so this is exactly the
+        wrapped source's property.
+        """
+        return bool(getattr(self._source, "pair_deterministic", False))
+
+    @property
+    def fork_source(self):
+        """The answer source forked worker processes should read.
+
+        Workers must never write through this wrapper: the journal file
+        handle duplicated by fork would interleave appends from several
+        processes and corrupt the write-ahead log.  The sharded pivot
+        engine forks the *underlying* source (pair-deterministic, so the
+        workers compute the same confidences) and the parent replays
+        their batches through this wrapper, which journals them exactly
+        as a single-process run would.
+        """
+        return self._source
+
+    def prime(self, answers: Mapping[Pair, float]) -> None:
+        """Warm the wrapped source's memo (no journaling side effects)."""
+        prime = getattr(self._source, "prime", None)
+        if prime is not None:
+            prime(answers)
+
     def __len__(self) -> int:
         return len(self.journal)
 

@@ -8,8 +8,9 @@ Two fault surfaces are exercised:
   timeouts, spammers, adversarial workers, outages, bounded reposts).
 - **Process-side** — the supervised worker pool
   (:mod:`repro.runtime.supervisor`) under deterministic worker kills,
-  task delays, and poison chunks at the 10k-record sharded-pruning tier,
-  plus phase-checkpoint kill-resume checks
+  task delays, and poison chunks at the 10k-record tier, for both
+  sharded pruning and the sharded generation pool (per-shard PC-Pivot
+  with cross-shard merge), plus phase-checkpoint kill-resume checks
   (:mod:`repro.runtime.checkpoint`): a run killed after a completed
   phase must resume from the snapshot and finish byte-identical to an
   uninterrupted run.
@@ -194,6 +195,104 @@ def run_runtime_process_faults(
     return results
 
 
+def _generation_fingerprint(clustering, stats, diagnostics) -> tuple:
+    """The byte-identity key of one sharded generation run."""
+    return (
+        tuple(sorted((key, tuple(value) if isinstance(value, list) else value)
+                     for key, value in clustering.to_state().items())),
+        tuple(sorted(stats.snapshot().items())),
+        tuple(stats.batch_sizes),
+        tuple(diagnostics.ks),
+        tuple(diagnostics.predicted_waste),
+        tuple(diagnostics.issued_per_round),
+    )
+
+
+def run_generation_process_faults(
+    records: int = 10_000,
+    seed: int = 0,
+    shards: int = 8,
+    processes: int = 4,
+    faults_per_kind: int = 2,
+) -> List[Dict[str, object]]:
+    """The generation-pool fault matrix: sharded PC-Pivot under chaos.
+
+    Runs sharded cluster generation over a ``records``-sized *largescale*
+    population once fault-free (also once through the classic
+    single-process engine) and once per fault kind in
+    :data:`RUNTIME_PROCESS_FAULTS`, asserting every fault schedule leaves
+    the clustering, crowd stats, and per-round diagnostics byte-identical
+    to the fault-free sharded run — and the clustering itself identical
+    to the classic engine's.  Returns one record per fault kind with the
+    supervisor's fault counters.
+    """
+    from repro.core.pc_pivot import PCPivotDiagnostics, pc_pivot
+    from repro.crowd.cache import AnswerFile
+    from repro.crowd.worker import WorkerPool
+    from repro.datasets.largescale import BASE_RECORDS
+    from repro.obs import ObsContext
+    from repro.runtime.faults import ProcessFaultPlan
+    from repro.runtime.supervisor import SupervisorPolicy
+
+    dataset = generate("largescale", scale=records / BASE_RECORDS, seed=seed)
+    candidates = build_candidate_set(
+        dataset.records, jaccard_similarity_function(),
+        threshold=PRUNING_THRESHOLD,
+    )
+    workers = WorkerPool(difficulty=difficulty_model("largescale"),
+                         num_workers=3)
+    policy = SupervisorPolicy(backoff_base_s=0.01)
+    straggler_policy = SupervisorPolicy(backoff_base_s=0.01,
+                                        task_deadline_s=0.25)
+
+    def run(fault_plan=None, obs=None, run_policy=policy):
+        # AnswerFile resolves each pair from a pair-seeded RNG, so a
+        # fresh instance per run replays identical answers.
+        oracle = CrowdOracle(AnswerFile(dataset.gold, workers))
+        diagnostics = PCPivotDiagnostics()
+        clustering = pc_pivot(
+            dataset.record_ids, candidates, oracle, seed=seed,
+            shards=shards, processes=processes, diagnostics=diagnostics,
+            supervisor_policy=run_policy, fault_plan=fault_plan, obs=obs,
+        )
+        return _generation_fingerprint(clustering, oracle.stats,
+                                       diagnostics), clustering
+
+    classic_oracle = CrowdOracle(AnswerFile(dataset.gold, workers))
+    classic = pc_pivot(dataset.record_ids, candidates, classic_oracle,
+                       seed=seed)
+    reference, reference_clustering = run()
+    classic_identical = (reference_clustering.to_state()
+                         == classic.to_state())
+    plans = {
+        "kill": ProcessFaultPlan.sample(shards, seed=seed,
+                                        kills=faults_per_kind),
+        "delay": ProcessFaultPlan.sample(shards, seed=seed,
+                                         delays=faults_per_kind,
+                                         delay_seconds=0.6),
+        "poison": ProcessFaultPlan.sample(shards, seed=seed,
+                                          poisons=faults_per_kind),
+    }
+    results = []
+    for kind in RUNTIME_PROCESS_FAULTS:
+        obs = ObsContext()
+        fingerprint, _ = run(
+            fault_plan=plans[kind], obs=obs,
+            run_policy=straggler_policy if kind == "delay" else policy,
+        )
+        results.append({
+            "check": "generation-fault",
+            "fault": kind,
+            "records": records,
+            "shards": shards,
+            "processes": processes,
+            "byte_identical": fingerprint == reference,
+            "classic_identical": classic_identical,
+            "runtime_counters": _runtime_counters(obs),
+        })
+    return results
+
+
 class _CountingAnswers:
     """Pass-through answer source counting fresh pair resolutions."""
 
@@ -329,11 +428,13 @@ def run_chaos_suite(
         fault_model: Injected fault profile (default:
             :meth:`FaultModel.default`, the hostile-but-survivable AMT).
         pipelines: Which pipelines to drive.
-        include_runtime: Also run the process-fault matrix
-            (:func:`run_runtime_process_faults`) and the checkpoint
-            kill-resume checks (:func:`run_checkpoint_kill_resume`).
-        runtime_records: Record count of the sharded-pruning tier the
-            process-fault matrix runs at.
+        include_runtime: Also run the pruning process-fault matrix
+            (:func:`run_runtime_process_faults`), the generation-pool
+            fault matrix (:func:`run_generation_process_faults`), and
+            the checkpoint kill-resume checks
+            (:func:`run_checkpoint_kill_resume`).
+        runtime_records: Record count of the sharded tier the pruning
+            and generation fault matrices run at.
 
     Returns:
         A machine-readable summary: the fault knobs used, one record per
@@ -363,12 +464,17 @@ def run_chaos_suite(
         runtime_checks.extend(run_runtime_process_faults(
             records=runtime_records, seed=min(seeds, default=0),
         ))
+        runtime_checks.extend(run_generation_process_faults(
+            records=runtime_records, seed=min(seeds, default=0),
+        ))
         runtime_checks.extend(run_checkpoint_kill_resume(
             dataset_name=dataset_name, scale=scale,
             seed=min(seeds, default=0),
         ))
     runtime_ok = all(
-        check["byte_identical"] and not check.get("phase_reexecuted", False)
+        check["byte_identical"]
+        and check.get("classic_identical", True)
+        and not check.get("phase_reexecuted", False)
         for check in runtime_checks
     )
     runtime_fault_totals: Dict[str, int] = {}

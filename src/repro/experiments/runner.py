@@ -180,6 +180,8 @@ def run_method(
     obs=None,
     refine_engine: str = "fast",
     pivot_engine: str = "fast",
+    pivot_shards: int = 0,
+    pivot_processes: int = 0,
     checkpoints=None,
     resume: bool = False,
 ) -> MethodResult:
@@ -202,6 +204,11 @@ def run_method(
         pivot_engine: Cluster-generation engine ("fast" or "reference";
             byte-identical outputs) for ACD / PC-Pivot / Crowd-Pivot —
             ignored by the other baselines.
+        pivot_shards: Shard tasks for sharded cluster generation (ACD /
+            PC-Pivot only; forwarded to :func:`~repro.core.acd.run_acd`).
+            0 keeps the classic single-graph loop.
+        pivot_processes: Worker processes for the shard tasks (<= 1 runs
+            them in-process; ignored without ``pivot_shards``).
         checkpoints: Optional
             :class:`~repro.runtime.checkpoint.CheckpointStore` for
             phase-level crash safety (ACD / PC-Pivot only; forwarded to
@@ -219,6 +226,8 @@ def run_method(
             pairs_per_hit=instance.setting.pairs_per_hit,
             obs=obs, refine_engine=refine_engine,
             pivot_engine=pivot_engine,
+            pivot_shards=pivot_shards,
+            pivot_processes=pivot_processes,
             checkpoints=checkpoints, resume=resume,
         )
         return _result(method, instance, result.clustering, result.stats)

@@ -1,0 +1,156 @@
+"""Connected components of the candidate graph, and shard packing.
+
+Cluster generation decomposes exactly along connected components of
+``G = (V_R, E_S)``: Crowd-Pivot only ever issues pivot-incident edges,
+and removing a cluster in one component never changes the live
+neighborhood of another.  The sharded pivot engine therefore uses the
+component — not the record — as its unit of distribution: this module
+finds the components (a ``scipy.sparse.csgraph`` label pass when scipy
+is importable, a pure-Python union-find otherwise — identical canonical
+output either way) and packs them into shard tasks largest-first (LPT
+scheduling), so the biggest components land in different shards and
+worker wall-clock stays balanced.
+
+Everything here is deterministic: components come out sorted by their
+smallest vertex (members ascending), and the packing breaks ties by
+component order and bin index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Pair = Tuple[int, int]
+
+
+def connected_components(
+    vertices: Iterable[int],
+    pairs: Iterable[Pair],
+) -> List[Tuple[int, ...]]:
+    """Connected components of the graph over ``vertices`` and ``pairs``.
+
+    Isolated vertices form singleton components.  Returns every component
+    as a sorted tuple of members, the component list itself sorted by
+    smallest member — a canonical order independent of input order and
+    of which backend computed it.
+    """
+    vertices = list(vertices)
+    pairs = list(pairs)
+    try:
+        return _components_sparse(vertices, pairs)
+    except ImportError:
+        return _components_python(vertices, pairs)
+
+
+def _components_python(
+    vertices: Sequence[int],
+    pairs: Sequence[Pair],
+) -> List[Tuple[int, ...]]:
+    """Union-find fallback (no third-party dependencies)."""
+    parent: Dict[int, int] = {v: v for v in vertices}
+
+    def find(v: int) -> int:
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:  # path compression
+            parent[v], v = root, parent[v]
+        return root
+
+    for a, b in pairs:
+        if a not in parent or b not in parent:
+            raise ValueError(f"pair ({a}, {b}) references unknown vertex")
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            # Union by smaller root id keeps the forest deterministic.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            parent[root_b] = root_a
+
+    members: Dict[int, List[int]] = {}
+    for v in parent:
+        members.setdefault(find(v), []).append(v)
+    return [tuple(sorted(group))
+            for _, group in sorted(members.items())]
+
+
+def _components_sparse(
+    vertices: Sequence[int],
+    pairs: Sequence[Pair],
+) -> List[Tuple[int, ...]]:
+    """Vectorized component labelling via ``scipy.sparse.csgraph``.
+
+    At the 100k-record bench tier the union-find loop costs more than
+    half the sharded engine's parent-side budget; the sparse label pass
+    plus one ``lexsort`` does the same work in a few tens of
+    milliseconds.
+    """
+    import numpy as np
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components as sparse_cc
+
+    verts = np.unique(np.fromiter(vertices, dtype=np.int64))
+    n = int(verts.size)
+    edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    if edges.size:
+        if n:
+            index = np.searchsorted(verts, edges)
+            known = verts[np.minimum(index, n - 1)] == edges
+        else:
+            index = edges
+            known = np.zeros(edges.shape, dtype=bool)
+        rows = known.all(axis=1)
+        if not rows.all():
+            a, b = edges[int(np.flatnonzero(~rows)[0])]
+            raise ValueError(
+                f"pair ({int(a)}, {int(b)}) references unknown vertex")
+        graph = coo_matrix(
+            (np.ones(len(index), dtype=np.int8),
+             (index[:, 0], index[:, 1])),
+            shape=(n, n))
+        _, labels = sparse_cc(graph, directed=False)
+    else:
+        labels = np.arange(n)
+    if not n:
+        return []
+    # Sort by (label, vertex): members come out ascending within each
+    # label run, and slicing at label boundaries yields the components.
+    order = np.lexsort((verts, labels))
+    ordered = verts[order].tolist()
+    bounds = (np.flatnonzero(np.diff(labels[order])) + 1).tolist()
+    groups = [tuple(ordered[i:j])
+              for i, j in zip([0, *bounds], [*bounds, len(ordered)])]
+    groups.sort(key=lambda group: group[0])
+    return groups
+
+
+def pack_components(
+    components: Iterable[Tuple[int, ...]],
+    num_shards: int,
+) -> List[List[int]]:
+    """Pack component indices into ``num_shards`` bins, largest first.
+
+    Classic LPT scheduling: components are taken in decreasing size and
+    each goes to the currently lightest bin (ties: the earlier component,
+    the lower bin index), bounding imbalance while staying deterministic.
+    A ``(load, bin)`` heap serves the lightest bin in O(log shards) per
+    component instead of a linear scan.  Returns one list of component
+    indices per shard; bins may be empty when there are fewer components
+    than shards.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    sized = sorted(
+        ((len(component), index) for index, component in
+         enumerate(components)),
+        key=lambda item: (-item[0], item[1]),
+    )
+    bins: List[List[int]] = [[] for _ in range(num_shards)]
+    # Already heap-ordered: loads all zero, bin indices ascending.
+    heap: List[Tuple[int, int]] = [(0, shard) for shard in range(num_shards)]
+    for size, index in sized:
+        load, target = heapq.heappop(heap)
+        bins[target].append(index)
+        heapq.heappush(heap, (load + size, target))
+    return bins

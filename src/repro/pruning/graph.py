@@ -8,7 +8,7 @@ whose vertices are records and whose edges are candidate pairs (Table 1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, Set, Tuple
 
 from repro.datasets.schema import canonical_pair
 
@@ -51,11 +51,17 @@ class CandidateGraph:
     def is_empty(self) -> bool:
         return not self._alive
 
-    def neighbors(self, vertex: int) -> List[int]:
-        """Live neighbors of a live vertex, sorted for determinism."""
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Live neighbors of a live vertex, sorted for determinism.
+
+        Returned as an immutable tuple so callers can never corrupt the
+        graph's internal state through the result.
+        """
         if vertex not in self._alive:
             raise KeyError(f"vertex {vertex} is not in the graph")
-        return sorted(n for n in self._adjacency[vertex] if n in self._alive)
+        return tuple(
+            sorted(n for n in self._adjacency[vertex] if n in self._alive)
+        )
 
     def degree(self, vertex: int) -> int:
         """Number of live neighbors, in O(deg) without sorting."""
@@ -111,7 +117,7 @@ class EagerCandidateGraph(CandidateGraph):
     which walk every live vertex's neighborhood every round.  This variant
     removes edges eagerly when a vertex dies, so a live vertex's adjacency
     set contains live neighbors only: ``degree`` is O(1), ``num_edges`` is
-    a cached counter, and ``neighbors()`` serves a memoized sorted list
+    a cached counter, and ``neighbors()`` serves a memoized sorted tuple
     that is invalidated only when an incident vertex is removed.
 
     Query results are identical to the base class for the same sequence of
@@ -121,19 +127,19 @@ class EagerCandidateGraph(CandidateGraph):
 
     def __init__(self, vertices: Iterable[int], edges: Iterable[Pair]):
         super().__init__(vertices, edges)
-        self._sorted: Dict[int, List[int]] = {}
+        self._sorted: Dict[int, Tuple[int, ...]] = {}
         self._num_edges = sum(
             len(ns) for ns in self._adjacency.values()
         ) // 2
 
-    def neighbors(self, vertex: int) -> List[int]:
-        """Live neighbors, sorted; the returned list is a shared cache
-        entry — callers must treat it as read-only."""
+    def neighbors(self, vertex: int) -> Tuple[int, ...]:
+        """Live neighbors, sorted; the memoized entry is an immutable
+        tuple, so sharing it with callers is safe."""
         if vertex not in self._alive:
             raise KeyError(f"vertex {vertex} is not in the graph")
         cached = self._sorted.get(vertex)
         if cached is None:
-            cached = sorted(self._adjacency[vertex])
+            cached = tuple(sorted(self._adjacency[vertex]))
             self._sorted[vertex] = cached
         return cached
 

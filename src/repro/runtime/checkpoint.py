@@ -119,6 +119,13 @@ class CheckpointStore:
                 f"{phase!r} checkpoint"
             )
         recorded = document.get("config")
+        if self.config is not None and recorded is None:
+            raise CheckpointMismatch(
+                f"{path}: checkpoint records no run configuration but this "
+                f"store is fingerprinted (expected keys: "
+                f"{', '.join(sorted(self.config))}); resuming would splice "
+                "phases from another experiment"
+            )
         if (recorded is not None and self.config is not None
                 and recorded != self.config):
             differing = sorted(

@@ -13,7 +13,9 @@ duplex pipe each — and supervises every dispatched task:
 - **Deadlines / stragglers.**  With ``task_deadline_s`` set, a task that
   outlives its deadline is re-dispatched to another worker; the first
   result wins.  Workers are pure functions, so duplicate execution is
-  harmless and results stay byte-identical.
+  harmless and results stay byte-identical.  A straggler that cannot be
+  re-dispatched (its task already resolved, or its retry budget spent)
+  is terminated so a hung worker can never block the event loop.
 - **Bounded retries.**  A failed execution (crash or raise) is retried
   with exponential backoff, up to ``max_task_retries`` extra attempts —
   the process-level mirror of the crowd layer's HIT repost budget.
@@ -24,6 +26,7 @@ duplex pipe each — and supervises every dispatched task:
 
 Every decision is observable: ``runtime.worker_crash`` /
 ``runtime.task_retry`` / ``runtime.straggler_redispatch`` /
+``runtime.straggler_termination`` /
 ``runtime.degraded_serial`` / ``runtime.worker_respawn`` events on the
 attached :class:`~repro.obs.ObsContext`, matching ``runtime_*_total``
 metrics counters, and a :class:`RuntimeReport` returned to the caller.
@@ -114,6 +117,7 @@ class RuntimeReport:
     worker_crashes: int = 0
     task_retries: int = 0
     straggler_redispatches: int = 0
+    straggler_terminations: int = 0
     worker_respawns: int = 0
     degraded_serial: int = 0
 
@@ -123,6 +127,7 @@ class RuntimeReport:
             "worker_crashes": self.worker_crashes,
             "task_retries": self.task_retries,
             "straggler_redispatches": self.straggler_redispatches,
+            "straggler_terminations": self.straggler_terminations,
             "worker_respawns": self.worker_respawns,
             "degraded_serial": self.degraded_serial,
         }
@@ -409,7 +414,13 @@ def supervised_map(
                         )
 
             # Straggler re-dispatch: expired deadlines queue a duplicate.
+            # A straggler that cannot be re-dispatched (task resolved by a
+            # duplicate, or retry budget already spent) is terminated
+            # outright — merely flagging it used to leave the loop blocked
+            # in connection.wait with no timeout, waiting forever on a
+            # hung worker that would never answer.
             now = time.monotonic()
+            hung: List[_Worker] = []
             for worker in workers:
                 if (worker.task is None or worker.deadline_fired
                         or worker.task[2] is None or worker.task[2] > now):
@@ -418,6 +429,7 @@ def supervised_map(
                 worker.deadline_fired = True
                 if (index in results or index in degraded
                         or dispatches[index] >= attempt_budget):
+                    hung.append(worker)
                     continue
                 report.straggler_redispatches += 1
                 observer.record(
@@ -428,6 +440,36 @@ def supervised_map(
                 )
                 heapq.heappush(pending, (now, sequence, index))
                 sequence += 1
+            for worker in hung:
+                workers.remove(worker)
+                index, attempt, _ = worker.task
+                report.straggler_terminations += 1
+                observer.record(
+                    "runtime_straggler_terminations_total",
+                    "runtime.straggler_termination",
+                    task=index, attempt=attempt, pid=worker.process.pid,
+                    deadline_s=policy.task_deadline_s,
+                )
+                worker.process.terminate()
+                worker.process.join()
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                inflight[index] -= 1
+                if inflight[index] == 0:
+                    mark_degraded(index)
+                remaining = total - len(results) - len(degraded)
+                if remaining > 0 and len(workers) < min(processes, remaining):
+                    if report.worker_respawns < policy.max_worker_respawns:
+                        report.worker_respawns += 1
+                        replacement = spawn()
+                        workers.append(replacement)
+                        observer.record(
+                            "runtime_worker_respawns_total",
+                            "runtime.worker_respawn",
+                            pid=replacement.process.pid,
+                        )
     finally:
         _shutdown(workers)
 

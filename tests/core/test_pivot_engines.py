@@ -23,7 +23,7 @@ from repro.core.pivot_engine import (
     LiveVertexOrder,
     choose_pivots,
 )
-from repro.crowd.cache import ScriptedAnswers
+from repro.crowd.cache import FallbackAnswers, ScriptedAnswers
 from repro.crowd.faults import FaultModel
 from repro.crowd.oracle import CrowdOracle
 from repro.datasets.registry import generate
@@ -345,6 +345,137 @@ class TestLiveVertexOrder:
 
 
 # ---------------------------------------------------------------------------
+# Sharded generation: cross-shard merge byte-identity
+# ---------------------------------------------------------------------------
+
+SHARD_COUNTS = (1, 2, 3, 5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from(EPSILONS))
+def test_sharded_clustering_identical_to_classic(seed, epsilon):
+    """Sharded generation reproduces the classic engine's clustering —
+    including cluster IDs — for every shard count."""
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    classic = pc_pivot(ids, candidates, fresh_oracle(), epsilon=epsilon,
+                       seed=seed)
+    for shards in SHARD_COUNTS:
+        sharded = pc_pivot(ids, candidates, fresh_oracle(), epsilon=epsilon,
+                           seed=seed, shards=shards)
+        sharded.check_invariants()
+        assert sharded.to_state() == classic.to_state()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from(EPSILONS))
+def test_sharded_accounting_invariant_across_shard_counts(seed, epsilon):
+    """Stats, crowd batch sequence, diagnostics, and event streams are
+    byte-identical for every shard count (component-local accounting is
+    canonical, not packing-dependent)."""
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    outcomes = []
+    for shards in SHARD_COUNTS:
+        oracle = fresh_oracle()
+        diagnostics = PCPivotDiagnostics()
+        obs = ObsContext()
+        with obs.span("generation"):
+            clustering = pc_pivot(ids, candidates, oracle, epsilon=epsilon,
+                                  seed=seed, shards=shards,
+                                  diagnostics=diagnostics, obs=obs)
+        outcomes.append((
+            clustering.to_state(),
+            oracle.stats.pairs_issued,
+            oracle.stats.iterations,
+            oracle.stats.hits,
+            oracle.batches,
+            diagnostics.ks,
+            diagnostics.predicted_waste,
+            diagnostics.issued_per_round,
+            _collected_events(obs),
+        ))
+    assert all(outcome == outcomes[0] for outcome in outcomes[1:])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000), st.sampled_from(EPSILONS))
+def test_sharded_pair_set_invariant_and_waste_bounded(seed, epsilon):
+    """The issued pair set is invariant across shard counts, stays within
+    the candidate set, and honors the per-component Equation-4 bound.
+    (The set may differ from the *classic* engine's: the global
+    permutation prefix couples components in classic Equation-4 rounds,
+    so the two round structures waste different pairs — only the
+    clustering is pinned across engines.)"""
+    ids, candidates, fresh_oracle = random_pivot_state(seed)
+    pair_sets = []
+    for shards in (1, 3, 5):
+        oracle = fresh_oracle()
+        diagnostics = PCPivotDiagnostics()
+        pc_pivot(ids, candidates, oracle, epsilon=epsilon, seed=seed,
+                 shards=shards, diagnostics=diagnostics)
+        issued = set(oracle.known_pairs())
+        pair_sets.append(issued)
+        assert issued <= set(candidates.pairs)
+        # Equation 4, summed per round: predicted waste within ε of issued.
+        assert (diagnostics.total_predicted_waste
+                <= epsilon * oracle.stats.pairs_issued + 1e-9)
+    assert pair_sets[0] == pair_sets[1] == pair_sets[2]
+
+
+def test_run_acd_sharded_agrees(tiny_paper):
+    """End-to-end ACD: sharded generation yields the classic clustering,
+    and every shard count yields byte-identical stats.  (Refine's batch
+    composition follows A's arrival order, which sharded generation
+    canonicalizes per component — so classic-vs-sharded *stats* may
+    differ while every sharded config agrees exactly.)"""
+    base = run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                   tiny_paper.answers, seed=2)
+    sharded = {
+        shards: run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                        tiny_paper.answers, seed=2, pivot_shards=shards)
+        for shards in (1, 3, 8)
+    }
+    for result in sharded.values():
+        assert result.clustering.as_sets() == base.clustering.as_sets()
+    first = sharded[1]
+    for result in sharded.values():
+        assert result.clustering.to_state() == first.clustering.to_state()
+        assert result.stats == first.stats
+
+
+class TestShardedValidation:
+    def test_reference_engine_rejected(self):
+        ids, candidates, fresh_oracle = random_pivot_state(1)
+        with pytest.raises(ValueError, match="fast"):
+            pc_pivot(ids, candidates, fresh_oracle(), shards=2,
+                     engine="reference")
+
+    def test_negative_shards_rejected(self):
+        ids, candidates, fresh_oracle = random_pivot_state(1)
+        with pytest.raises(ValueError, match="shards"):
+            pc_pivot(ids, candidates, fresh_oracle(), shards=-1)
+
+    def test_processes_without_shards_rejected(self):
+        ids, candidates, fresh_oracle = random_pivot_state(1)
+        with pytest.raises(ValueError, match="shards"):
+            pc_pivot(ids, candidates, fresh_oracle(), processes=2)
+
+    def test_non_pair_deterministic_source_rejected(self):
+        """FallbackAnswers tracks degraded pairs statefully — forking it
+        into workers could change answers, so sharding refuses it."""
+        ids, candidates, _ = random_pivot_state(1)
+        source = FallbackAnswers(ScriptedAnswers({}, num_workers=3),
+                                 fallback=lambda pair: 0.0)
+        oracle = CrowdOracle(source)
+        with pytest.raises(ValueError, match="pair-deterministic"):
+            pc_pivot(ids, candidates, oracle, shards=2)
+
+    def test_run_acd_sequential_rejects_pivot_shards(self, tiny_paper):
+        with pytest.raises(ValueError, match="parallel"):
+            run_acd(tiny_paper.record_ids, tiny_paper.candidates,
+                    tiny_paper.answers, parallel=False, pivot_shards=2)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -365,4 +496,20 @@ class TestCLI:
     def test_run_with_reference_engine(self, capsys):
         assert main(["run", "restaurant", "--scale", "0.05",
                      "--pivot-engine", "reference"]) == 0
+        assert "F1" in capsys.readouterr().out
+
+    def test_pivot_shard_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "restaurant", "--pivot-shards", "4",
+             "--pivot-processes", "2"]
+        )
+        assert args.pivot_shards == 4
+        assert args.pivot_processes == 2
+        defaults = build_parser().parse_args(["run", "restaurant"])
+        assert defaults.pivot_shards == 0
+        assert defaults.pivot_processes == 0
+
+    def test_run_with_pivot_shards(self, capsys):
+        assert main(["run", "restaurant", "--scale", "0.05",
+                     "--method", "PC-Pivot", "--pivot-shards", "3"]) == 0
         assert "F1" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Connected-component partitioning and largest-first shard packing."""
+
+import random as random_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning.components import (
+    _components_python,
+    connected_components,
+    pack_components,
+)
+
+
+class TestConnectedComponents:
+    def test_splits_along_edges(self):
+        components = connected_components(
+            [0, 1, 2, 3, 4, 5], [(0, 1), (1, 2), (4, 5)]
+        )
+        assert components == [(0, 1, 2), (3,), (4, 5)]
+
+    def test_isolated_vertices_are_singletons(self):
+        assert connected_components([7, 3, 9], []) == [(3,), (7,), (9,)]
+
+    def test_chain_and_cycle_merge(self):
+        components = connected_components(
+            [0, 1, 2, 3], [(0, 1), (1, 2), (2, 0), (2, 3)]
+        )
+        assert components == [(0, 1, 2, 3)]
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            connected_components([0, 1], [(0, 7)])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_partition_covers_exactly_once(self, seed):
+        rng = random_module.Random(seed)
+        n = rng.randint(1, 40)
+        vertices = list(range(n))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)
+                 if rng.random() < 0.08]
+        components = connected_components(vertices, pairs)
+        flat = [v for members in components for v in members]
+        assert sorted(flat) == vertices
+        assert len(flat) == len(set(flat))
+        # Every edge stays inside one component.
+        of = {v: index for index, members in enumerate(components)
+              for v in members}
+        assert all(of[a] == of[b] for a, b in pairs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_backends_agree(self, seed):
+        # The scipy label pass (when importable) and the pure-Python
+        # union-find must emit the identical canonical component list.
+        rng = random_module.Random(seed)
+        n = rng.randint(0, 40)
+        vertices = rng.sample(range(1000), n)
+        pairs = [(a, b) for i, a in enumerate(vertices)
+                 for b in vertices[i + 1:] if rng.random() < 0.08]
+        assert connected_components(vertices, pairs) == \
+            _components_python(vertices, pairs)
+
+
+class TestPackComponents:
+    def test_largest_first_balances_loads(self):
+        components = [(0, 1, 2, 3), (4, 5, 6), (7, 8), (9,)]
+        # LPT: sizes 4,3,2,1 -> bins [4, then 1] and [3, then 2].
+        assert pack_components(components, 2) == [[0, 3], [1, 2]]
+
+    def test_more_shards_than_components_leaves_empty_bins(self):
+        assert pack_components([(0, 1)], 3) == [[0], [], []]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            pack_components([(0,)], 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(1, 6))
+    def test_every_component_packed_exactly_once(self, seed, num_shards):
+        rng = random_module.Random(seed)
+        components = [tuple(range(base, base + rng.randint(1, 9)))
+                      for base in range(0, 100, 10)]
+        packed = pack_components(components, num_shards)
+        assert len(packed) == num_shards
+        flat = sorted(index for shard in packed for index in shard)
+        assert flat == list(range(len(components)))
+        # No bin exceeds the optimum by more than the largest component.
+        loads = [sum(len(components[index]) for index in shard)
+                 for shard in packed]
+        largest = max(len(c) for c in components)
+        assert max(loads) - min(load for load in loads) <= largest

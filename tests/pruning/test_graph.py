@@ -37,7 +37,12 @@ class TestConstruction:
 
 class TestQueries:
     def test_neighbors_sorted(self, triangle_plus_tail):
-        assert triangle_plus_tail.neighbors(2) == [0, 1, 3]
+        assert triangle_plus_tail.neighbors(2) == (0, 1, 3)
+
+    def test_neighbors_is_immutable(self, triangle_plus_tail):
+        # Regression: neighbors() used to return a mutable list; a caller
+        # mutating it could corrupt later queries.
+        assert isinstance(triangle_plus_tail.neighbors(2), tuple)
 
     def test_degree(self, triangle_plus_tail):
         assert triangle_plus_tail.degree(2) == 3
@@ -65,7 +70,7 @@ class TestQueries:
 class TestRemoval:
     def test_removal_filters_neighbors(self, triangle_plus_tail):
         triangle_plus_tail.remove_vertices([0])
-        assert triangle_plus_tail.neighbors(2) == [1, 3]
+        assert triangle_plus_tail.neighbors(2) == (1, 3)
 
     def test_removal_filters_edges(self, triangle_plus_tail):
         triangle_plus_tail.remove_vertices([2])
@@ -121,7 +126,7 @@ class TestEagerCandidateGraph:
         eager.remove_vertices([2])
         assert eager.num_edges() == 1
         assert eager.degree(0) == 1
-        assert eager.neighbors(0) == [1]
+        assert eager.neighbors(0) == (1,)
         eager.remove_vertices([0, 1])
         assert eager.num_edges() == 0
 
@@ -130,7 +135,7 @@ class TestEagerCandidateGraph:
         # in the same call.
         eager.remove_vertices([0, 1])
         assert eager.num_edges() == 1
-        assert eager.neighbors(2) == [3]
+        assert eager.neighbors(2) == (3,)
 
     def test_removing_twice_is_idempotent(self, eager):
         eager.remove_vertices([0])
@@ -139,9 +144,22 @@ class TestEagerCandidateGraph:
         assert eager.num_edges() == 2
 
     def test_neighbors_cache_invalidated_on_incident_removal(self, eager):
-        assert eager.neighbors(2) == [0, 1, 3]
+        assert eager.neighbors(2) == (0, 1, 3)
         eager.remove_vertices([3])
-        assert eager.neighbors(2) == [0, 1]
+        assert eager.neighbors(2) == (0, 1)
+
+    def test_cached_neighbors_cannot_be_aliased(self, eager):
+        # Regression: the eager class used to hand out its cached list
+        # itself, so `graph.neighbors(v).remove(x)` (or sort/append by any
+        # caller) silently corrupted every later neighbors(v) query.  The
+        # cache entry is now an immutable tuple.
+        first = eager.neighbors(2)
+        assert isinstance(first, tuple)
+        with pytest.raises(AttributeError):
+            first.remove(0)
+        mutated = list(first)
+        mutated.remove(0)
+        assert eager.neighbors(2) == (0, 1, 3)
 
     def test_copy_is_independent(self, eager):
         clone = eager.copy()

@@ -12,6 +12,7 @@ import pytest
 
 from repro.experiments.chaos import (
     run_checkpoint_kill_resume,
+    run_generation_process_faults,
     run_runtime_process_faults,
 )
 from repro.similarity.kernels import numpy_available
@@ -69,6 +70,18 @@ class TestChaosSuiteChecks:
             "runtime_worker_crashes_total", 0) >= 1
         assert by_kind["delay"]["runtime_counters"].get(
             "runtime_straggler_redispatches_total", 0) >= 1
+        assert by_kind["poison"]["runtime_counters"].get(
+            "runtime_task_retries_total", 0) >= 1
+
+    def test_generation_fault_matrix(self):
+        checks = run_generation_process_faults(records=2_000,
+                                               faults_per_kind=1)
+        by_kind = {check["fault"]: check for check in checks}
+        assert set(by_kind) == {"kill", "delay", "poison"}
+        assert all(check["byte_identical"] for check in checks)
+        assert all(check["classic_identical"] for check in checks)
+        assert by_kind["kill"]["runtime_counters"].get(
+            "runtime_worker_crashes_total", 0) >= 1
         assert by_kind["poison"]["runtime_counters"].get(
             "runtime_task_retries_total", 0) >= 1
 

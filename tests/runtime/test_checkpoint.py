@@ -87,6 +87,18 @@ class TestCheckpointStore:
         CheckpointStore(tmp_path, config=CONFIG).save("pruning", {"x": 1})
         assert CheckpointStore(tmp_path).load("pruning") == {"x": 1}
 
+    def test_fingerprinted_store_rejects_unfingerprinted_checkpoint(
+            self, tmp_path):
+        # Regression: a checkpoint recorded with `config: None` used to
+        # slip past a fingerprinted store's validation — exactly the
+        # phase-splicing hazard the fingerprint exists to reject.
+        CheckpointStore(tmp_path).save("pruning", {"x": 1})
+        store = CheckpointStore(tmp_path, config=CONFIG)
+        with pytest.raises(CheckpointMismatch) as excinfo:
+            store.load("pruning")
+        assert "no run configuration" in str(excinfo.value)
+        assert "dataset" in str(excinfo.value)
+
     def test_clear_one_phase(self, tmp_path):
         store = CheckpointStore(tmp_path, config=CONFIG)
         store.save("pruning", {})

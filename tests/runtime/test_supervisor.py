@@ -159,6 +159,29 @@ class TestStragglers:
         assert results == EXPECTED
         assert report.straggler_redispatches == 0
 
+    def test_hung_worker_with_no_retry_budget_is_terminated(self):
+        # Regression: with the retry budget exhausted, an expired deadline
+        # used to only set `deadline_fired` — the event loop then blocked
+        # in connection.wait with no timeout, waiting forever on a worker
+        # that never answers.  The hung worker must be terminated and the
+        # task must finish on the in-process bottom rung.
+        before = multiprocessing.active_children()
+        plan = ProcessFaultPlan(delay_tasks=frozenset({1}),
+                                delay_seconds=8.0)
+        policy = SupervisorPolicy(max_task_retries=0, task_deadline_s=0.1,
+                                  backoff_base_s=0.001)
+        obs = ObsContext()
+        results, report = supervised_map(
+            _square, PAYLOADS[:4], processes=2, policy=policy,
+            fault_plan=plan, obs=obs,
+        )
+        assert results == EXPECTED[:4]
+        assert report.straggler_terminations >= 1
+        assert report.degraded_serial >= 1
+        assert _runtime_counters(obs).get(
+            "runtime_straggler_terminations_total", 0) >= 1
+        assert _no_new_children(before) == []
+
 
 class TestInterruptHygiene:
     def test_aborted_map_reaps_every_worker(self):
