@@ -36,8 +36,12 @@ bench-pivot:
 # byte-identical candidate sets, plus the cluster-generation stage
 # (classic vs sharded-parallel PC-Pivot, identical clusterings, crowd-
 # iteration and wall-clock speedups) on tiers up to
-# REPRO_BENCH_GENERATION_CAP.  Regenerates BENCH_scale.json at the
-# repo root with records/sec, pairs/sec, and peak-RSS meters.
+# REPRO_BENCH_GENERATION_CAP and the refinement stage (classic vs
+# sharded-parallel PC-Refine on a confused regeneration of the tier,
+# refine_speedup / refine_iteration_speedup, advisory classic-parity
+# flag) on tiers up to REPRO_BENCH_REFINE_CAP.  Regenerates
+# BENCH_scale.json at the repo root with records/sec, pairs/sec, and
+# peak-RSS meters.
 bench-scale:
 	python benchmarks/bench_scale.py
 
@@ -48,19 +52,20 @@ bench-scale-smoke:
 # Fault-injection smoke: every pipeline family must terminate under the
 # default hostile crowd (abandonment, timeouts, spammers, early quorum),
 # the supervised worker pools must stay byte-identical under process
-# faults (kills, delays, poison chunks) for both the sharded pruning
-# join and the sharded cluster-generation engine, and phase checkpoints
-# must kill-resume byte-identically.  Regenerates CHAOS_smoke.json at
-# the repo root.
+# faults (kills, delays, poison chunks) for the sharded pruning join,
+# the sharded cluster-generation engine, and the sharded refinement
+# engine, and all three phase checkpoints (pruning / generation /
+# refinement) must kill-resume byte-identically.  Regenerates
+# CHAOS_smoke.json at the repo root.
 chaos-smoke:
 	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 5 \
 		--output CHAOS_smoke.json
 
 # Runtime-focused chaos: the process-fault matrix (worker kills / task
-# delays / poison chunks on sharded 10k pruning and sharded cluster
-# generation) and the checkpoint kill-resume checks, with the
-# crowd-side sweep cut to a single seed.  Writes CHAOS_runtime.json
-# (not tracked).
+# delays / poison chunks on sharded 10k pruning, sharded cluster
+# generation, and sharded refinement) and the checkpoint kill-resume
+# checks for all three phases, with the crowd-side sweep cut to a
+# single seed.  Writes CHAOS_runtime.json (not tracked).
 chaos-runtime:
 	python -m repro chaos --dataset restaurant --scale 0.1 --seeds 1 \
 		--runtime-records 10000 --output CHAOS_runtime.json

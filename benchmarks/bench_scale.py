@@ -38,6 +38,23 @@ driven by the tier's vectorized candidate set):
   cores as worker processes — on a single-core container the process
   fan-out is pure timesharing overhead.
 
+Refinement variants per tier (capped at ``REPRO_BENCH_REFINE_CAP``, on a
+*confused* regeneration of the tier — ``confusion=REPRO_BENCH_REFINE_CONFUSION``
+gives the refine phase real over-/under-merge work; the clean default
+generator produces clusterings the phase barely touches):
+
+* ``refine-classic`` — the classic single-process fast PC-Refine engine.
+* ``refine-sharded`` — per-component PC-Refine over
+  ``REPRO_BENCH_REFINE_SHARDS`` shard tasks in
+  ``REPRO_BENCH_REFINE_PROCESSES`` supervised worker processes, plus the
+  cross-shard merged-round replay (:mod:`repro.core.refine_shard`).
+  Both variants refine the same generation-phase clustering.
+  ``refine_iteration_speedup`` is the crowd-latency win (sharded
+  iterations = the deepest component's round count);
+  ``refine_classic_identical`` records whether the sharded partition
+  matched the classic engine's bit for bit (guaranteed across sharded
+  configs, empirical vs classic — see ``repro/core/refine_shard.py``).
+
 Standalone (no pytest)::
 
     python benchmarks/bench_scale.py                      # 10k + 100k + 1M
@@ -55,7 +72,18 @@ Environment knobs:
                                    (default 100000)
     REPRO_BENCH_PIVOT_SHARDS       shard tasks for pivot-sharded (default 64)
     REPRO_BENCH_PIVOT_PROCESSES    worker processes for pivot-sharded
-                                   (default 4; <= 1 = in-process)
+                                   (default min(4, CPU count); <= 1 =
+                                   in-process — supervised workers only
+                                   pay off with real cores, so a
+                                   single-core host defaults to the
+                                   in-process shard loop)
+    REPRO_BENCH_REFINE_CAP         largest tier for the refinement stage
+                                   (default 100000)
+    REPRO_BENCH_REFINE_SHARDS      shard tasks for refine-sharded (default 64)
+    REPRO_BENCH_REFINE_PROCESSES   worker processes for refine-sharded
+                                   (default min(4, CPU count), as above)
+    REPRO_BENCH_REFINE_CONFUSION   confusion knob for the refine-stage
+                                   dataset (default 0.25)
 """
 
 from __future__ import annotations
@@ -90,8 +118,19 @@ PARALLEL = int(os.environ.get("REPRO_BENCH_PARALLEL", "0"))
 SCALAR_CAP = int(os.environ.get("REPRO_BENCH_SCALAR_CAP", "100000"))
 REFERENCE_CAP = int(os.environ.get("REPRO_BENCH_REFERENCE_CAP", "10000"))
 GENERATION_CAP = int(os.environ.get("REPRO_BENCH_GENERATION_CAP", "100000"))
+#: Worker processes only help with real cores to run them on; a
+#: single-core host (common for CI containers) pays fork + IPC overhead
+#: for zero parallelism, so the default degrades to the in-process loop.
+_DEFAULT_PROCESSES = str(min(4, os.cpu_count() or 1))
 PIVOT_SHARDS = int(os.environ.get("REPRO_BENCH_PIVOT_SHARDS", "64"))
-PIVOT_PROCESSES = int(os.environ.get("REPRO_BENCH_PIVOT_PROCESSES", "4"))
+PIVOT_PROCESSES = int(
+    os.environ.get("REPRO_BENCH_PIVOT_PROCESSES", _DEFAULT_PROCESSES))
+REFINE_CAP = int(os.environ.get("REPRO_BENCH_REFINE_CAP", "100000"))
+REFINE_SHARDS = int(os.environ.get("REPRO_BENCH_REFINE_SHARDS", "64"))
+REFINE_PROCESSES = int(
+    os.environ.get("REPRO_BENCH_REFINE_PROCESSES", _DEFAULT_PROCESSES))
+REFINE_CONFUSION = float(
+    os.environ.get("REPRO_BENCH_REFINE_CONFUSION", "0.25"))
 SEED = 1
 OUTPUT = REPO_ROOT / "BENCH_scale.json"
 
@@ -199,6 +238,118 @@ def _generation_stage(label, tier, dataset, candidates, runs, derived):
     return True
 
 
+def _measure_refine(dataset, candidates, *, shards: int = 0,
+                    processes: int = 0):
+    """One refinement run from a freshly generated clustering.
+
+    The generation phase (untimed, identical across variants: same seed,
+    pair-deterministic answers) produces the starting clustering and the
+    shared phase-2 answer set; only ``pc_refine`` is measured.  Returns
+    (clustering, refine_iterations, refine_pairs, timings); the timings
+    carry the engine's own per-stage breakdown plus an explicit
+    ``total`` equal to the refine wall-clock.
+    """
+    from repro.core.pc_pivot import pc_pivot
+    from repro.core.pc_refine import pc_refine
+    from repro.crowd.cache import AnswerFile
+    from repro.crowd.oracle import CrowdOracle
+    from repro.crowd.worker import WorkerPool
+    from repro.experiments.configs import difficulty_model
+
+    answers = AnswerFile(
+        dataset.gold,
+        WorkerPool(difficulty=difficulty_model("largescale"), num_workers=3),
+    )
+    oracle = CrowdOracle(answers)
+    clustering = pc_pivot(dataset.record_ids, candidates, oracle, seed=SEED,
+                          shards=PIVOT_SHARDS)
+    generation_iterations = oracle.stats.iterations
+    generation_pairs = oracle.stats.pairs_issued
+
+    timings = StageTimings()
+    with timings.stage("refine"):
+        clustering = pc_refine(
+            clustering, candidates, oracle,
+            num_records=len(dataset.records),
+            shards=shards, processes=processes, timings=timings,
+        )
+    # The engine's sub-stages (refine.free, refine.evaluate, ... or
+    # refine.partition, refine.workers, refine.replay) accumulated into
+    # the same StageTimings; pin the explicit total to the refine
+    # wall-clock so the breakdown does not double-count it.
+    timings.add("total", timings.seconds("refine"))
+    refine_pairs = int(oracle.stats.pairs_issued - generation_pairs)
+    timings.record_throughput("pairs_per_second", refine_pairs,
+                              stage="refine")
+    timings.record_peak_rss()
+    return (clustering, int(oracle.stats.iterations - generation_iterations),
+            refine_pairs, timings)
+
+
+def _refine_stage(label, tier, runs, derived):
+    """The refinement tier: classic vs sharded-parallel PC-Refine.
+
+    Regenerates the tier with the ``confusion`` knob (the clean dataset
+    leaves the refine phase nothing to do) and prunes it, then refines
+    the same generation clustering under both engines.  Returns False
+    only on an internal benchmark failure; a sharded-vs-classic
+    partition difference is recorded (``refine_classic_identical``),
+    not failed — cross-*config* identity is the guaranteed contract and
+    the test suites pin it, classic parity is empirical.
+    """
+    dataset = generate_largescale(scale=tier / BASE_RECORDS, seed=SEED,
+                                  confusion=REFINE_CONFUSION)
+    candidates, _ = _measure(
+        dataset.records, engine="prefix", kernel_backend="vectorized",
+        shards=SHARDS, parallel=PARALLEL,
+    )
+
+    classic, classic_iters, classic_pairs, classic_timings = _measure_refine(
+        dataset, candidates)
+    runs[f"{label}/refine-classic"] = run_entry(
+        classic_timings, records=tier, candidate_pairs=len(candidates),
+        pairs_issued=classic_pairs, iterations=classic_iters,
+        clusters=len(classic),
+    )
+    print(f"{label}/refine-classic: "
+          f"{classic_timings.seconds('refine'):.2f}s, "
+          f"{classic_pairs} pairs, {classic_iters} crowd iterations, "
+          f"{len(classic)} clusters")
+
+    sharded, sharded_iters, sharded_pairs, sharded_timings = _measure_refine(
+        dataset, candidates, shards=REFINE_SHARDS,
+        processes=REFINE_PROCESSES)
+    runs[f"{label}/refine-sharded"] = run_entry(
+        sharded_timings, records=tier, candidate_pairs=len(candidates),
+        pairs_issued=sharded_pairs, iterations=sharded_iters,
+        clusters=len(sharded),
+        shards=REFINE_SHARDS, processes=REFINE_PROCESSES,
+    )
+    identical = sharded.to_state() == classic.to_state()
+    speedup = (classic_timings.seconds("refine")
+               / max(sharded_timings.seconds("refine"), 1e-12))
+    derived[f"{label}/refine_speedup"] = round(speedup, 2)
+    # As with generation, the deployed cost of the phase is crowd
+    # latency: merged component rounds crowdsource every component's
+    # round-r batch simultaneously, so the sharded iteration count is
+    # the deepest component's round count.
+    iteration_speedup = classic_iters / max(sharded_iters, 1)
+    derived[f"{label}/refine_iteration_speedup"] = round(
+        iteration_speedup, 2)
+    derived[f"{label}/refine_classic_identical"] = identical
+    print(f"{label}/refine-sharded: "
+          f"{sharded_timings.seconds('refine'):.2f}s "
+          f"({speedup:.1f}x wall, {iteration_speedup:.1f}x crowd "
+          f"iterations [{sharded_iters} vs {classic_iters}], "
+          f"{'identical' if identical else 'DIVERGED'} clustering, "
+          f"{sharded_pairs} vs {classic_pairs} pairs)")
+    if not identical:
+        print(f"note: {label}: sharded refine partition differs from "
+              "classic (allowed — classic parity is empirical; "
+              "cross-config identity is covered by the test suites)")
+    return True
+
+
 def main() -> int:
     runs = {}
     derived = {}
@@ -274,6 +425,10 @@ def main() -> int:
                                      derived):
                 return 1
 
+        if tier <= REFINE_CAP:
+            if not _refine_stage(label, tier, runs, derived):
+                return 1
+
     payload = bench_payload(
         "scale",
         config={
@@ -283,6 +438,10 @@ def main() -> int:
             "generation_cap": GENERATION_CAP,
             "pivot_shards": PIVOT_SHARDS,
             "pivot_processes": PIVOT_PROCESSES,
+            "refine_cap": REFINE_CAP,
+            "refine_shards": REFINE_SHARDS,
+            "refine_processes": REFINE_PROCESSES,
+            "refine_confusion": REFINE_CONFUSION,
             "dataset": "largescale", "metric": "jaccard",
         },
         runs=runs,

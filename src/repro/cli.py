@@ -130,8 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "batch so a killed run can be resumed")
     run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                      help="phase-level checkpoints: atomically snapshot "
-                          "the candidate set after pruning and the "
-                          "cluster state after generation, so --resume "
+                          "the candidate set after pruning, the cluster "
+                          "state after generation, and the finished "
+                          "pipeline after refinement, so --resume "
                           "restarts from the last completed phase")
     run.add_argument("--resume", action="store_true",
                      help="continue a previous run from its --journal "
@@ -167,6 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the pivot shard tasks "
                           "(<= 1 runs them in-process; ignored without "
                           "--pivot-shards)")
+    run.add_argument("--refine-shards", type=int, default=0, metavar="N",
+                     help="shard refinement: split the clustering into "
+                          "connected components, pack them into N shard "
+                          "tasks, and replay per-shard PC-Refine rounds "
+                          "under one global budget (0 = classic "
+                          "single-clustering loop; output is "
+                          "byte-identical for every N; requires the "
+                          "'fast' engine)")
+    run.add_argument("--refine-processes", type=int, default=0, metavar="N",
+                     help="worker processes for the refine shard tasks "
+                          "(<= 1 runs them in-process; ignored without "
+                          "--refine-shards)")
     _add_setting(run)
     _add_common(run)
 
@@ -367,6 +380,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "pivot_engine": args.pivot_engine,
         "pivot_shards": args.pivot_shards,
         "pivot_processes": args.pivot_processes,
+        "refine_shards": args.refine_shards,
+        "refine_processes": args.refine_processes,
         "engine": args.engine,
         "parallel": args.parallel,
         "shards": args.shards,
@@ -444,6 +459,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
                             pivot_engine=args.pivot_engine,
                             pivot_shards=args.pivot_shards,
                             pivot_processes=args.pivot_processes,
+                            refine_shards=args.refine_shards,
+                            refine_processes=args.refine_processes,
                             checkpoints=checkpoints, resume=args.resume)
     finally:
         if journaled is not None:

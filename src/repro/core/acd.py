@@ -80,6 +80,8 @@ def run_acd(
     pivot_engine: str = "fast",
     pivot_shards: int = 0,
     pivot_processes: int = 0,
+    refine_shards: int = 0,
+    refine_processes: int = 0,
     checkpoints: Optional[CheckpointStore] = None,
     resume: bool = False,
 ) -> ACDResult:
@@ -135,17 +137,30 @@ def run_acd(
             source.
         pivot_processes: Worker processes for the shard tasks (``<= 1``
             runs them in-process; ignored without ``pivot_shards``).
+        refine_shards: When >= 1, phase 3 runs the sharded engine of
+            :mod:`repro.core.refine_shard` — connected components of the
+            candidate + cluster graph refined independently with a
+            frozen global budget and a cross-shard merged-round replay.
+            Requires ``parallel=True``, ``refine_engine="fast"``, no
+            ``max_refinement_pairs``, and a pair-deterministic answer
+            source.
+        refine_processes: Worker processes for the refine shard tasks
+            (``<= 1`` runs them in-process; ignored without
+            ``refine_shards``).
         checkpoints: Optional
             :class:`~repro.runtime.checkpoint.CheckpointStore`.  When
             attached, the complete cluster-generation state (clustering,
             cost counters, the answer set ``A`` in arrival order) is
             snapshotted atomically after phase 2 — the ``generation``
-            checkpoint.
-        resume: With ``checkpoints``, restore the ``generation``
-            checkpoint instead of re-running phase 2 when one exists (and
-            its recorded configuration matches the store's); the pipeline
-            continues straight into refinement and the final
-            :class:`ACDResult` is byte-identical to an uninterrupted run.
+            checkpoint — and the finished pipeline state after phase 3 —
+            the ``refinement`` checkpoint.
+        resume: With ``checkpoints``, restore the deepest finished
+            phase's checkpoint when one exists (and its recorded
+            configuration matches the store's): a ``refinement``
+            checkpoint skips both crowd phases, a ``generation``
+            checkpoint skips phase 2 and continues into refinement.  The
+            final :class:`ACDResult` is byte-identical to an
+            uninterrupted run either way.
 
     Returns:
         The :class:`ACDResult`.
@@ -164,6 +179,8 @@ def run_acd(
                 pivot_engine=pivot_engine,
                 pivot_shards=pivot_shards,
                 pivot_processes=pivot_processes,
+                refine_shards=refine_shards,
+                refine_processes=refine_processes,
                 checkpoints=checkpoints, resume=resume,
             )
         finally:
@@ -174,11 +191,37 @@ def run_acd(
             "pivot_shards requires parallel=True: sequential Crowd-Pivot "
             "has no sharded engine"
         )
+    # Fail fast on sharded-refinement config errors *before* the (possibly
+    # expensive) generation phase runs, with the same messages pc_refine
+    # itself raises.
+    if refine_shards and not parallel:
+        raise ValueError(
+            "refine_shards requires parallel=True: sequential Crowd-Refine "
+            "has no sharded engine"
+        )
+    if refine_shards and refine_engine != "fast":
+        raise ValueError(
+            "sharded refinement requires the 'fast' engine, "
+            f"got {refine_engine!r}"
+        )
+    if refine_shards and max_refinement_pairs is not None:
+        raise ValueError(
+            "sharded refinement does not support max_refinement_pairs "
+            "(a global sequential pair cap cannot decompose across "
+            "shards) — run with refine shards disabled"
+        )
 
     ids = list(record_ids)
+    restored_refinement = (checkpoints.load("refinement")
+                           if checkpoints is not None and resume and refine
+                           else None)
     restored = (checkpoints.load("generation")
-                if checkpoints is not None and resume else None)
-    if restored is not None:
+                if (checkpoints is not None and resume
+                    and restored_refinement is None) else None)
+    if restored_refinement is not None:
+        stats = CrowdStats.from_state(restored_refinement["stats"])
+        oracle = CrowdOracle(answers, stats=stats, obs=obs)
+    elif restored is not None:
         stats = CrowdStats.from_state(restored["stats"])
         oracle = CrowdOracle(answers, stats=stats, obs=obs)
     else:
@@ -189,53 +232,68 @@ def run_acd(
     with maybe_span(obs, "acd", records=len(ids),
                     candidate_pairs=len(candidates), parallel=parallel):
         pivot_diagnostics: Optional[PCPivotDiagnostics] = None
-        if restored is not None:
-            clustering, pivot_diagnostics = _restore_generation(
-                restored, answers, oracle, obs)
-        else:
-            with maybe_span(obs, "generation"):
-                if parallel:
-                    pivot_diagnostics = PCPivotDiagnostics()
-                    clustering = pc_pivot(
-                        ids, candidates, oracle, epsilon=epsilon,
-                        permutation=permutation, seed=seed,
-                        diagnostics=pivot_diagnostics,
-                        obs=obs, engine=pivot_engine,
-                        shards=pivot_shards, processes=pivot_processes,
-                    )
-                else:
-                    clustering = crowd_pivot(
-                        ids, candidates, oracle, permutation=permutation,
-                        seed=seed, obs=obs, engine=pivot_engine,
-                    )
-        generation_stats = stats.snapshot()
-        if checkpoints is not None and restored is None:
-            checkpoints.save(
-                "generation",
-                _generation_state(clustering, oracle, answers,
-                                  pivot_diagnostics),
-            )
-
         refine_diagnostics: Optional[PCRefineDiagnostics] = None
-        if refine:
-            with maybe_span(obs, "refinement"):
-                if parallel:
-                    refine_diagnostics = PCRefineDiagnostics()
-                    clustering = pc_refine(
-                        clustering, candidates, oracle,
-                        num_records=len(ids),
-                        threshold_divisor=threshold_divisor,
-                        num_buckets=num_buckets,
-                        diagnostics=refine_diagnostics,
-                        ranking=ranking,
-                        max_refinement_pairs=max_refinement_pairs,
-                        obs=obs, engine=refine_engine,
-                    )
-                else:
-                    clustering = crowd_refine(
-                        clustering, candidates, oracle,
-                        num_buckets=num_buckets, obs=obs,
-                        engine=refine_engine,
+        if restored_refinement is not None:
+            (clustering, generation_stats, pivot_diagnostics,
+             refine_diagnostics) = _restore_refinement(
+                restored_refinement, answers, oracle, obs)
+        else:
+            if restored is not None:
+                clustering, pivot_diagnostics = _restore_generation(
+                    restored, answers, oracle, obs)
+            else:
+                with maybe_span(obs, "generation"):
+                    if parallel:
+                        pivot_diagnostics = PCPivotDiagnostics()
+                        clustering = pc_pivot(
+                            ids, candidates, oracle, epsilon=epsilon,
+                            permutation=permutation, seed=seed,
+                            diagnostics=pivot_diagnostics,
+                            obs=obs, engine=pivot_engine,
+                            shards=pivot_shards, processes=pivot_processes,
+                        )
+                    else:
+                        clustering = crowd_pivot(
+                            ids, candidates, oracle, permutation=permutation,
+                            seed=seed, obs=obs, engine=pivot_engine,
+                        )
+            generation_stats = stats.snapshot()
+            if checkpoints is not None and restored is None:
+                checkpoints.save(
+                    "generation",
+                    _generation_state(clustering, oracle, answers,
+                                      pivot_diagnostics),
+                )
+
+            if refine:
+                with maybe_span(obs, "refinement"):
+                    if parallel:
+                        refine_diagnostics = PCRefineDiagnostics()
+                        clustering = pc_refine(
+                            clustering, candidates, oracle,
+                            num_records=len(ids),
+                            threshold_divisor=threshold_divisor,
+                            num_buckets=num_buckets,
+                            diagnostics=refine_diagnostics,
+                            ranking=ranking,
+                            max_refinement_pairs=max_refinement_pairs,
+                            obs=obs, engine=refine_engine,
+                            shards=refine_shards,
+                            processes=refine_processes,
+                        )
+                    else:
+                        clustering = crowd_refine(
+                            clustering, candidates, oracle,
+                            num_buckets=num_buckets, obs=obs,
+                            engine=refine_engine,
+                        )
+                if checkpoints is not None:
+                    checkpoints.save(
+                        "refinement",
+                        _refinement_state(clustering, oracle, answers,
+                                          generation_stats,
+                                          pivot_diagnostics,
+                                          refine_diagnostics),
                     )
 
     total = stats.snapshot()
@@ -266,6 +324,8 @@ def run_acd(
                 "pivot_engine": pivot_engine,
                 "pivot_shards": pivot_shards,
                 "pivot_processes": pivot_processes,
+                "refine_shards": refine_shards,
+                "refine_processes": refine_processes,
             },
             seeds={"pivot_seed": seed},
         )
@@ -343,6 +403,132 @@ def _restore_generation(restored, answers, oracle: CrowdOracle, obs):
             iterations=oracle.stats.iterations,
         )
     return clustering, diagnostics
+
+
+def _refinement_state(clustering: Clustering, oracle: CrowdOracle, answers,
+                      generation_stats: Dict[str, float],
+                      pivot_diagnostics: Optional[PCPivotDiagnostics],
+                      refine_diagnostics: Optional[PCRefineDiagnostics]):
+    """The finished pipeline state as a ``refinement`` checkpoint payload.
+
+    Everything :class:`ACDResult` is assembled from: the final
+    clustering, the *total* cost counters plus the frozen
+    generation-phase snapshot (their difference is the refinement
+    stats), the full answer set in arrival order, the journal replay
+    cursor, and both phases' diagnostics.
+    """
+    journal = getattr(answers, "journal", None)
+    return {
+        "clustering": clustering.to_state(),
+        "stats": oracle.stats.to_state(),
+        "generation_stats": dict(generation_stats),
+        "answers": [[a, b, confidence]
+                    for (a, b), confidence in oracle.known_in_order()],
+        "journal_batches": (journal.num_batches
+                            if journal is not None else None),
+        "pivot_diagnostics": (
+            {"ks": list(pivot_diagnostics.ks),
+             "predicted_waste": list(pivot_diagnostics.predicted_waste),
+             "issued_per_round": list(pivot_diagnostics.issued_per_round)}
+            if pivot_diagnostics is not None else None
+        ),
+        "refine_diagnostics": (
+            {"batch_sizes": list(refine_diagnostics.batch_sizes),
+             "operations_packed": list(refine_diagnostics.operations_packed),
+             "operations_applied":
+                 list(refine_diagnostics.operations_applied),
+             "free_operations_applied":
+                 refine_diagnostics.free_operations_applied,
+             "operation_evaluations":
+                 refine_diagnostics.operation_evaluations,
+             "evaluation_cache": (
+                 dict(refine_diagnostics.evaluation_cache)
+                 if refine_diagnostics.evaluation_cache is not None
+                 else None)}
+            if refine_diagnostics is not None else None
+        ),
+    }
+
+
+def _cache_key_order(cache: Dict) -> Dict:
+    """Rebuild an evaluation-cache snapshot in its canonical key order.
+
+    Checkpoint JSON is written with sorted keys; restoring in
+    :meth:`~repro.core.evaluation_cache.EvaluationStats.as_dict` order
+    keeps the restored diagnostics byte-identical (repr included) to an
+    uninterrupted run's.
+    """
+    canonical = ("lookups", "hits", "refreshes", "evaluations", "hit_rate")
+    ordered = {key: cache[key] for key in canonical if key in cache}
+    ordered.update((key, value) for key, value in cache.items()
+                   if key not in ordered)
+    return ordered
+
+
+def _restore_refinement(restored, answers, oracle: CrowdOracle, obs):
+    """Rebuild the finished pipeline from a ``refinement`` checkpoint.
+
+    Returns ``(clustering, generation_stats, pivot_diagnostics,
+    refine_diagnostics)``; as in :func:`_restore_generation`, the oracle
+    is seeded with the recorded answer set and a journaling source's
+    replay cursor is fast-forwarded past the checkpointed batches.
+    """
+    try:
+        clustering = Clustering.from_state(restored["clustering"])
+        # JSON round-trips int vs float exactly; coercing here would turn
+        # integer counters into floats and break byte-identity.
+        generation_stats = {str(key): value for key, value
+                            in restored["generation_stats"].items()}
+        ordered = {(int(a), int(b)): float(confidence)
+                   for a, b, confidence in restored["answers"]}
+        raw_pivot = restored.get("pivot_diagnostics")
+        pivot_diagnostics = (
+            PCPivotDiagnostics(
+                ks=[int(k) for k in raw_pivot["ks"]],
+                predicted_waste=[int(w)
+                                 for w in raw_pivot["predicted_waste"]],
+                issued_per_round=[int(p)
+                                  for p in raw_pivot["issued_per_round"]],
+            )
+            if raw_pivot is not None else None
+        )
+        raw_refine = restored.get("refine_diagnostics")
+        refine_diagnostics = (
+            PCRefineDiagnostics(
+                batch_sizes=[int(b) for b in raw_refine["batch_sizes"]],
+                operations_packed=[int(p)
+                                   for p in raw_refine["operations_packed"]],
+                operations_applied=[
+                    int(a) for a in raw_refine["operations_applied"]],
+                free_operations_applied=int(
+                    raw_refine["free_operations_applied"]),
+                operation_evaluations=int(
+                    raw_refine["operation_evaluations"]),
+                evaluation_cache=(
+                    _cache_key_order(raw_refine["evaluation_cache"])
+                    if raw_refine["evaluation_cache"] is not None else None),
+            )
+            if raw_refine is not None else None
+        )
+        journal_batches = restored.get("journal_batches")
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise ValueError(
+            f"malformed refinement checkpoint payload ({error})"
+        ) from None
+    oracle.seed_known(ordered)
+    if journal_batches is not None:
+        skip = getattr(answers, "skip_replayed_batches", None)
+        if skip is not None:
+            skip(int(journal_batches))
+    if obs is not None:
+        obs.event(
+            "runtime.checkpoint_restore",
+            phase="refinement",
+            clusters=len(clustering),
+            answers=len(ordered),
+            iterations=oracle.stats.iterations,
+        )
+    return clustering, generation_stats, pivot_diagnostics, refine_diagnostics
 
 
 def _finalize_obs(obs: ObsContext, result: ACDResult,

@@ -215,6 +215,33 @@ class Clustering:
         return cluster_a
 
     # ------------------------------------------------------------------
+    # Canonicalization
+    # ------------------------------------------------------------------
+
+    def canonicalize(self) -> "Clustering":
+        """Renumber cluster ids into the canonical compact form, in place.
+
+        Clusters are re-keyed ``0..n-1`` in ascending order of their
+        smallest member (the :meth:`as_sets` order) and the id counter
+        resets to ``n``.  The partition itself is untouched, so two
+        clusterings with equal :meth:`as_sets` become byte-identical in
+        :meth:`to_state` after canonicalization — regardless of the
+        operation history that produced them.  Terminal phases (e.g.
+        :func:`~repro.core.pc_refine.pc_refine`) canonicalize their
+        output so differently-ordered but equal refinements compare
+        equal id-for-id.  Returns ``self``.
+        """
+        ordered = sorted(self._members.values(), key=min)
+        self._members = {cid: members for cid, members in enumerate(ordered)}
+        self._cluster_of = {
+            record_id: cid
+            for cid, members in self._members.items()
+            for record_id in members
+        }
+        self._next_id = len(ordered)
+        return self
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
 

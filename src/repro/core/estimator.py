@@ -12,11 +12,15 @@ is rebuilt whenever new pairs are crowdsourced.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Tuple
+from operator import itemgetter
+from typing import Dict, List, Optional, Tuple
 
 DEFAULT_NUM_BUCKETS = 20
 
 Pair = Tuple[int, int]
+
+#: Projects an ``(f, f_c)`` observation to its crowd score at C speed.
+_crowd_score = itemgetter(1)
 
 
 class HistogramEstimator:
@@ -32,6 +36,19 @@ class HistogramEstimator:
         self._merged_counts: List[int] = []
         self._dirty = True
         self._epoch = 0
+        # Sorted-snapshot bookkeeping: ``_sorted_obs`` is the observation
+        # list as of the last rebuild (reassigned, never mutated — safe
+        # to share across copies) and ``_fresh`` holds samples added
+        # since, keyed by pair so an overwrite of a *snapshotted* pair
+        # can be detected and the snapshot discarded.  A rebuild then
+        # merges the snapshot with the (few) fresh samples instead of
+        # re-sorting the full set — the sharded refine engine leans on
+        # this, rebuilding per crowdsourcing component.
+        self._sorted_obs: Optional[List[Tuple[float, float]]] = None
+        self._fresh: Dict[Pair, Tuple[float, float]] = {}
+        # Copy-on-write: when True, ``_samples`` is shared with another
+        # estimator and must be detached before the first mutation.
+        self._shared_samples = False
 
     @property
     def epoch(self) -> int:
@@ -47,6 +64,12 @@ class HistogramEstimator:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def _detach(self) -> None:
+        """Materialize a private ``_samples`` dict before mutating."""
+        if self._shared_samples:
+            self._samples = dict(self._samples)
+            self._shared_samples = False
+
     def add_sample(self, pair: Pair, machine_score: float,
                    crowd_score: float) -> None:
         """Record one crowdsourced pair; marks the histogram for rebuild.
@@ -54,18 +77,73 @@ class HistogramEstimator:
         Re-adding the same pair overwrites its previous sample (idempotent
         with respect to replayed answers).
         """
-        self._samples[pair] = (machine_score, crowd_score)
+        self._detach()
+        sample = (machine_score, crowd_score)
+        if self._sorted_obs is not None:
+            if pair in self._fresh:
+                self._fresh[pair] = sample
+            elif pair in self._samples:
+                # Overwrites a snapshotted sample — the snapshot no
+                # longer reflects the live set, so fall back to a full
+                # re-sort on the next rebuild.
+                self._sorted_obs = None
+                self._fresh.clear()
+            else:
+                self._fresh[pair] = sample
+        self._samples[pair] = sample
         self._dirty = True
         self._epoch += 1
 
     def add_samples(self, samples: Dict[Pair, Tuple[float, float]]) -> None:
         """Bulk :meth:`add_sample`."""
+        self._detach()
+        self._sorted_obs = None
+        self._fresh.clear()
         self._samples.update(samples)
         self._dirty = True
         self._epoch += 1
 
+    def copy(self) -> "HistogramEstimator":
+        """An independent clone observationally detached from its source.
+
+        Cheap by construction: the sample dict is *shared* copy-on-write
+        (either side detaches with a shallow dict copy before its first
+        mutation), the sorted snapshot is shared outright (rebuilds
+        reassign it, never mutate it), and the bucket arrays likewise.
+        Cloning a clean estimator therefore costs a handful of pointer
+        copies, and only clones that go on to ingest samples ever pay
+        for a private dict — the sharded refine engine clones the global
+        histogram once per component, of which few crowdsource.
+        """
+        clone = HistogramEstimator(self.num_buckets)
+        clone._samples = self._samples
+        clone._shared_samples = self._shared_samples = True
+        clone._upper_bounds = self._upper_bounds
+        clone._bucket_means = self._bucket_means
+        clone._merged_counts = self._merged_counts
+        clone._sorted_obs = self._sorted_obs
+        clone._fresh = dict(self._fresh)
+        clone._dirty = self._dirty
+        clone._epoch = self._epoch
+        return clone
+
     def _rebuild(self) -> None:
-        observations = sorted(self._samples.values())
+        if self._sorted_obs is not None:
+            # Splice the few samples added since the snapshot into a copy
+            # of the (already sorted) snapshot — same multiset as sorting
+            # ``_samples.values()`` from scratch (overwrites of
+            # snapshotted pairs discard the snapshot in
+            # :meth:`add_sample`), and equal tuples are interchangeable,
+            # so the buckets come out identical.  ``list`` + ``insort``
+            # run at C speed, so this costs O(S + k·log S) with a tiny
+            # constant versus the O(S·log S) full sort.
+            observations = list(self._sorted_obs)
+            for sample in self._fresh.values():
+                bisect.insort(observations, sample)
+        else:
+            observations = sorted(self._samples.values())
+        self._sorted_obs = observations
+        self._fresh = {}
         self._upper_bounds = []
         self._bucket_means = []
         self._merged_counts = []
@@ -89,15 +167,17 @@ class HistogramEstimator:
                 # queries at exactly that score — fold the chunk into the
                 # previous bucket (weighted mean) instead.
                 merged = self._merged_counts[-1] + len(chunk)
+                # sum(map(...)) adds the same floats in the same order as
+                # the obvious genexpr — bit-identical means, C-speed walk.
                 self._bucket_means[-1] = (
                     self._bucket_means[-1] * self._merged_counts[-1]
-                    + sum(fc for _, fc in chunk)
+                    + sum(map(_crowd_score, chunk))
                 ) / merged
                 self._merged_counts[-1] = merged
             else:
                 self._upper_bounds.append(upper)
                 self._bucket_means.append(
-                    sum(fc for _, fc in chunk) / len(chunk)
+                    sum(map(_crowd_score, chunk)) / len(chunk)
                 )
                 self._merged_counts.append(len(chunk))
             start = end

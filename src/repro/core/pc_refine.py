@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -38,6 +39,11 @@ from repro.pruning.candidate import CandidateSet
 DEFAULT_THRESHOLD_DIVISOR = 8.0
 
 Pair = Tuple[int, int]
+
+
+def _stage(timings, name: str):
+    """Accumulating stage timer; no-op without a ``StageTimings`` sink."""
+    return timings.stage(name) if timings is not None else nullcontext()
 
 
 @dataclass
@@ -98,6 +104,7 @@ def _pack_independent_operations(
     budget: float,
     ranking: str = "ratio",
     hard_budget: bool = False,
+    timings=None,
 ) -> List[Operation]:
     """Greedy O^i construction (Algorithm 5 lines 9-14): scan operations by
     descending benefit-cost ratio; keep those with positive ratio that are
@@ -116,30 +123,32 @@ def _pack_independent_operations(
     if ranking not in ("ratio", "benefit"):
         raise ValueError(f"ranking must be 'ratio' or 'benefit', got {ranking!r}")
     scored: List[Tuple[float, int, Operation]] = []
-    for operation in enumerate_operations(clustering, candidates):
-        cost = evaluator.cost(operation)
-        if cost <= 0:
-            continue  # known benefit; handled by the free path
-        benefit = evaluator.estimated_benefit(operation)
-        key = benefit / cost if ranking == "ratio" else benefit
-        if key > 0.0:
-            scored.append((key, cost, operation))
-    # Deterministic order: ratio desc, then a stable textual tiebreak.
-    scored.sort(key=lambda item: (-item[0], repr(item[2])))
+    with _stage(timings, "refine.evaluate"):
+        for operation in enumerate_operations(clustering, candidates):
+            cost = evaluator.cost(operation)
+            if cost <= 0:
+                continue  # known benefit; handled by the free path
+            benefit = evaluator.estimated_benefit(operation)
+            key = benefit / cost if ranking == "ratio" else benefit
+            if key > 0.0:
+                scored.append((key, cost, operation))
+    with _stage(timings, "refine.pack"):
+        # Deterministic order: ratio desc, then a stable textual tiebreak.
+        scored.sort(key=lambda item: (-item[0], repr(item[2])))
 
-    packed: List[Operation] = []
-    touched: Set[int] = set()
-    total_cost = 0
-    for ratio, cost, operation in scored:
-        if total_cost >= budget:
-            break
-        if hard_budget and total_cost + cost > budget:
-            continue
-        if set(operation.touched_clusters) & touched:
-            continue
-        packed.append(operation)
-        touched.update(operation.touched_clusters)
-        total_cost += cost
+        packed: List[Operation] = []
+        touched: Set[int] = set()
+        total_cost = 0
+        for ratio, cost, operation in scored:
+            if total_cost >= budget:
+                break
+            if hard_budget and total_cost + cost > budget:
+                continue
+            if set(operation.touched_clusters) & touched:
+                continue
+            packed.append(operation)
+            touched.update(operation.touched_clusters)
+            total_cost += cost
     return packed
 
 
@@ -149,6 +158,7 @@ def _pack_independent_operations_fast(
     budget: float,
     ranking: str = "ratio",
     hard_budget: bool = False,
+    timings=None,
 ) -> List[Operation]:
     """Fast-engine packer: identical packing decisions to
     :func:`_pack_independent_operations`, lazily ordered.
@@ -163,35 +173,37 @@ def _pack_independent_operations_fast(
         raise ValueError(f"ranking must be 'ratio' or 'benefit', got {ranking!r}")
     by_ratio = ranking == "ratio"
     scored: List[Tuple[float, str, int, Operation]] = []
-    for operation in cache.operations():
-        if by_ratio:
-            ratio, cost = evaluations.ratio_and_cost(operation)
-            if cost <= 0:
-                continue  # known benefit; handled by the free path
-            key = ratio
-        else:
-            cost = evaluations.cost(operation)
-            if cost <= 0:
-                continue
-            key = evaluations.estimated_benefit(operation)
-        if key > 0.0:
-            scored.append((-key, repr(operation), cost, operation))
-    heapq.heapify(scored)
+    with _stage(timings, "refine.evaluate"):
+        for operation in cache.operations():
+            if by_ratio:
+                ratio, cost = evaluations.ratio_and_cost(operation)
+                if cost <= 0:
+                    continue  # known benefit; handled by the free path
+                key = ratio
+            else:
+                cost = evaluations.cost(operation)
+                if cost <= 0:
+                    continue
+                key = evaluations.estimated_benefit(operation)
+            if key > 0.0:
+                scored.append((-key, repr(operation), cost, operation))
+    with _stage(timings, "refine.pack"):
+        heapq.heapify(scored)
 
-    packed: List[Operation] = []
-    touched: Set[int] = set()
-    total_cost = 0
-    while scored:
-        if total_cost >= budget:
-            break
-        _, _, cost, operation = heapq.heappop(scored)
-        if hard_budget and total_cost + cost > budget:
-            continue
-        if set(operation.touched_clusters) & touched:
-            continue
-        packed.append(operation)
-        touched.update(operation.touched_clusters)
-        total_cost += cost
+        packed: List[Operation] = []
+        touched: Set[int] = set()
+        total_cost = 0
+        while scored:
+            if total_cost >= budget:
+                break
+            _, _, cost, operation = heapq.heappop(scored)
+            if hard_budget and total_cost + cost > budget:
+                continue
+            if set(operation.touched_clusters) & touched:
+                continue
+            packed.append(operation)
+            touched.update(operation.touched_clusters)
+            total_cost += cost
     return packed
 
 
@@ -206,6 +218,7 @@ def _pc_refine_reference(
     ranking: str,
     max_refinement_pairs: Optional[int],
     obs,
+    timings=None,
 ) -> Clustering:
     """Reference engine: fresh evaluator walks, full re-enumeration and
     re-sort per round, per-round unknown-pair sweep.  The literal reading
@@ -218,12 +231,13 @@ def _pc_refine_reference(
     def finish() -> Clustering:
         if diagnostics is not None:
             diagnostics.operation_evaluations = evaluator.evaluations
-        return clustering
+        return clustering.canonicalize()
 
     round_index = 0
     while True:
-        freed = apply_free_operations(clustering, candidates, oracle,
-                                      estimator, evaluator=evaluator)
+        with _stage(timings, "refine.free"):
+            freed = apply_free_operations(clustering, candidates, oracle,
+                                          estimator, evaluator=evaluator)
         if diagnostics is not None:
             diagnostics.free_operations_applied += freed
         if obs is not None and freed:
@@ -247,28 +261,30 @@ def _pc_refine_reference(
             budget = min(budget, float(max_refinement_pairs - spent))
         packed = _pack_independent_operations(
             clustering, candidates, evaluator, budget, ranking=ranking,
-            hard_budget=max_refinement_pairs is not None,
+            hard_budget=max_refinement_pairs is not None, timings=timings,
         )
         if not packed:
             return finish()
 
         # One crowd batch resolves every packed operation's unknown pairs.
-        needed: Set[Pair] = set()
-        for operation in packed:
-            needed.update(evaluator.unknown_pairs(operation))
-        answers = oracle.ask_batch(sorted(needed))
-        for pair, crowd_score in answers.items():
-            if pair in candidates:
-                estimator.add_sample(
-                    pair, candidates.machine_scores[pair], crowd_score
-                )
+        with _stage(timings, "refine.crowd"):
+            needed: Set[Pair] = set()
+            for operation in packed:
+                needed.update(evaluator.unknown_pairs(operation))
+            answers = oracle.ask_batch(sorted(needed))
+            for pair, crowd_score in answers.items():
+                if pair in candidates:
+                    estimator.add_sample(
+                        pair, candidates.machine_scores[pair], crowd_score
+                    )
 
-        applied = 0
-        for operation in packed:
-            benefit = evaluator.exact_benefit(operation)
-            if benefit is not None and benefit > BENEFIT_TOLERANCE:
-                apply_operation(clustering, operation)
-                applied += 1
+        with _stage(timings, "refine.apply"):
+            applied = 0
+            for operation in packed:
+                benefit = evaluator.exact_benefit(operation)
+                if benefit is not None and benefit > BENEFIT_TOLERANCE:
+                    apply_operation(clustering, operation)
+                    applied += 1
         if diagnostics is not None:
             diagnostics.batch_sizes.append(len(needed))
             diagnostics.operations_packed.append(len(packed))
@@ -305,6 +321,7 @@ def _pc_refine_fast(
     ranking: str,
     max_refinement_pairs: Optional[int],
     obs,
+    timings=None,
 ) -> Clustering:
     """Fast engine: one :class:`OperationCache` + :class:`EvaluationCache`
     shared across rounds (free path included), an incrementally maintained
@@ -330,13 +347,14 @@ def _pc_refine_fast(
             diagnostics.operation_evaluations = (stats.evaluations
                                                  + stats.refreshes)
             diagnostics.evaluation_cache = stats.as_dict()
-        return clustering
+        return clustering.canonicalize()
 
     round_index = 0
     while True:
-        freed = apply_free_operations(clustering, candidates, oracle,
-                                      estimator, cache=cache,
-                                      evaluations=evaluations)
+        with _stage(timings, "refine.free"):
+            freed = apply_free_operations(clustering, candidates, oracle,
+                                          estimator, cache=cache,
+                                          evaluations=evaluations)
         if diagnostics is not None:
             diagnostics.free_operations_applied += freed
         if obs is not None and freed:
@@ -357,32 +375,34 @@ def _pc_refine_fast(
             budget = min(budget, float(max_refinement_pairs - spent))
         packed = _pack_independent_operations_fast(
             cache, evaluations, budget, ranking=ranking,
-            hard_budget=max_refinement_pairs is not None,
+            hard_budget=max_refinement_pairs is not None, timings=timings,
         )
         if not packed:
             return finish()
 
         # One crowd batch resolves every packed operation's unknown pairs.
-        needed: Set[Pair] = set()
-        for operation in packed:
-            needed.update(evaluations.unknown_pairs(operation))
-        answers = oracle.ask_batch(sorted(needed))
-        for pair in oracle.answers_since(answer_cursor):
-            if pair in candidates:
-                num_unknown -= 1
-        answer_cursor = oracle.answer_epoch
-        for pair, crowd_score in answers.items():
-            if pair in candidates:
-                estimator.add_sample(
-                    pair, candidates.machine_scores[pair], crowd_score
-                )
+        with _stage(timings, "refine.crowd"):
+            needed: Set[Pair] = set()
+            for operation in packed:
+                needed.update(evaluations.unknown_pairs(operation))
+            answers = oracle.ask_batch(sorted(needed))
+            for pair in oracle.answers_since(answer_cursor):
+                if pair in candidates:
+                    num_unknown -= 1
+            answer_cursor = oracle.answer_epoch
+            for pair, crowd_score in answers.items():
+                if pair in candidates:
+                    estimator.add_sample(
+                        pair, candidates.machine_scores[pair], crowd_score
+                    )
 
-        applied = 0
-        for operation in packed:
-            benefit = evaluations.exact_benefit(operation)
-            if benefit is not None and benefit > BENEFIT_TOLERANCE:
-                cache.apply(operation)
-                applied += 1
+        with _stage(timings, "refine.apply"):
+            applied = 0
+            for operation in packed:
+                benefit = evaluations.exact_benefit(operation)
+                if benefit is not None and benefit > BENEFIT_TOLERANCE:
+                    cache.apply(operation)
+                    applied += 1
         if diagnostics is not None:
             diagnostics.batch_sizes.append(len(needed))
             diagnostics.operations_packed.append(len(packed))
@@ -420,8 +440,19 @@ def pc_refine(
     max_refinement_pairs: Optional[int] = None,
     obs=None,
     engine: str = "fast",
+    shards: int = 0,
+    processes: int = 0,
+    supervisor_policy=None,
+    fault_plan=None,
+    timings=None,
 ) -> Clustering:
     """Run PC-Refine; refines ``clustering`` in place and returns it.
+
+    The returned clustering is *canonicalized*: cluster ids are
+    renumbered ``0..n-1`` ascending by smallest member (see
+    :meth:`~repro.core.clustering.Clustering.canonicalize`), so any two
+    engine configurations that produce the same partition also produce
+    byte-identical ids.
 
     Args:
         clustering: Phase-2 output ``C`` (mutated).
@@ -446,10 +477,43 @@ def pc_refine(
         engine: One of :data:`~repro.core.refine.REFINE_ENGINES` — "fast"
             (incremental, default) or "reference" (full re-evaluation);
             outputs are byte-identical.
+        shards: When >= 1, run the sharded engine of
+            :mod:`repro.core.refine_shard`: the clustering partitions
+            along connected components of the candidate graph (plus
+            within-cluster edges), components pack into this many shard
+            tasks, and a cross-shard coordinator replays per-component
+            rounds through the caller's oracle under one frozen global
+            budget ``T`` and one frozen global histogram.  The final
+            clustering (ids included), stats, diagnostics, and events
+            are byte-identical for every shard count, process count, and
+            fault plan; round accounting follows the merged
+            component-round schedule (round ``r`` batches every
+            component's local round ``r`` at once).  Requires
+            ``engine="fast"``, a pair-deterministic answer source, and
+            no ``max_refinement_pairs`` cap.  ``0`` (default) keeps the
+            classic single-clustering loop.
+        processes: Worker processes for the shard tasks (``<= 1`` runs
+            them in-process; ignored without ``shards``).
+        supervisor_policy: Fault-handling knobs forwarded to the
+            supervised worker pool (sharded mode only).
+        fault_plan: Deterministic process-fault injection for chaos
+            testing (sharded mode only).
+        timings: Optional :class:`~repro.perf.timing.StageTimings`;
+            accumulates per-stage wall time under ``refine.evaluate``
+            (benefit/cost scoring), ``refine.pack`` (greedy packing),
+            ``refine.crowd`` (batch + histogram), ``refine.apply``
+            (confirmed application), and ``refine.free`` (zero-cost
+            path) — the breakdown ``bench_refine`` reports.
     """
     if engine not in REFINE_ENGINES:
         raise ValueError(
             f"engine must be one of {REFINE_ENGINES}, got {engine!r}"
+        )
+    if shards < 0:
+        raise ValueError(f"shards must be >= 0, got {shards}")
+    if processes > 1 and shards == 0:
+        raise ValueError(
+            "refine processes require refine shards (pass shards >= 1)"
         )
     if num_records is None:
         num_records = clustering.num_records
@@ -457,7 +521,26 @@ def pc_refine(
         raise ValueError(
             f"max_refinement_pairs must be >= 0, got {max_refinement_pairs}"
         )
+    if shards:
+        if engine != "fast":
+            raise ValueError(
+                f"sharded refinement requires the 'fast' engine, "
+                f"got {engine!r}"
+            )
+        if max_refinement_pairs is not None:
+            raise ValueError(
+                "sharded refinement does not support max_refinement_pairs "
+                "(a global sequential pair cap cannot decompose across "
+                "shards) — run with refine shards disabled"
+            )
+        from repro.core.refine_shard import pc_refine_sharded
+        return pc_refine_sharded(
+            clustering, candidates, oracle, num_records, threshold_divisor,
+            num_buckets, diagnostics, ranking, obs, shards=shards,
+            processes=processes, supervisor_policy=supervisor_policy,
+            fault_plan=fault_plan, timings=timings,
+        )
     refine = _pc_refine_fast if engine == "fast" else _pc_refine_reference
     return refine(clustering, candidates, oracle, num_records,
                   threshold_divisor, num_buckets, diagnostics, ranking,
-                  max_refinement_pairs, obs)
+                  max_refinement_pairs, obs, timings=timings)

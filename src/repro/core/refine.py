@@ -318,6 +318,7 @@ def apply_free_operations(
     evaluator: Optional[OperationEvaluator] = None,
     evaluations: Optional[EvaluationCache] = None,
     invalidated: Optional[Set[int]] = None,
+    on_apply=None,
 ) -> int:
     """Step 1 of Section 5.4 / lines 5-7 of Algorithm 4: repeatedly apply the
     known-benefit operation with the largest positive benefit until none is
@@ -349,6 +350,10 @@ def apply_free_operations(
             each applied operation touched, changed, or created — exactly
             the set a caller-side ranking structure must re-examine
             (including destroyed cluster ids).
+        on_apply: Optional callback invoked with each operation *about to
+            be applied* (the clustering still in its pre-application
+            state) — lets the sharded engine journal applied operations
+            as id-independent record references for cross-shard replay.
     """
     if evaluations is not None:
         exact_benefit = evaluations.exact_benefit
@@ -386,6 +391,8 @@ def apply_free_operations(
         # Stale if any touched cluster changed or vanished.
         if not tracker.is_current(snap):
             continue
+        if on_apply is not None:
+            on_apply(operation)
         changed = tracker.apply(clustering, operation)
         applied += 1
         if invalidated is not None:

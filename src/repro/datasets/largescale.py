@@ -25,6 +25,17 @@ Unique-heavy token profile
     the unique tokens (document frequency = cluster size) fill the join
     prefixes, while the high-frequency shared tokens fall outside them —
     posting lists stay cluster-sized and candidate generation stays linear.
+
+Confusion knob (refinement difficulty)
+    By default the unique tokens separate entities so cleanly that the
+    generation phase already lands on the gold clustering and the refine
+    phase has nothing to do — useless for benchmarking refinement.  The
+    ``confusion`` knob makes a fraction of entities *borrow* most of
+    their unique tokens from the previous entity in the same block
+    (over-merge pressure: their mentions look like the neighbor's) and
+    doubles those mentions' token-drop noise (under-merge pressure:
+    the confused entity's own mentions drift apart).  ``confusion=0.0``
+    is byte-identical to the pre-knob generator.
 """
 
 from __future__ import annotations
@@ -59,6 +70,16 @@ SHARED_VOCABULARY = 512
 #: Records at ``scale=1.0``; the benchmark tiers are scale 1 / 10 / 100.
 BASE_RECORDS = 10_000
 
+#: Unique tokens a confused entity borrows from its predecessor (of its
+#: :data:`UNIQUE_TOKENS_PER_ENTITY`) — enough token overlap to pull the
+#: two entities into one candidate component.
+CONFUSED_BORROWED_TOKENS = 3
+
+#: Token-drop rate for a confused entity's mentions (doubled from the
+#: baseline 0.06): its own mentions drift apart, creating under-merge
+#: work for the refine phase alongside the over-merge pressure.
+CONFUSED_DROP_RATE = 0.12
+
 _LETTERS = string.ascii_lowercase
 
 
@@ -89,19 +110,29 @@ def _shared_vocabulary(rng: random.Random) -> List[str]:
     return pool
 
 
-def generate_largescale(scale: float = 1.0, seed: int = 0) -> Dataset:
+def generate_largescale(scale: float = 1.0, seed: int = 0,
+                        confusion: float = 0.0) -> Dataset:
     """Generate the Largescale dataset.
 
     Args:
         scale: Multiplies :data:`BASE_RECORDS` (1.0 = 10k records, 10.0 =
             100k, 100.0 = 1M).
         seed: Generator seed.
+        confusion: Probability that an entity is *confused* with its
+            predecessor — borrowing :data:`CONFUSED_BORROWED_TOKENS` of
+            its unique tokens (over-merge pressure) and doubling its
+            mentions' token-drop noise to :data:`CONFUSED_DROP_RATE`
+            (under-merge pressure) — so the refine phase has real work.
+            ``0.0`` (the default) is byte-identical to the knob-free
+            generator.
 
     Returns:
         A :class:`~repro.datasets.schema.Dataset` named ``"largescale"``.
     """
     if scale <= 0:
         raise ValueError(f"scale must be > 0, got {scale}")
+    if not 0.0 <= confusion <= 1.0:
+        raise ValueError(f"confusion must be in [0, 1], got {confusion}")
     rng = random.Random(seed)
     num_records = max(2, round(BASE_RECORDS * scale))
     shared_pool = _shared_vocabulary(rng)
@@ -117,22 +148,32 @@ def generate_largescale(scale: float = 1.0, seed: int = 0) -> Dataset:
         remaining -= block_records
         block_entities = max(1, min(block_records,
                                     round(block_records * ENTITY_FRACTION)))
+        prev_unique: List[str] = []
         for size in zipf_cluster_sizes(block_records, block_entities, rng):
             unique = [_unique_token(unique_counter + slot)
                       for slot in range(UNIQUE_TOKENS_PER_ENTITY)]
             unique_counter += UNIQUE_TOKENS_PER_ENTITY
+            # Short-circuit keeps the RNG stream untouched at 0.0, so the
+            # knob-free output is byte-identical across versions.
+            confused = (confusion > 0.0 and bool(prev_unique)
+                        and rng.random() < confusion)
+            if confused:
+                unique[:CONFUSED_BORROWED_TOKENS] = (
+                    prev_unique[:CONFUSED_BORROWED_TOKENS])
             shared = rng.sample(shared_pool, SHARED_TOKENS_PER_ENTITY)
             canonical = " ".join(unique + shared)
+            drop_rate = CONFUSED_DROP_RATE if confused else 0.06
             for _ in range(size):
                 text = noisy_variant(
                     canonical, rng,
-                    typo_rate=0.05, drop_rate=0.06,
+                    typo_rate=0.05, drop_rate=drop_rate,
                     abbreviate_rate=0.02, shuffle_probability=0.2,
                 )
                 records.append(Record(record_id=record_id, text=text))
                 entity_of[record_id] = entity_id
                 record_id += 1
             entity_id += 1
+            prev_unique = unique
 
     return Dataset(
         name="largescale", records=records, gold=GoldStandard(entity_of)

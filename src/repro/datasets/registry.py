@@ -35,16 +35,20 @@ def extended_dataset_names() -> List[str]:
     return dataset_names() + ["largescale"]
 
 
-def generate(name: str, scale: float = 1.0, seed: int = 0) -> Dataset:
+def generate(name: str, scale: float = 1.0, seed: int = 0,
+             **kwargs) -> Dataset:
     """Generate a dataset by name.
 
     Args:
         name: One of :func:`dataset_names`.
         scale: Size multiplier (1.0 reproduces Table 3 counts).
         seed: Generator seed.
+        **kwargs: Generator-specific knobs, forwarded verbatim (e.g.
+            ``largescale``'s ``confusion``).
 
     Raises:
         KeyError: For an unknown dataset name.
+        TypeError: For a knob the named generator does not take.
     """
     try:
         generator = _GENERATORS[name]
@@ -52,4 +56,4 @@ def generate(name: str, scale: float = 1.0, seed: int = 0) -> Dataset:
         raise KeyError(
             f"unknown dataset {name!r}; available: {dataset_names()}"
         ) from None
-    return generator(scale=scale, seed=seed)
+    return generator(scale=scale, seed=seed, **kwargs)

@@ -182,6 +182,8 @@ def run_method(
     pivot_engine: str = "fast",
     pivot_shards: int = 0,
     pivot_processes: int = 0,
+    refine_shards: int = 0,
+    refine_processes: int = 0,
     checkpoints=None,
     resume: bool = False,
 ) -> MethodResult:
@@ -209,6 +211,12 @@ def run_method(
             0 keeps the classic single-graph loop.
         pivot_processes: Worker processes for the shard tasks (<= 1 runs
             them in-process; ignored without ``pivot_shards``).
+        refine_shards: Shard tasks for sharded refinement (ACD only;
+            forwarded to :func:`~repro.core.acd.run_acd`).  0 keeps the
+            classic single-clustering loop.
+        refine_processes: Worker processes for the refine shard tasks
+            (<= 1 runs them in-process; ignored without
+            ``refine_shards``).
         checkpoints: Optional
             :class:`~repro.runtime.checkpoint.CheckpointStore` for
             phase-level crash safety (ACD / PC-Pivot only; forwarded to
@@ -228,6 +236,8 @@ def run_method(
             pivot_engine=pivot_engine,
             pivot_shards=pivot_shards,
             pivot_processes=pivot_processes,
+            refine_shards=refine_shards,
+            refine_processes=refine_processes,
             checkpoints=checkpoints, resume=resume,
         )
         return _result(method, instance, result.clustering, result.stats)

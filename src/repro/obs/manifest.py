@@ -35,7 +35,18 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "created_unix": {"type": "number"},
         "command": {"type": "string"},
         "git_revision": {"type": ["string", "null"]},
-        "config": {"type": "object"},
+        "config": {
+            "type": "object",
+            # Shard-parallelism knobs, when the command records them.
+            # Extra config keys are always allowed; these just pin the
+            # types of the ones external tooling keys off.
+            "properties": {
+                "pivot_shards": {"type": "integer"},
+                "pivot_processes": {"type": "integer"},
+                "refine_shards": {"type": "integer"},
+                "refine_processes": {"type": "integer"},
+            },
+        },
         "seeds": {"type": "object"},
         "dataset": {
             "type": ["object", "null"],

@@ -19,6 +19,10 @@ Checkpointed phases:
 - ``generation`` — the cluster state between the pivot and refine
   phases, assembled by :func:`repro.core.acd.run_acd` (clustering,
   generation-phase cost counters, the answer set ``A``).
+- ``refinement`` — the finished pipeline state after phase 3, also
+  assembled by :func:`repro.core.acd.run_acd` (final clustering, total
+  cost counters, the full answer set, and both phases' diagnostics); a
+  resume that finds it skips generation *and* refinement.
 
 Floats survive the JSON round trip exactly (``json`` serializes with
 ``repr``, the shortest exact representation), so a restored phase is
@@ -37,7 +41,7 @@ from repro.runtime.atomic import atomic_write_text
 CHECKPOINT_VERSION = 1
 
 #: The phases the pipeline checkpoints, in execution order.
-CHECKPOINT_PHASES = ("pruning", "generation")
+CHECKPOINT_PHASES = ("pruning", "generation", "refinement")
 
 
 class CheckpointMismatch(ValueError):

@@ -71,3 +71,44 @@ class TestGenerator:
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             generate_largescale(scale=0.0)
+
+
+class TestConfusionKnob:
+    def test_zero_confusion_is_byte_identical_to_default(self):
+        # confusion=0.0 must not perturb the generator's RNG stream: the
+        # knob is strictly additive so existing tiers stay reproducible.
+        plain = generate_largescale(scale=0.05, seed=4)
+        zero = generate_largescale(scale=0.05, seed=4, confusion=0.0)
+        assert [r.text for r in plain.records] == [r.text for r in zero.records]
+        assert (set(plain.gold.duplicate_pairs())
+                == set(zero.gold.duplicate_pairs()))
+
+    def test_confusion_perturbs_texts_but_keeps_population_shape(self):
+        plain = generate_largescale(scale=0.05, seed=4)
+        confused = generate_largescale(scale=0.05, seed=4, confusion=0.3)
+        assert ([r.text for r in plain.records]
+                != [r.text for r in confused.records])
+        # Confusion rewrites mention text (cross-entity borrowing + extra
+        # drop noise); the population invariants — record count, dense
+        # ids, real duplication — must survive.
+        assert len(confused) == len(plain)
+        assert ([r.record_id for r in confused.records]
+                == list(range(len(confused))))
+        assert sum(1 for _ in confused.gold.duplicate_pairs()) > 0
+
+    def test_confusion_is_deterministic(self):
+        a = generate_largescale(scale=0.05, seed=4, confusion=0.25)
+        b = generate_largescale(scale=0.05, seed=4, confusion=0.25)
+        assert [r.text for r in a.records] == [r.text for r in b.records]
+
+    def test_invalid_confusion_rejected(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="confusion"):
+                generate_largescale(scale=0.05, seed=0, confusion=bad)
+
+    def test_registry_forwards_confusion(self):
+        direct = generate_largescale(scale=0.05, seed=4, confusion=0.25)
+        via_registry = generate("largescale", scale=0.05, seed=4,
+                                confusion=0.25)
+        assert ([r.text for r in direct.records]
+                == [r.text for r in via_registry.records])

@@ -88,7 +88,7 @@ class TestChaosSuiteChecks:
     def test_checkpoint_kill_resume(self):
         checks = run_checkpoint_kill_resume()
         by_phase = {check["phase"]: check for check in checks}
-        assert set(by_phase) == {"pruning", "generation"}
+        assert set(by_phase) == {"pruning", "generation", "refinement"}
         assert all(check["byte_identical"] for check in checks)
         assert not any(check["phase_reexecuted"] for check in checks)
         assert by_phase["pruning"]["candidates_identical"]
