@@ -51,6 +51,17 @@ from repro.experiments.tables import (
 )
 
 
+def _shards_value(text: str):
+    """argparse type for shard knobs: a non-negative int or 'auto'."""
+    if text == "auto":
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.3,
                         help="dataset size multiplier (1.0 = paper size)")
@@ -61,10 +72,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--parallel", type=int, default=0,
                         help="worker processes for reference pruning or "
                              "sharded prefix-join execution (<= 1 is serial)")
-    parser.add_argument("--shards", type=int, default=0,
+    parser.add_argument("--shards", type=_shards_value, default=0,
                         help="blocking-key shards for the prefix join "
                              "(0/1 = unsharded; identical output at any "
-                             "shard count)")
+                             "shard count; 'auto' picks by record count)")
     parser.add_argument("--kernel-backend", choices=KERNEL_BACKENDS,
                         default="auto",
                         help="prefix-join verification kernel: numpy batch "
@@ -157,7 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cluster-generation engine: incremental 'fast' "
                           "(default) or per-round re-derivation "
                           "'reference'; outputs are byte-identical")
-    run.add_argument("--pivot-shards", type=int, default=0, metavar="N",
+    run.add_argument("--pivot-shards", type=_shards_value, default=0,
+                     metavar="N",
                      help="shard cluster generation: split the candidate "
                           "graph into connected components, pack them "
                           "into N shard tasks, and merge per-shard "
@@ -168,7 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the pivot shard tasks "
                           "(<= 1 runs them in-process; ignored without "
                           "--pivot-shards)")
-    run.add_argument("--refine-shards", type=int, default=0, metavar="N",
+    run.add_argument("--refine-shards", type=_shards_value, default=0,
+                     metavar="N",
                      help="shard refinement: split the clustering into "
                           "connected components, pack them into N shard "
                           "tasks, and replay per-shard PC-Refine rounds "
@@ -180,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the refine shard tasks "
                           "(<= 1 runs them in-process; ignored without "
                           "--refine-shards)")
+    run.add_argument("--pipeline", action="store_true",
+                     help="run ACD's crowd phases as a component-streaming "
+                          "DAG over one shared worker pool, overlapping "
+                          "the pruning/pivot/refine barriers (output is "
+                          "byte-identical to barrier execution; replaces "
+                          "--pivot-shards/--refine-shards)")
+    run.add_argument("--pipeline-workers", type=int, default=0, metavar="N",
+                     help="worker processes for the shared pipeline pool "
+                          "(<= 1 runs the DAG inline; ignored without "
+                          "--pipeline)")
     _add_setting(run)
     _add_common(run)
 
@@ -382,6 +405,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         "pivot_processes": args.pivot_processes,
         "refine_shards": args.refine_shards,
         "refine_processes": args.refine_processes,
+        "pipeline": args.pipeline,
+        "pipeline_workers": args.pipeline_workers,
         "engine": args.engine,
         "parallel": args.parallel,
         "shards": args.shards,
@@ -461,7 +486,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
                             pivot_processes=args.pivot_processes,
                             refine_shards=args.refine_shards,
                             refine_processes=args.refine_processes,
-                            checkpoints=checkpoints, resume=args.resume)
+                            checkpoints=checkpoints, resume=args.resume,
+                            pipeline=args.pipeline,
+                            pipeline_workers=args.pipeline_workers)
     finally:
         if journaled is not None:
             journaled.close()

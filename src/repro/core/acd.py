@@ -84,6 +84,8 @@ def run_acd(
     refine_processes: int = 0,
     checkpoints: Optional[CheckpointStore] = None,
     resume: bool = False,
+    pipeline: bool = False,
+    pipeline_workers: int = 0,
 ) -> ACDResult:
     """Run the full ACD pipeline on a pre-pruned instance.
 
@@ -154,6 +156,16 @@ def run_acd(
             snapshotted atomically after phase 2 — the ``generation``
             checkpoint — and the finished pipeline state after phase 3 —
             the ``refinement`` checkpoint.
+        pipeline: Run both crowd phases as a component-streaming DAG
+            over one shared worker pool
+            (:func:`repro.runtime.pipeline.run_pipeline`) instead of
+            barrier-synchronized phases.  Byte-identical output;
+            requires ``parallel=True``, the "fast" engines, no
+            ``max_refinement_pairs``, and no per-phase shard knobs (the
+            pipeline owns the component decomposition).
+        pipeline_workers: Worker processes for the shared pipeline pool
+            (``<= 1`` runs the DAG inline; ignored without
+            ``pipeline``).
         resume: With ``checkpoints``, restore the deepest finished
             phase's checkpoint when one exists (and its recorded
             configuration matches the store's): a ``refinement``
@@ -165,6 +177,42 @@ def run_acd(
     Returns:
         The :class:`ACDResult`.
     """
+    if pipeline:
+        if not parallel:
+            raise ValueError(
+                "pipeline requires parallel=True: the sequential engines "
+                "have no component decomposition to stream"
+            )
+        if pivot_engine != "fast" or refine_engine != "fast":
+            raise ValueError(
+                "pipeline requires the 'fast' engines, got "
+                f"pivot_engine={pivot_engine!r}, "
+                f"refine_engine={refine_engine!r}"
+            )
+        if max_refinement_pairs is not None:
+            raise ValueError(
+                "pipeline does not support max_refinement_pairs "
+                "(a global sequential pair cap cannot decompose across "
+                "components) — run with pipeline disabled"
+            )
+        if pivot_shards or refine_shards:
+            raise ValueError(
+                "pipeline owns the component decomposition: drop "
+                "pivot_shards/refine_shards when pipeline=True"
+            )
+        # Imported lazily: pipeline.py imports this module at its top.
+        from repro.runtime.pipeline import run_pipeline
+
+        return run_pipeline(
+            answers, record_ids=list(record_ids), candidates=candidates,
+            workers=pipeline_workers, epsilon=epsilon,
+            threshold_divisor=threshold_divisor, num_buckets=num_buckets,
+            seed=seed, permutation=permutation, refine=refine,
+            pairs_per_hit=pairs_per_hit, ranking=ranking,
+            journal_path=journal_path, obs=obs, checkpoints=checkpoints,
+            resume=resume,
+        ).result
+
     if journal_path is not None:
         journaled = JournalingAnswerFile(answers, journal_path)
         try:

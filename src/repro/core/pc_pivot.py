@@ -171,13 +171,24 @@ def pc_pivot(
         per-permutation — to Crowd-Pivot's).
     """
     require_pivot_engine(engine)
+    ids = list(record_ids)
+    if isinstance(shards, str):
+        from repro.runtime.autoshard import resolve_auto_shards
+
+        shards = resolve_auto_shards("pivot", records=len(ids),
+                                     requested=shards, obs=obs)
+        if engine != "fast":
+            # The heuristic never picks a config the sharded engine
+            # rejects; explicit shard counts still fail fast below.
+            shards = 0
+        if shards == 0:
+            processes = 0  # classic engine: no pool to feed
     if shards < 0:
         raise ValueError(f"shards must be >= 0, got {shards}")
     if processes > 1 and shards == 0:
         raise ValueError(
             "pivot processes require pivot shards (pass shards >= 1)"
         )
-    ids = list(record_ids)
     if permutation is None:
         permutation = Permutation.random(ids, rng=rng, seed=seed)
     if shards:

@@ -509,14 +509,25 @@ def pc_refine(
         raise ValueError(
             f"engine must be one of {REFINE_ENGINES}, got {engine!r}"
         )
+    if num_records is None:
+        num_records = clustering.num_records
+    if isinstance(shards, str):
+        from repro.runtime.autoshard import resolve_auto_shards
+
+        shards = resolve_auto_shards("refine", records=num_records,
+                                     requested=shards, obs=obs)
+        if engine != "fast" or max_refinement_pairs is not None:
+            # The heuristic never picks a config the sharded engine
+            # rejects; explicit shard counts still fail fast below.
+            shards = 0
+        if shards == 0:
+            processes = 0  # classic engine: no pool to feed
     if shards < 0:
         raise ValueError(f"shards must be >= 0, got {shards}")
     if processes > 1 and shards == 0:
         raise ValueError(
             "refine processes require refine shards (pass shards >= 1)"
         )
-    if num_records is None:
-        num_records = clustering.num_records
     if max_refinement_pairs is not None and max_refinement_pairs < 0:
         raise ValueError(
             f"max_refinement_pairs must be >= 0, got {max_refinement_pairs}"

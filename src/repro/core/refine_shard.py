@@ -256,6 +256,140 @@ def _stage(timings, name: str):
     return stage(timings, name)
 
 
+def build_refine_partition(
+    clustering: Clustering,
+    candidates: CandidateSet,
+    oracle: CrowdOracle,
+    num_records: int,
+    threshold_divisor: float,
+    num_buckets: int,
+):
+    """Partition the refinement problem into per-component worker inputs.
+
+    The shared coordination prologue of the sharded engine and the
+    pipelined executor: splits the record set over candidate pairs plus
+    per-cluster chain edges, freezes the global histogram estimator and
+    the single budget ``T``, and assembles each multi-vertex component's
+    worker payload in global order.  Returns ``(components, multi,
+    multi_components, estimator, budget)`` where ``multi`` indexes the
+    multi-vertex entries of ``components`` and ``multi_components[i]``
+    is the ``(cluster_entries, pairs, scores, known)`` payload for
+    component ``multi[i]``.
+    """
+    ids = sorted(clustering.record_ids())
+    # Candidate edges + per-cluster chain edges: components of this
+    # graph are exactly the units no refinement operation crosses,
+    # and they keep every current cluster in one piece.
+    edges: List[Pair] = list(candidates.pairs)
+    for cluster_id in clustering.cluster_ids:
+        members = sorted(clustering.members(cluster_id))
+        edges.extend(zip(members, members[1:]))
+    components = connected_components(ids, edges)
+    prepared = prepare_refine_partition(components, candidates)
+    return finish_refine_partition(prepared, clustering, candidates,
+                                   oracle, num_records,
+                                   threshold_divisor, num_buckets)
+
+
+def prepare_refine_partition(components, candidates: CandidateSet):
+    """Index a component partition: the clustering-independent prefix.
+
+    Everything here depends only on the candidate set and the component
+    list, so a caller that already knows the partition — the pipelined
+    executor reuses the candidate-graph components, which equal the
+    refine components whenever every cluster sits inside one candidate
+    component (always true for pivot-produced clusterings: pivot never
+    clusters across candidate edges, and the chain edges above then
+    merge nothing) — can run this while the generation phase is still
+    draining and pay only :func:`finish_refine_partition` at the
+    barrier.
+    """
+    multi = [index for index, members in enumerate(components)
+             if len(members) > 1]
+    comp_of: Dict[int, int] = {}
+    for index in multi:
+        for vertex in components[index]:
+            comp_of[vertex] = index
+    pairs_of: Dict[int, List[Pair]] = {index: [] for index in multi}
+    for pair in candidates.pairs:
+        pairs_of[comp_of[pair[0]]].append(pair)
+    scores_of = {
+        index: {pair: candidates.machine_scores[pair]
+                for pair in pairs_of[index]}
+        for index in multi
+    }
+    return components, multi, comp_of, pairs_of, scores_of
+
+
+def finish_refine_partition(prepared, clustering: Clustering,
+                            candidates: CandidateSet, oracle: CrowdOracle,
+                            num_records: int, threshold_divisor: float,
+                            num_buckets: int):
+    """Clustering-dependent suffix of :func:`build_refine_partition`."""
+    components, multi, comp_of, pairs_of, scores_of = prepared
+    # Frozen global coordination state: one histogram from the shared
+    # phase-2 answer set, one budget T from the entry-state counts.
+    estimator = build_estimator(candidates, oracle,
+                                num_buckets=num_buckets)
+    # Force the histogram build now: every per-component clone then
+    # starts clean, and only components that crowdsource fresh
+    # answers ever pay a rebuild.
+    estimator.bucket_table()
+    from repro.core.pc_refine import refinement_budget
+    num_unknown = sum(1 for pair in candidates.pairs
+                      if not oracle.knows(*pair))
+    budget = refinement_budget(
+        num_records, max(1, len(clustering)), num_unknown,
+        threshold_divisor=threshold_divisor,
+    )
+
+    # Per-component worker inputs, all in global order: cluster
+    # entries ascend by cluster id, pairs keep the candidate-set
+    # order, known answers keep the oracle's arrival order.
+    entries_of: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {
+        index: [] for index in multi
+    }
+    for cluster_id in clustering.cluster_ids:
+        members = tuple(sorted(clustering.members(cluster_id)))
+        index = comp_of.get(members[0])
+        if index is not None:
+            entries_of[index].append((cluster_id, members))
+    known_of: Dict[int, List[Tuple[Pair, float]]] = {
+        index: [] for index in multi
+    }
+    for pair, confidence in oracle.known_in_order():
+        index = comp_of.get(pair[0])
+        if index is not None and comp_of.get(pair[1]) == index:
+            known_of[index].append((pair, confidence))
+
+    multi_components = [
+        (tuple(entries_of[index]), tuple(pairs_of[index]),
+         scores_of[index], tuple(known_of[index]))
+        for index in multi
+    ]
+    return components, multi, multi_components, estimator, budget
+
+
+def aggregate_refine_diagnostics(diagnostics, component_runs) -> None:
+    """Fold worker evaluation-cache counters into the diagnostics."""
+    if diagnostics is None:
+        return
+    lookups = hits = refreshes = evaluations = 0
+    for _, _, counters in component_runs.values():
+        lookups += counters[0]
+        hits += counters[1]
+        refreshes += counters[2]
+        evaluations += counters[3]
+    diagnostics.operation_evaluations = evaluations + refreshes
+    diagnostics.evaluation_cache = {
+        "lookups": lookups,
+        "hits": hits,
+        "refreshes": refreshes,
+        "evaluations": evaluations,
+        "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+    }
+
+
 def pc_refine_sharded(
     clustering: Clustering,
     candidates: CandidateSet,
@@ -294,67 +428,11 @@ def pc_refine_sharded(
     fork_source = getattr(source, "fork_source", source)
 
     with _stage(timings, "refine.partition"):
-        ids = sorted(clustering.record_ids())
-        # Candidate edges + per-cluster chain edges: components of this
-        # graph are exactly the units no refinement operation crosses,
-        # and they keep every current cluster in one piece.
-        edges: List[Pair] = list(candidates.pairs)
-        for cluster_id in clustering.cluster_ids:
-            members = sorted(clustering.members(cluster_id))
-            edges.extend(zip(members, members[1:]))
-        components = connected_components(ids, edges)
-        multi = [index for index, members in enumerate(components)
-                 if len(members) > 1]
-        comp_of: Dict[int, int] = {}
-        for index in multi:
-            for vertex in components[index]:
-                comp_of[vertex] = index
-
-        # Frozen global coordination state: one histogram from the shared
-        # phase-2 answer set, one budget T from the entry-state counts.
-        estimator = build_estimator(candidates, oracle,
-                                    num_buckets=num_buckets)
-        # Force the histogram build now: every per-component clone then
-        # starts clean, and only components that crowdsource fresh
-        # answers ever pay a rebuild.
-        estimator.bucket_table()
-        from repro.core.pc_refine import refinement_budget
-        num_unknown = sum(1 for pair in candidates.pairs
-                          if not oracle.knows(*pair))
-        budget = refinement_budget(
-            num_records, max(1, len(clustering)), num_unknown,
-            threshold_divisor=threshold_divisor,
-        )
-
-        # Per-component worker inputs, all in global order: cluster
-        # entries ascend by cluster id, pairs keep the candidate-set
-        # order, known answers keep the oracle's arrival order.
-        entries_of: Dict[int, List[Tuple[int, Tuple[int, ...]]]] = {
-            index: [] for index in multi
-        }
-        for cluster_id in clustering.cluster_ids:
-            members = tuple(sorted(clustering.members(cluster_id)))
-            index = comp_of.get(members[0])
-            if index is not None:
-                entries_of[index].append((cluster_id, members))
-        pairs_of: Dict[int, List[Pair]] = {index: [] for index in multi}
-        for pair in candidates.pairs:
-            pairs_of[comp_of[pair[0]]].append(pair)
-        known_of: Dict[int, List[Tuple[Pair, float]]] = {
-            index: [] for index in multi
-        }
-        for pair, confidence in oracle.known_in_order():
-            index = comp_of.get(pair[0])
-            if index is not None and comp_of.get(pair[1]) == index:
-                known_of[index].append((pair, confidence))
-
-        multi_components = [
-            (tuple(entries_of[index]), tuple(pairs_of[index]),
-             {pair: candidates.machine_scores[pair]
-              for pair in pairs_of[index]},
-             tuple(known_of[index]))
-            for index in multi
-        ]
+        components, multi, multi_components, estimator, budget = (
+            build_refine_partition(
+                clustering, candidates, oracle, num_records,
+                threshold_divisor, num_buckets,
+            ))
         num_shards = max(1, min(shards, len(multi)))
         packed = pack_components([components[index] for index in multi],
                                  num_shards)
@@ -367,7 +445,7 @@ def pc_refine_sharded(
 
     _REFINE_STATE["components"] = multi_components
     _REFINE_STATE["shards"] = packed
-    _REFINE_STATE["next_id"] = clustering.to_state()["next_id"]
+    _REFINE_STATE["next_id"] = clustering.next_id
     _REFINE_STATE["threshold"] = candidates.threshold
     _REFINE_STATE["budget"] = budget
     _REFINE_STATE["ranking"] = ranking
@@ -397,21 +475,7 @@ def pc_refine_sharded(
             clustering, components, component_runs, oracle, candidates,
             estimator, budget, diagnostics, obs, source,
         )
-    if diagnostics is not None:
-        lookups = hits = refreshes = evaluations = 0
-        for _, _, counters in component_runs.values():
-            lookups += counters[0]
-            hits += counters[1]
-            refreshes += counters[2]
-            evaluations += counters[3]
-        diagnostics.operation_evaluations = evaluations + refreshes
-        diagnostics.evaluation_cache = {
-            "lookups": lookups,
-            "hits": hits,
-            "refreshes": refreshes,
-            "evaluations": evaluations,
-            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
-        }
+    aggregate_refine_diagnostics(diagnostics, component_runs)
     return clustering.canonicalize()
 
 

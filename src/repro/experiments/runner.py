@@ -186,6 +186,8 @@ def run_method(
     refine_processes: int = 0,
     checkpoints=None,
     resume: bool = False,
+    pipeline: bool = False,
+    pipeline_workers: int = 0,
 ) -> MethodResult:
     """Run one method on an instance and measure it.
 
@@ -223,6 +225,11 @@ def run_method(
             :func:`~repro.core.acd.run_acd`).
         resume: With ``checkpoints``, restore the generation phase from
             its checkpoint instead of re-running it when one exists.
+        pipeline: Run ACD's crowd phases as the component-streaming
+            pipeline (ACD / PC-Pivot only; forwarded to
+            :func:`~repro.core.acd.run_acd`).  Byte-identical output.
+        pipeline_workers: Worker processes for the shared pipeline pool
+            (ignored without ``pipeline``).
     """
     ids = instance.record_ids
 
@@ -239,6 +246,7 @@ def run_method(
             refine_shards=refine_shards,
             refine_processes=refine_processes,
             checkpoints=checkpoints, resume=resume,
+            pipeline=pipeline, pipeline_workers=pipeline_workers,
         )
         return _result(method, instance, result.clustering, result.stats)
 

@@ -167,6 +167,15 @@ def build_candidate_set(
         raise ValueError(f"threshold must be in [0, 1), got {threshold}")
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if isinstance(shards, str):
+        from repro.runtime.autoshard import resolve_auto_shards
+
+        shards = resolve_auto_shards("pruning", records=len(records),
+                                     requested=shards, obs=obs)
+        if shards > 1 and (engine == "reference" or not _prefix_join_eligible(
+                similarity, candidate_pairs, use_token_blocking)):
+            # The heuristic never forces sharding onto the reference path.
+            shards = 0
     if shards < 0:
         raise ValueError(f"shards must be >= 0, got {shards}")
     resolved_backend = resolve_kernel_backend(kernel_backend)

@@ -1,0 +1,73 @@
+"""`shards="auto"`: pick sharding only where it pays for itself.
+
+``BENCH_scale.json`` shows the crossover clearly: at the 10k tier the
+8-shard pruning join and the 64-shard pivot engine are *slower* than the
+serial/classic paths — per-task dispatch (fork, pickle, replay
+bookkeeping) dominates the sliver of parallelizable work — while at 100k
+and above the sharded engines win comfortably.  Rather than make every
+caller re-derive that table, ``shards="auto"`` resolves to the bench-tier
+defaults above a record-count threshold and degrades to the serial
+(pruning) or classic (pivot/refine) path below it.
+
+The decision is observable: each resolution emits a ``runtime.autoshard``
+event and bumps ``runtime_autoshard_total``, so a trace shows which
+engine actually ran and why.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+#: Records below which sharding loses to dispatch overhead (BENCH_scale:
+#: the 10k tier regresses, the 100k tier wins).
+AUTO_MIN_RECORDS = 50_000
+
+#: Bench-tier shard counts used above the threshold.
+AUTO_PRUNING_SHARDS = 8
+AUTO_PIVOT_SHARDS = 64
+AUTO_REFINE_SHARDS = 64
+
+_KINDS = {
+    # kind: (shards above threshold, shards below: serial/classic)
+    "pruning": (AUTO_PRUNING_SHARDS, 1),
+    "pivot": (AUTO_PIVOT_SHARDS, 0),
+    "refine": (AUTO_REFINE_SHARDS, 0),
+}
+
+
+def resolve_auto_shards(kind: str, *, records: int,
+                        requested: Union[int, str],
+                        obs=None) -> int:
+    """Resolve a ``shards`` knob that may be the string ``"auto"``.
+
+    Integers pass through untouched (explicit configuration always
+    wins).  ``"auto"`` resolves by ``kind``: the bench-tier shard count
+    when ``records >= AUTO_MIN_RECORDS``, else ``1`` for pruning (serial
+    join) and ``0`` for pivot/refine (classic engines).  Callers must
+    treat an auto-resolved ``0`` as "classic": it also implies zero
+    worker processes.
+
+    Args:
+        kind: ``"pruning"``, ``"pivot"``, or ``"refine"``.
+        records: Problem size the heuristic keys on.
+        requested: The caller's knob — an int or ``"auto"``.
+        obs: Optional :class:`~repro.obs.ObsContext`; auto resolutions
+            emit a ``runtime.autoshard`` event recording the decision.
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown autoshard kind {kind!r}")
+    if not isinstance(requested, str):
+        return requested
+    if requested != "auto":
+        raise ValueError(
+            f"shards must be an int or 'auto', got {requested!r}")
+    above, below = _KINDS[kind]
+    resolved = above if records >= AUTO_MIN_RECORDS else below
+    if obs is not None:
+        obs.event("runtime.autoshard", kind=kind, records=records,
+                  threshold=AUTO_MIN_RECORDS, resolved=resolved)
+        obs.metrics.counter(
+            "runtime_autoshard_total",
+            help="shards='auto' heuristic resolutions",
+        ).inc()
+    return resolved
